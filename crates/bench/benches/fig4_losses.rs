@@ -1,0 +1,53 @@
+//! Criterion bench behind Fig. 4: wall-clock of the gradient-based kernel
+//! optimization as a function of the activation-set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use t2fsnn::optimize::{kernel_losses, optimize_kernel, GoConfig};
+use t2fsnn::KernelParams;
+
+fn synthetic_activations(n: usize) -> Vec<f32> {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    (0..n)
+        .map(|_| {
+            let u: f32 = rng.gen_range(0.0f32..1.0);
+            u * u
+        })
+        .collect()
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let config = GoConfig {
+        passes: 1,
+        ..GoConfig::default()
+    };
+    let mut group = c.benchmark_group("fig4_kernel_optimization");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 50_000] {
+        let values = synthetic_activations(n);
+        group.bench_function(BenchmarkId::new("optimize_kernel", n), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                optimize_kernel(
+                    &values,
+                    KernelParams::new(2.0, 0.0),
+                    20,
+                    1.0,
+                    &config,
+                    &mut rng,
+                )
+                .expect("optimize")
+            })
+        });
+    }
+    let values = synthetic_activations(10_000);
+    group.bench_function("loss_evaluation_10k", |b| {
+        b.iter(|| kernel_losses(&values, KernelParams::new(8.0, 0.0), 20, 1.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

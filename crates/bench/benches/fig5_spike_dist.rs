@@ -1,0 +1,31 @@
+//! Criterion bench behind Fig. 5: cost of a full T2FSNN run including
+//! spike-time histogram collection, versus the analytic oracle that skips
+//! the clock (quantifying what the temporal bookkeeping costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use t2fsnn::{T2fsnn, T2fsnnConfig};
+use t2fsnn_bench::{prepare, Scenario};
+
+fn bench_histogram_collection(c: &mut Criterion) {
+    let scenario = Scenario::Tiny;
+    let prepared = prepare(scenario);
+    let (images, labels) = prepared.eval_subset(8);
+    let model = T2fsnn::from_dnn(
+        &prepared.dnn,
+        T2fsnnConfig::new(scenario.time_window()),
+        scenario.initial_kernel(),
+    )
+    .expect("conversion");
+    let mut group = c.benchmark_group("fig5_spike_histograms");
+    group.sample_size(10);
+    group.bench_function("clock_run_with_histograms", |b| {
+        b.iter(|| model.run(&images, &labels).expect("run"))
+    });
+    group.bench_function("analytic_oracle", |b| {
+        b.iter(|| model.analytic_logits(&images).expect("analytic"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_histogram_collection);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind Fig. 6: simulation wall-clock versus step
+//! budget for rate coding (whose cost is step-dominated) — the quantity
+//! that makes the paper's 10,000-step rate baselines expensive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use t2fsnn_bench::{prepare, Scenario};
+use t2fsnn_snn::coding::RateCoding;
+use t2fsnn_snn::{simulate, SimConfig, SnnNetwork};
+
+fn bench_curve(c: &mut Criterion) {
+    let prepared = prepare(Scenario::Tiny);
+    let (images, labels) = prepared.eval_subset(4);
+    let snn = SnnNetwork::from_dnn(&prepared.dnn).expect("conversion");
+    let mut group = c.benchmark_group("fig6_rate_curve");
+    group.sample_size(10);
+    for steps in [32usize, 128, 512] {
+        group.bench_function(BenchmarkId::from_parameter(steps), |b| {
+            b.iter(|| {
+                simulate(
+                    &snn,
+                    &mut RateCoding::new(),
+                    &images,
+                    &labels,
+                    &SimConfig::new(steps, steps),
+                )
+                .expect("sim")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curve);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind Table I: wall-clock of running each T2FSNN
+//! variant's inference on the tiny scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use t2fsnn::eval::{build_variant, Variant};
+use t2fsnn::optimize::GoConfig;
+use t2fsnn_bench::{prepare, Scenario};
+
+fn bench_variants(c: &mut Criterion) {
+    let scenario = Scenario::Tiny;
+    let mut prepared = prepare(scenario);
+    let (images, labels) = prepared.eval_subset(8);
+    let mut group = c.benchmark_group("table1_variant_inference");
+    group.sample_size(10);
+    for variant in Variant::ALL {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let model = build_variant(
+            &mut prepared.dnn,
+            &prepared.train.images,
+            scenario.time_window(),
+            variant,
+            scenario.initial_kernel(),
+            &GoConfig {
+                passes: 1,
+                ..GoConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("build");
+        group.bench_function(BenchmarkId::from_parameter(variant.name()), |b| {
+            b.iter(|| model.run(&images, &labels).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind Table II: wall-clock of simulating each neural
+//! coding scheme for a fixed step budget on the tiny scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use t2fsnn_bench::{prepare, Scenario};
+use t2fsnn_snn::coding::{BurstCoding, Coding, PhaseCoding, RateCoding, ReverseCoding};
+use t2fsnn_snn::{simulate, SimConfig, SnnNetwork};
+
+fn bench_codings(c: &mut Criterion) {
+    let prepared = prepare(Scenario::Tiny);
+    let (images, labels) = prepared.eval_subset(8);
+    let snn = SnnNetwork::from_dnn(&prepared.dnn).expect("conversion");
+    let config = SimConfig::new(64, 64);
+    let mut group = c.benchmark_group("table2_coding_simulation");
+    group.sample_size(10);
+    let codings: Vec<Box<dyn Coding>> = vec![
+        Box::new(RateCoding::new()),
+        Box::new(PhaseCoding::new(8)),
+        Box::new(BurstCoding::new(5)),
+        Box::new(ReverseCoding::new(64)),
+    ];
+    for mut coding in codings {
+        let name = coding.name().to_string();
+        group.bench_function(BenchmarkId::from_parameter(&name), |b| {
+            b.iter(|| {
+                simulate(&snn, coding.as_mut(), &images, &labels, &config).expect("sim")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codings);
+criterion_main!(benches);

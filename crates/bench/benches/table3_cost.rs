@@ -1,0 +1,47 @@
+//! Criterion bench behind Table III: sparse (event-driven) propagation
+//! versus dense convolution — the arithmetic the cost analysis counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use t2fsnn_snn::SnnOp;
+use t2fsnn_tensor::ops::{conv2d, Conv2dSpec};
+use t2fsnn_tensor::Tensor;
+
+/// Builds a spike tensor with roughly `activity` fraction of ones.
+fn spike_input(activity: f64) -> Tensor {
+    Tensor::from_fn([1, 8, 16, 16], |idx| {
+        let h = idx[1] * 31 + idx[2] * 17 + idx[3] * 7;
+        if (h % 1000) as f64 <= activity * 1000.0 {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let weight = Tensor::from_fn([16, 8, 3, 3], |i| (i[0] as f32 * 0.01) - 0.05);
+    let bias = Tensor::zeros([16]);
+    let spec = Conv2dSpec::new(1, 1);
+    let op = SnnOp::Conv {
+        name: "bench".into(),
+        weight: weight.clone(),
+        bias: bias.clone(),
+        spec,
+    };
+    let mut group = c.benchmark_group("table3_propagation");
+    group.sample_size(20);
+    for activity in [0.001f64, 0.01, 0.1, 0.5] {
+        let input = spike_input(activity);
+        group.bench_function(BenchmarkId::new("sparse_scatter", activity), |b| {
+            b.iter(|| op.propagate(&input).expect("propagate"))
+        });
+    }
+    let dense_input = spike_input(1.0);
+    group.bench_function("dense_conv2d_reference", |b| {
+        b.iter(|| conv2d(&dense_input, &weight, &bias, spec).expect("conv"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

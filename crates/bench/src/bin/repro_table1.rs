@@ -1,0 +1,75 @@
+//! Reproduces **Table I** (ablation study): latency, accuracy and spike
+//! counts for T2FSNN, +GO, +EF and +GO+EF on the CIFAR-10-like and
+//! CIFAR-100-like scenarios.
+//!
+//! ```sh
+//! cargo run --release -p t2fsnn-bench --bin repro_table1
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use t2fsnn::eval::{ablation_table, AblationRow};
+use t2fsnn::optimize::GoConfig;
+use t2fsnn_bench::report::{percent, print_table, save_json};
+use t2fsnn_bench::{prepare, Scenario};
+
+#[derive(Serialize)]
+struct Table1Result {
+    scenario: &'static str,
+    dnn_accuracy: f32,
+    rows: Vec<AblationRow>,
+}
+
+fn main() {
+    let mut all = Vec::new();
+    for scenario in [Scenario::Cifar10Like, Scenario::Cifar100Like] {
+        let mut prepared = prepare(scenario);
+        let (images, labels) = prepared.eval_subset(scenario.eval_images());
+        let test = t2fsnn_data::Dataset {
+            spec: prepared.test.spec.clone(),
+            images,
+            labels,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed() + 1);
+        let rows = ablation_table(
+            &mut prepared.dnn,
+            &prepared.train.images,
+            &test,
+            scenario.time_window(),
+            scenario.initial_kernel(),
+            &GoConfig::default(),
+            &mut rng,
+        )
+        .expect("ablation failed");
+
+        let printable: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.method.clone(),
+                    r.latency.to_string(),
+                    percent(r.accuracy),
+                    format!("{:.0}", r.spikes_per_image),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Table I ({}), DNN reference accuracy {:.2}%",
+                scenario.name(),
+                prepared.dnn_accuracy * 100.0
+            ),
+            &["Method", "Latency", "Accuracy(%)", "Spikes/img"],
+            &printable,
+        );
+        all.push(Table1Result {
+            scenario: scenario.name(),
+            dnn_accuracy: prepared.dnn_accuracy,
+            rows,
+        });
+    }
+    save_json("table1_ablation", &all);
+    println!("\nPaper's Table I shape to verify: +EF halves latency (1280→680 for");
+    println!("VGG-16/T=80); +GO keeps latency, trims spikes; +GO+EF is best overall.");
+}

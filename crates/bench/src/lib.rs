@@ -1,0 +1,16 @@
+//! # t2fsnn-bench
+//!
+//! Shared experiment harness for the reproduction binaries (`repro_*`,
+//! one per paper table/figure) and the Criterion micro-benchmarks.
+//!
+//! The heavy, reusable step — training and normalizing a source CNN per
+//! dataset scenario — is cached on disk so that every `repro_*` binary can
+//! run independently without retraining.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod scenario;
+
+pub use scenario::{prepare, Prepared, Scenario};

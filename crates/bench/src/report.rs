@@ -1,0 +1,110 @@
+//! Table formatting and result persistence for the `repro_*` binaries.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Prints an aligned text table with a header row.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Directory where `repro_*` binaries drop their JSON results
+/// (`results/` at the workspace root, creatable from any cwd inside it).
+pub fn results_dir() -> PathBuf {
+    // Walk up from the current directory until a Cargo workspace root.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+/// Serializes `value` to `results/<name>.json`, creating the directory if
+/// needed. Errors are printed, not fatal — losing a dump should not kill
+/// an experiment run.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("[report] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_vec_pretty(value) {
+        Ok(bytes) => {
+            if let Err(e) = fs::write(&path, bytes) {
+                eprintln!("[report] cannot write {}: {e}", path.display());
+            } else {
+                println!("[report] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[report] serialization failed for {name}: {e}"),
+    }
+}
+
+/// Formats a spike count the way the paper's Table II does (`10⁶` units).
+pub fn millions(x: f64) -> String {
+    format!("{:.3}E+6", x / 1.0e6)
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn percent(x: f32) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millions_formats_like_paper() {
+        assert_eq!(millions(6.898e4), "0.069E+6");
+        assert_eq!(millions(61_949_000.0), "61.949E+6");
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.9136), "91.36");
+    }
+
+    #[test]
+    fn results_dir_ends_with_results() {
+        assert!(results_dir().ends_with("results"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        print_table("t", &["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

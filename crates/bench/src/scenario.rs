@@ -1,0 +1,381 @@
+//! Experiment scenarios: one per dataset the paper evaluates, plus a tiny
+//! one for fast benches. Each scenario defines its synthetic dataset, its
+//! scaled architecture, its training recipe and its TTFS time window, and
+//! caches the trained + normalized network on disk.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use t2fsnn_data::{Dataset, DatasetSpec, SyntheticConfig};
+use t2fsnn_dnn::architectures::{cnn_small, vgg_scaled, VggScale};
+use t2fsnn_dnn::layers::PoolKind;
+use t2fsnn_dnn::{evaluate, normalize_for_snn, train, Network, SgdConfig, TrainConfig};
+use t2fsnn_tensor::Tensor;
+
+/// One of the paper's evaluation scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// MNIST-shaped (1×28×28, 10 classes) with the small two-block CNN.
+    MnistLike,
+    /// CIFAR-10-shaped (3×32×32, 10 classes) with the scaled VGG.
+    Cifar10Like,
+    /// CIFAR-100-shaped (3×32×32, 100 classes) with a wider scaled VGG.
+    Cifar100Like,
+    /// A deliberately tiny scenario for Criterion micro-benchmarks.
+    Tiny,
+}
+
+impl Scenario {
+    /// All paper scenarios (excluding [`Scenario::Tiny`]).
+    pub const PAPER: [Scenario; 3] = [
+        Scenario::MnistLike,
+        Scenario::Cifar10Like,
+        Scenario::Cifar100Like,
+    ];
+
+    /// Stable name used in cache files and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::MnistLike => "mnist-like",
+            Scenario::Cifar10Like => "cifar10-like",
+            Scenario::Cifar100Like => "cifar100-like",
+            Scenario::Tiny => "tiny",
+        }
+    }
+
+    /// Dataset specification.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            Scenario::MnistLike => DatasetSpec::mnist_like(),
+            Scenario::Cifar10Like => DatasetSpec::cifar10_like(),
+            Scenario::Cifar100Like => DatasetSpec::cifar100_like(),
+            Scenario::Tiny => DatasetSpec::new("tiny16", 1, 16, 16, 4),
+        }
+    }
+
+    /// Total generated samples (train + test).
+    pub fn dataset_size(&self) -> usize {
+        let quick = quick_mode();
+        match self {
+            Scenario::MnistLike => {
+                if quick {
+                    192
+                } else {
+                    640
+                }
+            }
+            Scenario::Cifar10Like => {
+                if quick {
+                    192
+                } else {
+                    640
+                }
+            }
+            Scenario::Cifar100Like => {
+                if quick {
+                    300
+                } else {
+                    1700
+                }
+            }
+            Scenario::Tiny => 128,
+        }
+    }
+
+    /// Train/test split point.
+    pub fn train_size(&self) -> usize {
+        match self {
+            Scenario::Cifar100Like => self.dataset_size() - 100.min(self.dataset_size() / 5),
+            _ => self.dataset_size() * 3 / 4,
+        }
+    }
+
+    /// The per-layer TTFS time window `T` used in this scenario's
+    /// experiments. Chosen at the paper's operating point: the smallest
+    /// window whose kernel precision does not cost accuracy (a window
+    /// sweep is in `repro_tau_sweep`/EXPERIMENTS.md). For the MNIST-like
+    /// CNN (4 weighted layers) T = 16 with early firing gives a pipeline
+    /// latency of exactly 40 steps — the paper's own MNIST latency.
+    pub fn time_window(&self) -> usize {
+        match self {
+            Scenario::MnistLike => 16,
+            Scenario::Cifar10Like => 24,
+            Scenario::Cifar100Like => 24,
+            Scenario::Tiny => 24,
+        }
+    }
+
+    /// Initial (pre-GO) kernel parameters: τ0 = T/4, t_d = 0 — the
+    /// empirical starting point the paper describes ("We empirically set
+    /// the τ, t_d, and T at the initial stage").
+    pub fn initial_kernel(&self) -> t2fsnn::KernelParams {
+        t2fsnn::KernelParams::new(self.time_window() as f32 / 4.0, 0.0)
+    }
+
+    /// Evaluation-subset size for clock-driven simulations.
+    pub fn eval_images(&self) -> usize {
+        if quick_mode() {
+            16
+        } else {
+            32
+        }
+    }
+
+    /// Simulated steps for the rate-coding baseline (the slowest scheme;
+    /// the paper runs it for 10,000 steps on CIFAR).
+    pub fn rate_steps(&self) -> usize {
+        let quick = quick_mode();
+        match self {
+            Scenario::MnistLike => {
+                if quick {
+                    128
+                } else {
+                    384
+                }
+            }
+            Scenario::Tiny => 128,
+            _ => {
+                if quick {
+                    192
+                } else {
+                    640
+                }
+            }
+        }
+    }
+
+    /// Simulated steps for phase/burst baselines (converge much faster).
+    pub fn fast_coding_steps(&self) -> usize {
+        (self.rate_steps() / 4).max(64)
+    }
+
+    /// Master RNG seed (dataset synthesis and training share it).
+    pub fn seed(&self) -> u64 {
+        match self {
+            Scenario::MnistLike => 1001,
+            Scenario::Cifar10Like => 1002,
+            Scenario::Cifar100Like => 1003,
+            Scenario::Tiny => 1004,
+        }
+    }
+
+    fn build_network(&self, rng: &mut ChaCha8Rng) -> Network {
+        let spec = self.spec();
+        match self {
+            Scenario::MnistLike | Scenario::Tiny => cnn_small(rng, &spec, PoolKind::Avg),
+            Scenario::Cifar10Like => vgg_scaled(rng, &spec, VggScale::default()),
+            Scenario::Cifar100Like => vgg_scaled(
+                rng,
+                &spec,
+                VggScale {
+                    base_channels: 8,
+                    fc_width: 128,
+                    ..VggScale::default()
+                },
+            ),
+        }
+    }
+
+    fn train_config(&self) -> TrainConfig {
+        let quick = quick_mode();
+        match self {
+            // The deep scaled VGGs need a cooler learning rate than the
+            // shallow nets (lr 0.05 diverges at this depth without
+            // batch norm; 0.02 reaches >90% on the synthetic tasks).
+            Scenario::Cifar10Like => TrainConfig {
+                epochs: if quick { 4 } else { 10 },
+                batch_size: 16,
+                sgd: SgdConfig {
+                    lr: 0.02,
+                    momentum: 0.9,
+                    weight_decay: 5e-4,
+                },
+                lr_decay: 0.9,
+            },
+            Scenario::Cifar100Like => TrainConfig {
+                epochs: if quick { 4 } else { 18 },
+                batch_size: 16,
+                sgd: SgdConfig {
+                    lr: 0.02,
+                    momentum: 0.9,
+                    weight_decay: 1e-4,
+                },
+                lr_decay: 0.93,
+            },
+            _ => TrainConfig {
+                epochs: if quick { 3 } else { 7 },
+                ..TrainConfig::default()
+            },
+        }
+    }
+
+    /// Generates this scenario's dataset deterministically.
+    ///
+    /// The 100-class scenario uses a lower noise level: with only ~16
+    /// samples per class, full noise leaves the small VGG data-starved
+    /// (the paper trains on 500 real images per class).
+    pub fn dataset(&self) -> Dataset {
+        let config = SyntheticConfig::new(self.spec(), self.seed());
+        let config = match self {
+            Scenario::Cifar100Like => config.with_noise(0.10),
+            _ => config,
+        };
+        config.generate(self.dataset_size())
+    }
+}
+
+/// `T2FSNN_QUICK=1` shrinks every scenario for CI-speed runs.
+pub fn quick_mode() -> bool {
+    std::env::var("T2FSNN_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// A scenario's trained, normalized network plus its data splits.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Which scenario this is.
+    pub scenario: Scenario,
+    /// Trained and data-normalized source network.
+    pub dnn: Network,
+    /// Training split (also the calibration set for normalization/GO).
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+    /// Source-DNN test accuracy.
+    pub dnn_accuracy: f32,
+}
+
+impl Prepared {
+    /// Copies the first `n` test images (and labels) as an evaluation
+    /// subset for expensive clock-driven simulations.
+    pub fn eval_subset(&self, n: usize) -> (Tensor, Vec<usize>) {
+        let n = n.min(self.test.len());
+        let parts: Vec<Tensor> = (0..n)
+            .map(|i| self.test.images.index_axis0(i).expect("in range"))
+            .collect();
+        (
+            Tensor::stack(&parts).expect("same shapes"),
+            self.test.labels[..n].to_vec(),
+        )
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct CacheFile {
+    version: u32,
+    quick: bool,
+    dnn: Network,
+    dnn_accuracy: f32,
+}
+
+const CACHE_VERSION: u32 = 1;
+
+fn cache_path(scenario: Scenario) -> PathBuf {
+    let root = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    PathBuf::from(root)
+        .join("t2fsnn-cache")
+        .join(format!("{}-v{}.json", scenario.name(), CACHE_VERSION))
+}
+
+/// Trains (or loads from cache) a scenario's source network, normalized
+/// for conversion, together with its dataset splits.
+///
+/// The dataset is regenerated deterministically on every call (cheap); the
+/// network weights and DNN accuracy are cached under
+/// `target/t2fsnn-cache/`.
+///
+/// # Panics
+///
+/// Panics if training fails — the harness treats that as a fatal setup
+/// error.
+pub fn prepare(scenario: Scenario) -> Prepared {
+    let data = scenario.dataset();
+    let (train_set, test_set) = data.split(scenario.train_size());
+    let path = cache_path(scenario);
+    if let Ok(bytes) = fs::read(&path) {
+        if let Ok(cache) = serde_json::from_slice::<CacheFile>(&bytes) {
+            if cache.version == CACHE_VERSION && cache.quick == quick_mode() {
+                return Prepared {
+                    scenario,
+                    dnn: cache.dnn,
+                    train: train_set,
+                    test: test_set,
+                    dnn_accuracy: cache.dnn_accuracy,
+                };
+            }
+        }
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed() ^ 0xDEAD_BEEF);
+    let mut dnn = scenario.build_network(&mut rng);
+    eprintln!(
+        "[prepare] training {} ({} params) on {} samples…",
+        scenario.name(),
+        dnn.param_count(),
+        train_set.len()
+    );
+    train(&mut dnn, &train_set, &scenario.train_config(), &mut rng).expect("training failed");
+    normalize_for_snn(&mut dnn, &train_set.images, 0.999).expect("normalization failed");
+    let dnn_accuracy = evaluate(&mut dnn, &test_set, 32).expect("evaluation failed");
+    eprintln!(
+        "[prepare] {}: DNN test accuracy {:.1}%",
+        scenario.name(),
+        dnn_accuracy * 100.0
+    );
+
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    let cache = CacheFile {
+        version: CACHE_VERSION,
+        quick: quick_mode(),
+        dnn: dnn.clone(),
+        dnn_accuracy,
+    };
+    if let Ok(bytes) = serde_json::to_vec(&cache) {
+        let _ = fs::write(&path, bytes);
+    }
+    Prepared {
+        scenario,
+        dnn,
+        train: train_set,
+        test: test_set,
+        dnn_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_metadata_is_consistent() {
+        for s in Scenario::PAPER {
+            assert!(s.train_size() < s.dataset_size());
+            assert!(s.time_window() > 0);
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn tiny_prepare_trains_and_caches() {
+        let first = prepare(Scenario::Tiny);
+        assert!(first.dnn_accuracy > 0.4, "tiny scenario should be learnable");
+        // Second call must hit the cache (same result, no retraining).
+        let second = prepare(Scenario::Tiny);
+        assert_eq!(first.dnn_accuracy, second.dnn_accuracy);
+        assert_eq!(first.test.len(), second.test.len());
+    }
+
+    #[test]
+    fn eval_subset_truncates() {
+        let prepared = prepare(Scenario::Tiny);
+        let (images, labels) = prepared.eval_subset(8);
+        assert_eq!(images.dims()[0], 8);
+        assert_eq!(labels.len(), 8);
+        let (all, _) = prepared.eval_subset(10_000);
+        assert_eq!(all.dims()[0], prepared.test.len());
+    }
+}

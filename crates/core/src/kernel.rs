@@ -1,0 +1,311 @@
+//! Exponentially decaying kernels: the heart of T2FSNN's encoding and
+//! decoding (Eq. 5–8 of the paper).
+//!
+//! A kernel `ε(t) = exp(-(t - t_d)/τ)` plays two roles:
+//!
+//! * as the **fire kernel** it shapes the dynamic threshold
+//!   `θ(t) = θ0·ε(t - t_ref)` — large membrane potentials cross the
+//!   falling threshold *early*, so spike time encodes value (Eq. 6–7);
+//! * as the **integration kernel** (the *dendrite*) it weights an incoming
+//!   spike's PSP by its arrival time, decoding the value back (Eq. 8).
+//!
+//! The paper sets each layer's integration kernel equal to the previous
+//! layer's fire kernel, so one [`ExpKernel`] per layer suffices.
+
+use serde::{Deserialize, Serialize};
+
+/// Trainable parameters of one layer's kernel: the time constant `τ` and
+/// the time delay `t_d` (Eq. 5). These are exactly the quantities the
+/// gradient-based optimization of Sec. III-B trains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelParams {
+    /// Time constant τ (> 0): controls precision vs. representable range.
+    pub tau: f32,
+    /// Time delay t_d: shifts the kernel, raising the maximum representable
+    /// value `exp(t_d/τ)`.
+    pub t_d: f32,
+}
+
+impl KernelParams {
+    /// Creates kernel parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau <= 0`.
+    pub fn new(tau: f32, t_d: f32) -> Self {
+        assert!(tau > 0.0, "time constant must be positive, got {tau}");
+        KernelParams { tau, t_d }
+    }
+}
+
+impl Default for KernelParams {
+    /// τ = 8, t_d = 0 — a mid-range precision/latency trade-off for the
+    /// default T = 32 window (min representable ≈ e⁻⁴ ≈ 0.018).
+    fn default() -> Self {
+        KernelParams { tau: 8.0, t_d: 0.0 }
+    }
+}
+
+/// An exponentially decaying kernel over a fire window of `T` time steps.
+///
+/// # Examples
+///
+/// ```
+/// use t2fsnn::kernel::{ExpKernel, KernelParams};
+///
+/// let kernel = ExpKernel::new(KernelParams::new(8.0, 0.0), 32);
+/// // Larger values encode to earlier spike times.
+/// let t_large = kernel.encode(0.9, 1.0).unwrap();
+/// let t_small = kernel.encode(0.1, 1.0).unwrap();
+/// assert!(t_large < t_small);
+/// // Decoding recovers the value up to the paper's precision error.
+/// let decoded = kernel.decode(t_small);
+/// assert!((decoded - 0.1).abs() < 0.1 * (f32::exp(1.0 / 8.0) - 1.0) + 1e-4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpKernel {
+    params: KernelParams,
+    window: usize,
+}
+
+impl ExpKernel {
+    /// Creates a kernel over a window of `window` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` (propagates the `tau > 0` panic from
+    /// [`KernelParams::new`] if constructed from raw parts).
+    pub fn new(params: KernelParams, window: usize) -> Self {
+        assert!(window > 0, "kernel window must be positive");
+        ExpKernel { params, window }
+    }
+
+    /// The kernel parameters.
+    pub fn params(&self) -> KernelParams {
+        self.params
+    }
+
+    /// The fire-window length `T`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Evaluates `ε(t) = exp(-(t - t_d)/τ)` at local time `t` (Eq. 5).
+    pub fn eval(&self, t: f32) -> f32 {
+        (-(t - self.params.t_d) / self.params.tau).exp()
+    }
+
+    /// The largest value the kernel can represent: `ε(0) = exp(t_d/τ)`
+    /// (`ẑ_max` of Eq. 11).
+    pub fn max_representable(&self) -> f32 {
+        (self.params.t_d / self.params.tau).exp()
+    }
+
+    /// The smallest value representable within the window:
+    /// `ε(T) = exp(-(T - t_d)/τ)` (`ẑ_min` of Eq. 10).
+    pub fn min_representable(&self) -> f32 {
+        (-(self.window as f32 - self.params.t_d) / self.params.tau).exp()
+    }
+
+    /// TTFS encoding (Eq. 7): the local spike time for a membrane value
+    /// `u`, or `None` if `u` cannot be represented within the *discrete*
+    /// window — i.e. `u < θ0·ε(T−1)`, the dynamic threshold at the last
+    /// step. (The paper's continuous-time minimum `ε(T)` of Eq. 10 is one
+    /// step beyond the discrete fire window; [`Self::min_representable`]
+    /// keeps the paper's formula for loss compatibility.)
+    ///
+    /// The returned time satisfies `u ≥ θ0·ε(t)` with `t` minimal — the
+    /// discrete-time threshold crossing, `t = ⌈-τ·ln(u/θ0) + t_d⌉` clamped
+    /// into `[0, T)`.
+    pub fn encode(&self, u: f32, theta0: f32) -> Option<usize> {
+        if u <= 0.0 {
+            return None;
+        }
+        let t_exact = -self.params.tau * (u / theta0).ln() + self.params.t_d;
+        let t = t_exact.ceil().max(0.0) as usize;
+        if t >= self.window {
+            return None; // below the minimum representable value
+        }
+        Some(t)
+    }
+
+    /// TTFS decoding (Eq. 8's dendrite weight): the value carried by a
+    /// spike at local time `t`.
+    pub fn decode(&self, t: usize) -> f32 {
+        self.eval(t as f32)
+    }
+
+    /// The paper's analytic precision error bound for a decoded value `x̂`:
+    /// `x̂·(exp(1/τ) − 1)` (Sec. III-B).
+    pub fn precision_error_bound(&self, decoded: f32) -> f32 {
+        decoded * ((1.0 / self.params.tau).exp() - 1.0)
+    }
+
+    /// Precomputes the kernel over all local times — the lookup table the
+    /// paper proposes to replace runtime exponentials (Sec. V).
+    pub fn to_table(&self) -> KernelTable {
+        KernelTable {
+            values: (0..self.window).map(|t| self.eval(t as f32)).collect(),
+            params: self.params,
+        }
+    }
+}
+
+/// A precomputed kernel lookup table (Sec. V: "the computational cost of
+/// kernel function in T2FSNN can be reduced by replacing the kernel with a
+/// lookup table").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelTable {
+    values: Vec<f32>,
+    params: KernelParams,
+}
+
+impl KernelTable {
+    /// Kernel value at local time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is outside the window.
+    pub fn value(&self, t: usize) -> f32 {
+        self.values[t]
+    }
+
+    /// Window length.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` for an empty table (never produced by
+    /// [`ExpKernel::to_table`]).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The parameters the table was built from.
+    pub fn params(&self) -> KernelParams {
+        self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(tau: f32, t_d: f32, window: usize) -> ExpKernel {
+        ExpKernel::new(KernelParams::new(tau, t_d), window)
+    }
+
+    #[test]
+    fn kernel_decreases_monotonically() {
+        let k = kernel(8.0, 0.0, 32);
+        for t in 1..32 {
+            assert!(k.eval(t as f32) < k.eval((t - 1) as f32));
+        }
+    }
+
+    #[test]
+    fn representable_range_formulas() {
+        let k = kernel(8.0, 4.0, 32);
+        assert!((k.max_representable() - (4.0f32 / 8.0).exp()).abs() < 1e-6);
+        assert!((k.min_representable() - (-(32.0 - 4.0) / 8.0f32).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn larger_values_fire_earlier() {
+        let k = kernel(8.0, 0.0, 32);
+        let mut last = usize::MAX;
+        for &x in &[0.03f32, 0.1, 0.3, 0.6, 1.0] {
+            let t = k.encode(x, 1.0).expect("representable");
+            assert!(t <= last, "{x} encoded at {t}, previous {last}");
+            last = t;
+        }
+        assert_eq!(k.encode(1.0, 1.0), Some(0));
+    }
+
+    #[test]
+    fn unrepresentable_values_do_not_spike() {
+        let k = kernel(4.0, 0.0, 16);
+        assert_eq!(k.encode(0.0, 1.0), None);
+        assert_eq!(k.encode(-0.5, 1.0), None);
+        // Below ε(T-1): threshold never reaches it inside the window.
+        let tiny = k.eval(16.0) * 0.5;
+        assert_eq!(k.encode(tiny, 1.0), None);
+    }
+
+    #[test]
+    fn encode_decode_error_within_paper_bound() {
+        let k = kernel(8.0, 0.0, 64);
+        for i in 1..=100 {
+            let x = i as f32 / 100.0;
+            if let Some(t) = k.encode(x, 1.0) {
+                let decoded = k.decode(t);
+                let bound = k.precision_error_bound(decoded) + 1e-5;
+                assert!(
+                    (x - decoded).abs() <= bound,
+                    "x={x}: decoded {decoded}, err {} > bound {bound}",
+                    (x - decoded).abs()
+                );
+                // Decoded never exceeds the true value (threshold crossing
+                // is from above).
+                assert!(decoded <= x + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_tau_means_higher_precision() {
+        let coarse = kernel(2.0, 0.0, 20);
+        let fine = kernel(18.0, 0.0, 20);
+        let x = 0.7f32;
+        let err = |k: &ExpKernel| (x - k.decode(k.encode(x, 1.0).unwrap())).abs();
+        assert!(err(&fine) <= err(&coarse));
+    }
+
+    #[test]
+    fn smaller_tau_represents_smaller_values() {
+        let coarse = kernel(2.0, 0.0, 20);
+        let fine = kernel(18.0, 0.0, 20);
+        assert!(coarse.min_representable() < fine.min_representable());
+    }
+
+    #[test]
+    fn t_d_extends_max_representable() {
+        let base = kernel(8.0, 0.0, 32);
+        let delayed = kernel(8.0, 8.0, 32);
+        assert!(delayed.max_representable() > base.max_representable());
+        assert!((delayed.max_representable() - std::f32::consts::E).abs() < 1e-5);
+    }
+
+    #[test]
+    fn table_matches_direct_evaluation() {
+        let k = kernel(5.0, 2.0, 24);
+        let table = k.to_table();
+        assert_eq!(table.len(), 24);
+        for t in 0..24 {
+            assert!((table.value(t) - k.eval(t as f32)).abs() < 1e-7);
+        }
+        assert_eq!(table.params(), k.params());
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn encode_respects_theta0() {
+        let k = kernel(8.0, 0.0, 32);
+        // With a lower threshold constant the same value crosses later.
+        let t1 = k.encode(0.5, 1.0).unwrap();
+        let t2 = k.encode(0.5, 2.0).unwrap();
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tau_panics() {
+        let _ = KernelParams::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = ExpKernel::new(KernelParams::default(), 0);
+    }
+}

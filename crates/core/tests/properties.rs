@@ -1,0 +1,140 @@
+//! Property-based tests for the TTFS kernel machinery — the encode/decode
+//! invariants the paper's analysis depends on.
+
+use proptest::prelude::*;
+use t2fsnn::kernel::{ExpKernel, KernelParams};
+use t2fsnn::optimize::kernel_losses;
+
+fn params() -> impl Strategy<Value = (KernelParams, usize)> {
+    (0.5f32..40.0, 0.0f32..8.0, 8usize..128).prop_map(|(tau, t_d, window)| {
+        (KernelParams::new(tau, t_d), window)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernel_is_decreasing((p, window) in params()) {
+        // Strictly decreasing until f32 underflow flattens the tail to 0
+        // (tiny τ over a long window), then non-increasing.
+        let k = ExpKernel::new(p, window);
+        for t in 1..window {
+            let prev = k.eval((t - 1) as f32);
+            let cur = k.eval(t as f32);
+            if prev > f32::MIN_POSITIVE {
+                prop_assert!(cur < prev, "t={t}: {cur} !< {prev}");
+            } else {
+                prop_assert!(cur <= prev);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_monotone_nonincreasing_in_value((p, window) in params()) {
+        // Larger values never fire later — the defining TTFS property.
+        let k = ExpKernel::new(p, window);
+        let mut last: Option<usize> = None;
+        for i in (1..=50).rev() {
+            let x = i as f32 / 50.0;
+            if let Some(t) = k.encode(x, 1.0) {
+                if let Some(prev) = last {
+                    prop_assert!(t >= prev, "x={x}: t={t} < prev={prev}");
+                }
+                last = Some(t);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_never_exceeds_encoded_value((p, window) in params(), xi in 1u32..1000) {
+        // The threshold crossing is from above: ẑ ≤ z̄ always.
+        let k = ExpKernel::new(p, window);
+        let x = xi as f32 / 1000.0 * k.max_representable().min(1.0);
+        if let Some(t) = k.encode(x, 1.0) {
+            let decoded = k.decode(t);
+            prop_assert!(decoded <= x * (1.0 + 1e-5), "decoded {decoded} > {x}");
+        }
+    }
+
+    #[test]
+    fn precision_error_bound_holds((p, window) in params(), xi in 1u32..1000) {
+        // |z̄ − ẑ| ≤ ẑ·(exp(1/τ) − 1), the paper's Sec. III-B bound.
+        let k = ExpKernel::new(p, window);
+        let x = xi as f32 / 1000.0;
+        if let Some(t) = k.encode(x, 1.0) {
+            let decoded = k.decode(t);
+            // Values above the max representable saturate at t=0 and are
+            // excluded from the bound (the kernel cannot express them).
+            prop_assume!(x <= k.max_representable());
+            let bound = k.precision_error_bound(decoded) + 1e-5;
+            prop_assert!(
+                (x - decoded).abs() <= bound,
+                "x={x} decoded={decoded} err={} bound={bound}",
+                (x - decoded).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn representable_range_brackets_spiking((p, window) in params(), xi in 1u32..1000) {
+        let k = ExpKernel::new(p, window);
+        let x = xi as f32 / 1000.0;
+        if k.encode(x, 1.0).is_some() {
+            // Anything that spikes is at least the threshold at T−1.
+            prop_assert!(x >= k.eval((window - 1) as f32) - 1e-6);
+        } else if x > 0.0 {
+            // Anything positive that does not spike is below that threshold.
+            prop_assert!(x < k.eval((window - 1) as f32) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn lookup_table_is_exact((p, window) in params()) {
+        let k = ExpKernel::new(p, window);
+        let table = k.to_table();
+        prop_assert_eq!(table.len(), window);
+        for t in 0..window {
+            prop_assert!((table.value(t) - k.eval(t as f32)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn losses_are_finite_and_nonnegative(
+        (p, window) in params(),
+        values in prop::collection::vec(0.0f32..1.0, 1..64)
+    ) {
+        let sample = kernel_losses(&values, p, window, 1.0);
+        prop_assert!(sample.l_prec.is_finite() && sample.l_prec >= 0.0);
+        prop_assert!(sample.l_min.is_finite() && sample.l_min >= 0.0);
+        prop_assert!(sample.l_max.is_finite() && sample.l_max >= 0.0);
+    }
+
+    #[test]
+    fn larger_tau_lowers_mean_precision_error(t_d in 0.0f32..4.0) {
+        // Pointwise the ceil-discretization can favor either kernel, but
+        // averaged over the value range, precision is monotone in τ
+        // (the trade-off of Sec. III-B).
+        let window = 64usize;
+        let coarse = ExpKernel::new(KernelParams::new(4.0, t_d), window);
+        let fine = ExpKernel::new(KernelParams::new(16.0, t_d), window);
+        let mean_err = |k: &ExpKernel| {
+            let mut err = 0.0f32;
+            let mut n = 0usize;
+            for i in 1..=200 {
+                let x = i as f32 / 200.0;
+                if let Some(t) = k.encode(x, 1.0) {
+                    err += (x - k.decode(t)).abs();
+                    n += 1;
+                }
+            }
+            err / n.max(1) as f32
+        };
+        prop_assert!(
+            mean_err(&fine) < mean_err(&coarse),
+            "fine {} !< coarse {}",
+            mean_err(&fine),
+            mean_err(&coarse)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Summary statistics over datasets, used for sanity checks and reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::synthetic::Dataset;
+
+/// First- and second-moment statistics of a dataset's pixel values plus
+/// class balance information.
+///
+/// # Examples
+///
+/// ```
+/// use t2fsnn_data::{DatasetSpec, DatasetStats, SyntheticConfig};
+///
+/// let ds = SyntheticConfig::new(DatasetSpec::tiny(), 1).generate(32);
+/// let stats = DatasetStats::compute(&ds);
+/// assert!(stats.pixel_mean > 0.0 && stats.pixel_mean < 1.0);
+/// assert_eq!(stats.class_counts.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Mean over all pixels of all images.
+    pub pixel_mean: f32,
+    /// Standard deviation over all pixels.
+    pub pixel_std: f32,
+    /// Smallest pixel value.
+    pub pixel_min: f32,
+    /// Largest pixel value.
+    pub pixel_max: f32,
+    /// Samples per class.
+    pub class_counts: Vec<usize>,
+}
+
+impl DatasetStats {
+    /// Computes statistics over every pixel and label of `dataset`.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let mean = dataset.images.mean();
+        let var = dataset.images.map(|x| (x - mean) * (x - mean)).mean();
+        DatasetStats {
+            pixel_mean: mean,
+            pixel_std: var.sqrt(),
+            pixel_min: dataset.images.min(),
+            pixel_max: dataset.images.max(),
+            class_counts: dataset.class_counts(),
+        }
+    }
+
+    /// Largest relative class imbalance: `max_count/min_count - 1`
+    /// (zero for a perfectly balanced dataset).
+    ///
+    /// Returns `f32::INFINITY` if some class has zero samples.
+    pub fn imbalance(&self) -> f32 {
+        let max = self.class_counts.iter().copied().max().unwrap_or(0) as f32;
+        let min = self.class_counts.iter().copied().min().unwrap_or(0) as f32;
+        if min == 0.0 {
+            f32::INFINITY
+        } else {
+            max / min - 1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+    use crate::synthetic::SyntheticConfig;
+
+    #[test]
+    fn stats_reflect_unit_range() {
+        let ds = SyntheticConfig::new(DatasetSpec::tiny(), 11).generate(40);
+        let stats = DatasetStats::compute(&ds);
+        assert!(stats.pixel_min >= 0.0);
+        assert!(stats.pixel_max <= 1.0);
+        assert!(stats.pixel_std > 0.0);
+    }
+
+    #[test]
+    fn balanced_dataset_has_zero_imbalance() {
+        let ds = SyntheticConfig::new(DatasetSpec::tiny(), 11).generate(16);
+        let stats = DatasetStats::compute(&ds);
+        assert_eq!(stats.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn missing_class_yields_infinite_imbalance() {
+        // 3 samples over 4 classes leaves one class empty.
+        let ds = SyntheticConfig::new(DatasetSpec::tiny(), 11).generate(3);
+        let stats = DatasetStats::compute(&ds);
+        assert!(stats.imbalance().is_infinite());
+    }
+}

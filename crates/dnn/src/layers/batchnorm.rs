@@ -1,0 +1,363 @@
+//! 2-D batch normalization with conversion-time folding.
+//!
+//! Batch norm stabilizes training of the deeper scaled VGGs. It has no
+//! spiking equivalent, so before DNN→SNN conversion it must be *folded*
+//! into the preceding convolution (Rueckauer et al. 2017, Sec. 2.2):
+//! `W' = γ/σ · W`, `b' = γ/σ·(b − μ) + β` — after which the network is
+//! mathematically identical at inference time and converts as usual. See
+//! [`crate::Network::fold_batchnorm`].
+
+use serde::{Deserialize, Serialize};
+use t2fsnn_tensor::{Result, Tensor, TensorError};
+
+/// Per-channel batch normalization for `[N, C, H, W]` activations.
+///
+/// # Examples
+///
+/// ```
+/// use t2fsnn_dnn::layers::BatchNorm2d;
+/// use t2fsnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), t2fsnn_tensor::TensorError> {
+/// let mut bn = BatchNorm2d::new(3);
+/// let x = Tensor::from_fn([2, 3, 4, 4], |i| (i[1] * 10 + i[2]) as f32);
+/// let y = bn.forward(&x, true)?;
+/// assert_eq!(y.dims(), x.dims());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchNorm2d {
+    /// Learnable per-channel scale γ.
+    pub gamma: Tensor,
+    /// Learnable per-channel shift β.
+    pub beta: Tensor,
+    /// Running mean (inference statistics).
+    pub running_mean: Tensor,
+    /// Running variance (inference statistics).
+    pub running_var: Tensor,
+    /// Exponential-average momentum for the running statistics.
+    pub momentum: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    /// Accumulated γ gradient.
+    #[serde(skip)]
+    pub grad_gamma: Option<Tensor>,
+    /// Accumulated β gradient.
+    #[serde(skip)]
+    pub grad_beta: Option<Tensor>,
+    #[serde(skip)]
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps
+    /// (γ = 1, β = 0, running stats at the standard-normal prior).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::ones([channels]),
+            beta: Tensor::zeros([channels]),
+            running_mean: Tensor::zeros([channels]),
+            running_var: Tensor::ones([channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            grad_gamma: None,
+            grad_beta: None,
+            cache: None,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.dims()[0]
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize, usize)> {
+        if input.rank() != 4 || input.dims()[1] != self.channels() {
+            return Err(TensorError::InvalidArgument {
+                op: "BatchNorm2d::forward",
+                message: format!(
+                    "expected [N, {}, H, W], got {}",
+                    self.channels(),
+                    input.shape()
+                ),
+            });
+        }
+        let d = input.dims();
+        Ok((d[0], d[1], d[2], d[3]))
+    }
+
+    /// Forward pass. In training mode uses batch statistics and updates
+    /// the running averages; in eval mode uses the running statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inputs that are not `[N, C, H, W]` with the
+    /// layer's channel count.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        let (n, c, h, w) = self.check_input(input)?;
+        let per_channel = (n * h * w) as f32;
+        let id = input.data();
+        let mut out = vec![0.0f32; id.len()];
+        let mut x_hat = vec![0.0f32; id.len()];
+        let mut inv_stds = vec![0.0f32; c];
+        for ci in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f32;
+                let mut sq = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * h * w;
+                    for &v in &id[base..base + h * w] {
+                        sum += v;
+                        sq += v * v;
+                    }
+                }
+                let mean = sum / per_channel;
+                let var = (sq / per_channel - mean * mean).max(0.0);
+                // Update running statistics.
+                let rm = &mut self.running_mean.data_mut()[ci];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                let rv = &mut self.running_var.data_mut()[ci];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean.data()[ci], self.running_var.data()[ci])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ci] = inv_std;
+            let g = self.gamma.data()[ci];
+            let b = self.beta.data()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for j in base..base + h * w {
+                    let xh = (id[j] - mean) * inv_std;
+                    x_hat[j] = xh;
+                    out[j] = g * xh + b;
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache {
+                x_hat: Tensor::from_vec(input.shape().clone(), x_hat)?,
+                inv_std: inv_stds,
+            });
+        }
+        Tensor::from_vec(input.shape().clone(), out)
+    }
+
+    /// Backward pass: accumulates γ/β gradients and returns the input
+    /// gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before `forward(train=true)`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or(TensorError::InvalidArgument {
+            op: "BatchNorm2d::backward",
+            message: "backward called before forward(train=true)".to_string(),
+        })?;
+        let (n, c, h, w) = self.check_input(grad_out)?;
+        let per_channel = (n * h * w) as f32;
+        let gd = grad_out.data();
+        let xh = cache.x_hat.data();
+        let mut grad_in = vec![0.0f32; gd.len()];
+        let mut ggamma = vec![0.0f32; c];
+        let mut gbeta = vec![0.0f32; c];
+        for ci in 0..c {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xh = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for j in base..base + h * w {
+                    sum_dy += gd[j];
+                    sum_dy_xh += gd[j] * xh[j];
+                }
+            }
+            ggamma[ci] = sum_dy_xh;
+            gbeta[ci] = sum_dy;
+            let g = self.gamma.data()[ci];
+            let inv_std = cache.inv_std[ci];
+            let mean_dy = sum_dy / per_channel;
+            let mean_dy_xh = sum_dy_xh / per_channel;
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for j in base..base + h * w {
+                    grad_in[j] = g * inv_std * (gd[j] - mean_dy - xh[j] * mean_dy_xh);
+                }
+            }
+        }
+        let ggamma = Tensor::from_vec([c], ggamma)?;
+        let gbeta = Tensor::from_vec([c], gbeta)?;
+        match &mut self.grad_gamma {
+            Some(g) => g.add_scaled(&ggamma, 1.0)?,
+            None => self.grad_gamma = Some(ggamma),
+        }
+        match &mut self.grad_beta {
+            Some(g) => g.add_scaled(&gbeta, 1.0)?,
+            None => self.grad_beta = Some(gbeta),
+        }
+        Tensor::from_vec(grad_out.shape().clone(), grad_in)
+    }
+
+    /// The per-channel `(scale, shift)` of the *inference-time* affine map
+    /// `y = scale·x + shift` this layer applies — the quantities folded
+    /// into the preceding convolution at conversion time.
+    pub fn inference_affine(&self) -> (Vec<f32>, Vec<f32>) {
+        let c = self.channels();
+        let mut scales = Vec::with_capacity(c);
+        let mut shifts = Vec::with_capacity(c);
+        for ci in 0..c {
+            let inv_std = 1.0 / (self.running_var.data()[ci] + self.eps).sqrt();
+            let scale = self.gamma.data()[ci] * inv_std;
+            scales.push(scale);
+            shifts.push(self.beta.data()[ci] - scale * self.running_mean.data()[ci]);
+        }
+        (scales, shifts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_input() -> Tensor {
+        Tensor::from_fn([2, 2, 3, 3], |i| {
+            (i[0] * 20 + i[1] * 50 + i[2] * 3 + i[3]) as f32 * 0.1
+        })
+    }
+
+    #[test]
+    fn training_forward_standardizes_channels() {
+        let mut bn = BatchNorm2d::new(2);
+        let y = bn.forward(&sample_input(), true).unwrap();
+        // Per channel: mean ≈ 0, var ≈ 1 (γ=1, β=0).
+        let (n, c, h, w) = (2, 2, 3, 3);
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        vals.push(y.get(&[ni, ci, hi, wi]).unwrap());
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut bn = BatchNorm2d::new(2);
+        // Before any training step, running stats are the (0, 1) prior, so
+        // eval mode is the identity (γ=1, β=0).
+        let x = sample_input();
+        let y = bn.forward(&x, false).unwrap();
+        assert!(y.all_close(&x, 1e-3));
+        // After many training steps the running stats move toward the
+        // batch stats.
+        for _ in 0..200 {
+            bn.forward(&x, true).unwrap();
+        }
+        let y = bn.forward(&x, false).unwrap();
+        assert!(!y.all_close(&x, 1e-3));
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        // With an all-ones upstream gradient the BN input gradient is
+        // identically zero (Σx̂ = 0 per channel), which tests nothing —
+        // use a varying upstream weighting instead: L = Σ gout ⊙ y.
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma = Tensor::from_vec([2], vec![1.5, 0.7]).unwrap();
+        bn.beta = Tensor::from_vec([2], vec![0.1, -0.2]).unwrap();
+        let x = sample_input();
+        let gout = Tensor::from_fn(x.shape().clone(), |i| {
+            ((i[0] + 2 * i[1] + 3 * i[2] + 5 * i[3]) % 7) as f32 * 0.3 - 0.8
+        });
+        let _ = bn.forward(&x, true).unwrap();
+        let gx = bn.backward(&gout).unwrap();
+        let loss = |bn: &mut BatchNorm2d, input: &Tensor| {
+            bn.forward(input, true)
+                .unwrap()
+                .mul(&gout)
+                .unwrap()
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for &flat in &[0usize, 7, 19, 35] {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let fd = (loss(&mut bn.clone(), &xp) - loss(&mut bn.clone(), &xm)) / (2.0 * eps);
+            assert!(
+                (fd - gx.data()[flat]).abs() < 5e-2,
+                "x[{flat}]: fd={fd} analytic={}",
+                gx.data()[flat]
+            );
+        }
+        // dβ = Σ gout per channel (exact).
+        let gb = bn.grad_beta.as_ref().unwrap();
+        for ci in 0..2 {
+            let mut expect = 0.0f32;
+            for ni in 0..2 {
+                for hi in 0..3 {
+                    for wi in 0..3 {
+                        expect += gout.get(&[ni, ci, hi, wi]).unwrap();
+                    }
+                }
+            }
+            assert!((gb.data()[ci] - expect).abs() < 1e-3);
+        }
+        // dγ FD check on both channels.
+        for ci in 0..2 {
+            let mut bp = bn.clone();
+            bp.gamma.data_mut()[ci] += eps;
+            let mut bm = bn.clone();
+            bm.gamma.data_mut()[ci] -= eps;
+            let fd = (loss(&mut bp, &x) - loss(&mut bm, &x)) / (2.0 * eps);
+            let analytic = bn.grad_gamma.as_ref().unwrap().data()[ci];
+            assert!((fd - analytic).abs() < 5e-2, "γ[{ci}]: fd={fd} vs {analytic}");
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut bn = BatchNorm2d::new(1);
+        assert!(bn.backward(&Tensor::zeros([1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros([1, 2, 4, 4]), true).is_err());
+        assert!(bn.forward(&Tensor::zeros([2, 4]), true).is_err());
+    }
+
+    #[test]
+    fn inference_affine_reproduces_eval_forward() {
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma = Tensor::from_vec([2], vec![2.0, 0.5]).unwrap();
+        bn.beta = Tensor::from_vec([2], vec![-1.0, 3.0]).unwrap();
+        bn.running_mean = Tensor::from_vec([2], vec![0.3, -0.2]).unwrap();
+        bn.running_var = Tensor::from_vec([2], vec![4.0, 0.25]).unwrap();
+        let x = sample_input();
+        let y = bn.forward(&x, false).unwrap();
+        let (scales, shifts) = bn.inference_affine();
+        let manual = Tensor::from_fn(x.shape().clone(), |i| {
+            let v = x.get(i).unwrap();
+            scales[i[1]] * v + shifts[i[1]]
+        });
+        assert!(y.all_close(&manual, 1e-4));
+    }
+}

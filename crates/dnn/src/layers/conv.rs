@@ -1,0 +1,211 @@
+//! Trainable 2-D convolution layer.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use t2fsnn_tensor::ops::{conv2d, conv2d_backward, Conv2dSpec};
+use t2fsnn_tensor::{init, Result, Tensor, TensorError};
+
+/// A 2-D convolution with bias, the workhorse of the VGG family.
+///
+/// Weight layout is `[out_channels, in_channels, kh, kw]`; forward input is
+/// `[N, in_channels, H, W]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use t2fsnn_dnn::layers::Conv2d;
+/// use t2fsnn_tensor::{ops::Conv2dSpec, Tensor};
+///
+/// # fn main() -> Result<(), t2fsnn_tensor::TensorError> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(&mut rng, 3, 8, 3, Conv2dSpec::new(1, 1));
+/// let out = conv.forward(&Tensor::zeros([2, 3, 16, 16]), false)?;
+/// assert_eq!(out.dims(), &[2, 8, 16, 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Filter bank, `[O, I, K, K]`.
+    pub weight: Tensor,
+    /// Per-output-channel bias, `[O]`.
+    pub bias: Tensor,
+    /// Stride / padding configuration.
+    pub spec: Conv2dSpec,
+    /// Accumulated weight gradient (same shape as `weight`).
+    #[serde(skip)]
+    pub grad_weight: Option<Tensor>,
+    /// Accumulated bias gradient (same shape as `bias`).
+    #[serde(skip)]
+    pub grad_bias: Option<Tensor>,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a He-initialized convolution with square `kernel`×`kernel`
+    /// filters.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: init::he_normal(rng, [out_channels, in_channels, kernel, kernel], fan_in),
+            bias: Tensor::zeros([out_channels]),
+            spec,
+            grad_weight: None,
+            grad_bias: None,
+            cached_input: None,
+        }
+    }
+
+    /// Creates a convolution from explicit weights (used by tests and by
+    /// the DNN→SNN conversion round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weight` is not rank 4 or `bias` length does not
+    /// match the output channel count.
+    pub fn from_parts(weight: Tensor, bias: Tensor, spec: Conv2dSpec) -> Result<Self> {
+        if weight.rank() != 4 || bias.rank() != 1 || bias.dims()[0] != weight.dims()[0] {
+            return Err(TensorError::ShapeMismatch {
+                op: "Conv2d::from_parts",
+                lhs: weight.shape().clone(),
+                rhs: bias.shape().clone(),
+            });
+        }
+        Ok(Conv2d {
+            weight,
+            bias,
+            spec,
+            grad_weight: None,
+            grad_bias: None,
+            cached_input: None,
+        })
+    }
+
+    /// Forward pass. With `train == true` the input is cached for
+    /// [`Conv2d::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying convolution.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        conv2d(input, &self.weight, &self.bias, self.spec)
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no forward pass with `train == true` preceded
+    /// this call, or on shape inconsistencies.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or(TensorError::InvalidArgument {
+            op: "Conv2d::backward",
+            message: "backward called before forward(train=true)".to_string(),
+        })?;
+        let (gi, gw, gb) = conv2d_backward(input, &self.weight, grad_out, self.spec)?;
+        match &mut self.grad_weight {
+            Some(g) => g.add_scaled(&gw, 1.0)?,
+            None => self.grad_weight = Some(gw),
+        }
+        match &mut self.grad_bias {
+            Some(g) => g.add_scaled(&gb, 1.0)?,
+            None => self.grad_bias = Some(gb),
+        }
+        Ok(gi)
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Multiply-accumulate count for one input of spatial size `h × w`
+    /// (used by the Table III cost analysis).
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let k = self.weight.dims()[2];
+        let oh = self.spec.output_dim(h, k) as u64;
+        let ow = self.spec.output_dim(w, k) as u64;
+        oh * ow
+            * self.out_channels() as u64
+            * self.in_channels() as u64
+            * (k * k) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut conv = Conv2d::new(&mut rng(), 3, 5, 3, Conv2dSpec::new(1, 1));
+        let out = conv.forward(&Tensor::zeros([2, 3, 8, 8]), false).unwrap();
+        assert_eq!(out.dims(), &[2, 5, 8, 8]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut conv = Conv2d::new(&mut rng(), 1, 1, 3, Conv2dSpec::default());
+        assert!(conv.backward(&Tensor::zeros([1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn backward_accumulates_gradients() {
+        let mut conv = Conv2d::new(&mut rng(), 1, 2, 3, Conv2dSpec::new(1, 1));
+        let x = Tensor::ones([1, 1, 4, 4]);
+        let y = conv.forward(&x, true).unwrap();
+        let g = Tensor::ones(y.shape().clone());
+        conv.backward(&g).unwrap();
+        let first = conv.grad_weight.clone().unwrap();
+        conv.forward(&x, true).unwrap();
+        conv.backward(&g).unwrap();
+        let doubled = conv.grad_weight.clone().unwrap();
+        assert!(doubled.all_close(&first.scale(2.0), 1e-5));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(Conv2d::from_parts(
+            Tensor::zeros([2, 1, 3, 3]),
+            Tensor::zeros([3]),
+            Conv2dSpec::default()
+        )
+        .is_err());
+        assert!(Conv2d::from_parts(
+            Tensor::zeros([2, 1, 3, 3]),
+            Tensor::zeros([2]),
+            Conv2dSpec::default()
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn macs_formula() {
+        let conv = Conv2d::new(&mut rng(), 3, 8, 3, Conv2dSpec::new(1, 1));
+        // 16×16 output positions × 8 out × 3 in × 9 kernel
+        assert_eq!(conv.macs(16, 16), 16 * 16 * 8 * 3 * 9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Inverted dropout for regularizing the source DNN.
+//!
+//! Dropout is inference-transparent (identity at eval time), so the
+//! DNN→SNN conversion simply skips it — but training the deeper scaled
+//! VGGs on small synthetic datasets benefits from it.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use t2fsnn_tensor::{Result, Tensor, TensorError};
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; at eval time the
+/// layer is the identity.
+///
+/// The RNG state is derived from `(seed, step)` so runs are deterministic
+/// and the layer serializes cleanly.
+///
+/// # Examples
+///
+/// ```
+/// use t2fsnn_dnn::layers::Dropout;
+/// use t2fsnn_tensor::Tensor;
+///
+/// let mut drop = Dropout::new(0.5, 7);
+/// let x = Tensor::ones([4, 8]);
+/// let eval = drop.forward(&x, false);
+/// assert_eq!(eval, x); // identity at inference
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    /// Base RNG seed.
+    pub seed: u64,
+    step: u64,
+    #[serde(skip)]
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            p,
+            seed,
+            step: 0,
+            mask: None,
+        }
+    }
+
+    /// Forward pass. Samples a fresh mask when `train` is set; identity
+    /// otherwise.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(self.step));
+        self.step = self.step.wrapping_add(1);
+        let keep_scale = 1.0 / (1.0 - self.p);
+        let mask = Tensor::from_vec(
+            input.shape().clone(),
+            (0..input.numel())
+                .map(|_| {
+                    if rng.gen::<f32>() < self.p {
+                        0.0
+                    } else {
+                        keep_scale
+                    }
+                })
+                .collect(),
+        )
+        .expect("sized by construction");
+        let out = input.mul(&mask).expect("same shape");
+        self.mask = Some(mask);
+        out
+    }
+
+    /// Backward pass: routes gradient through the surviving units.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before `forward(train=true)`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            Some(mask) => grad_out.mul(mask),
+            None => Err(TensorError::InvalidArgument {
+                op: "Dropout::backward",
+                message: "backward called before forward(train=true)".to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut drop = Dropout::new(0.9, 1);
+        let x = Tensor::from_fn([3, 3], |i| (i[0] + i[1]) as f32);
+        assert_eq!(drop.forward(&x, false), x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut drop = Dropout::new(0.5, 2);
+        let x = Tensor::ones([64, 64]);
+        let y = drop.forward(&x, true);
+        // Inverted dropout: mean stays ≈ 1.
+        assert!((y.mean() - 1.0).abs() < 0.1, "mean {}", y.mean());
+        // Roughly half the units are zero.
+        let zeros = y.iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / y.numel() as f32;
+        assert!((frac - 0.5).abs() < 0.1, "zero fraction {frac}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut drop = Dropout::new(0.5, 3);
+        let x = Tensor::ones([8, 8]);
+        let y = drop.forward(&x, true);
+        let g = drop.backward(&Tensor::ones([8, 8])).unwrap();
+        // Gradient is zero exactly where the output was zeroed.
+        for (gy, gg) in y.iter().zip(g.iter()) {
+            assert_eq!(*gy == 0.0, *gg == 0.0);
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut drop = Dropout::new(0.3, 4);
+        assert!(drop.backward(&Tensor::ones([2])).is_err());
+        // Eval-mode forward does not arm backward either.
+        drop.forward(&Tensor::ones([2]), false);
+        assert!(drop.backward(&Tensor::ones([2])).is_err());
+    }
+
+    #[test]
+    fn masks_differ_across_steps() {
+        let mut drop = Dropout::new(0.5, 5);
+        let x = Tensor::ones([32]);
+        let a = drop.forward(&x, true);
+        let b = drop.forward(&x, true);
+        assert_ne!(a, b, "each training step should sample a fresh mask");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn p_of_one_panics() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Trainable fully connected layer.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use t2fsnn_tensor::ops::{matmul, matmul_a_bt, matmul_at_b};
+use t2fsnn_tensor::{init, Result, Tensor, TensorError};
+
+/// A fully connected (dense) layer: `y = x · Wᵀ + b`.
+///
+/// Weight layout is `[out_features, in_features]` so that a row of `W` is
+/// one output neuron's fan-in — the layout the SNN conversion expects.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use t2fsnn_dnn::layers::Linear;
+/// use t2fsnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), t2fsnn_tensor::TensorError> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let mut fc = Linear::new(&mut rng, 32, 10);
+/// let out = fc.forward(&Tensor::zeros([4, 32]), false)?;
+/// assert_eq!(out.dims(), &[4, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weights, `[out_features, in_features]`.
+    pub weight: Tensor,
+    /// Bias, `[out_features]`.
+    pub bias: Tensor,
+    /// Accumulated weight gradient.
+    #[serde(skip)]
+    pub grad_weight: Option<Tensor>,
+    /// Accumulated bias gradient.
+    #[serde(skip)]
+    pub grad_bias: Option<Tensor>,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a He-initialized dense layer.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        Linear {
+            weight: init::he_normal(rng, [out_features, in_features], in_features),
+            bias: Tensor::zeros([out_features]),
+            grad_weight: None,
+            grad_bias: None,
+            cached_input: None,
+        }
+    }
+
+    /// Creates a dense layer from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `weight` is not rank 2 or `bias` length does not
+    /// match the output feature count.
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Result<Self> {
+        if weight.rank() != 2 || bias.rank() != 1 || bias.dims()[0] != weight.dims()[0] {
+            return Err(TensorError::ShapeMismatch {
+                op: "Linear::from_parts",
+                lhs: weight.shape().clone(),
+                rhs: bias.shape().clone(),
+            });
+        }
+        Ok(Linear {
+            weight,
+            bias,
+            grad_weight: None,
+            grad_bias: None,
+            cached_input: None,
+        })
+    }
+
+    /// Forward pass for a `[batch, in_features]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the input's feature dimension disagrees.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        // y = x · Wᵀ
+        let mut out = matmul_a_bt(input, &self.weight)?;
+        let (n, o) = (out.dims()[0], out.dims()[1]);
+        let od = out.data_mut();
+        for i in 0..n {
+            for j in 0..o {
+                od[i * o + j] += self.bias.data()[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no forward pass with `train == true` preceded
+    /// this call.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or(TensorError::InvalidArgument {
+            op: "Linear::backward",
+            message: "backward called before forward(train=true)".to_string(),
+        })?;
+        // dW = goutᵀ · x ; db = Σ_batch gout ; dx = gout · W
+        let gw = matmul_at_b(grad_out, input)?;
+        match &mut self.grad_weight {
+            Some(g) => g.add_scaled(&gw, 1.0)?,
+            None => self.grad_weight = Some(gw),
+        }
+        let (n, o) = (grad_out.dims()[0], grad_out.dims()[1]);
+        let mut gb = vec![0.0f32; o];
+        for i in 0..n {
+            for j in 0..o {
+                gb[j] += grad_out.data()[i * o + j];
+            }
+        }
+        let gb = Tensor::from_vec([o], gb)?;
+        match &mut self.grad_bias {
+            Some(g) => g.add_scaled(&gb, 1.0)?,
+            None => self.grad_bias = Some(gb),
+        }
+        matmul(grad_out, &self.weight)
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Multiply-accumulate count per input sample.
+    pub fn macs(&self) -> u64 {
+        (self.out_features() * self.in_features()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn forward_applies_affine_map() {
+        let weight = Tensor::from_vec([2, 3], vec![1., 0., 0., 0., 1., 0.]).unwrap();
+        let bias = Tensor::from_vec([2], vec![10.0, 20.0]).unwrap();
+        let mut fc = Linear::from_parts(weight, bias).unwrap();
+        let x = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let y = fc.forward(&x, false).unwrap();
+        assert_eq!(y.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut fc = Linear::new(&mut rng(), 4, 3);
+        let x = Tensor::from_vec([2, 4], (0..8).map(|i| i as f32 * 0.1).collect()).unwrap();
+        let y = fc.forward(&x, true).unwrap();
+        let gout = Tensor::ones(y.shape().clone());
+        let gx = fc.backward(&gout).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |fc: &mut Linear, x: &Tensor| fc.forward(x, false).unwrap().sum();
+        for flat in 0..fc.weight.numel() {
+            let mut p = fc.clone();
+            p.weight.data_mut()[flat] += eps;
+            let mut m = fc.clone();
+            m.weight.data_mut()[flat] -= eps;
+            let fd = (loss(&mut p, &x) - loss(&mut m, &x)) / (2.0 * eps);
+            let analytic = fc.grad_weight.as_ref().unwrap().data()[flat];
+            assert!((fd - analytic).abs() < 1e-2, "w[{flat}]: {fd} vs {analytic}");
+        }
+        for flat in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let fd = (loss(&mut fc.clone(), &xp) - loss(&mut fc.clone(), &xm)) / (2.0 * eps);
+            assert!((fd - gx.data()[flat]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut fc = Linear::new(&mut rng(), 2, 2);
+        assert!(fc.backward(&Tensor::zeros([1, 2])).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(Linear::from_parts(Tensor::zeros([2, 3]), Tensor::zeros([3])).is_err());
+        assert!(Linear::from_parts(Tensor::zeros([3]), Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn macs_counts_weight_size() {
+        let fc = Linear::new(&mut rng(), 32, 10);
+        assert_eq!(fc.macs(), 320);
+    }
+}

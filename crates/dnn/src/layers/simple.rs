@@ -1,0 +1,262 @@
+//! Parameter-free layers: ReLU, pooling and flatten.
+
+use serde::{Deserialize, Serialize};
+use t2fsnn_tensor::ops::{
+    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, relu, relu_backward,
+};
+use t2fsnn_tensor::{Result, Shape, Tensor, TensorError};
+
+/// Rectified linear unit layer.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+
+    /// Forward pass; caches the input when `train` is set.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        relu(input)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before `forward(train=true)` or on shape
+    /// mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or(TensorError::InvalidArgument {
+            op: "Relu::backward",
+            message: "backward called before forward(train=true)".to_string(),
+        })?;
+        relu_backward(input, grad_out)
+    }
+}
+
+/// Which pooling operator a [`Pool`] layer applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Average pooling — linear, so it converts exactly to an SNN.
+    Avg,
+    /// Max pooling — kept for VGG-16 architectural fidelity.
+    Max,
+}
+
+/// Pooling layer over square windows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pool {
+    /// Operator variant.
+    pub kind: PoolKind,
+    /// Window edge length.
+    pub window: usize,
+    /// Stride between windows.
+    pub stride: usize,
+    #[serde(skip)]
+    cached: Option<PoolCache>,
+}
+
+#[derive(Debug, Clone)]
+enum PoolCache {
+    Avg { input_shape: Vec<usize> },
+    Max { input_shape: Vec<usize>, argmax: Vec<usize> },
+}
+
+impl Pool {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(kind: PoolKind, window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "pool window/stride must be positive");
+        Pool {
+            kind,
+            window,
+            stride,
+            cached: None,
+        }
+    }
+
+    /// The conventional VGG down-sampling pool: 2×2, stride 2.
+    pub fn down2(kind: PoolKind) -> Self {
+        Pool::new(kind, 2, 2)
+    }
+
+    /// Forward pass; caches routing state when `train` is set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pooling shape errors.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        match self.kind {
+            PoolKind::Avg => {
+                let out = avg_pool2d(input, self.window, self.stride)?;
+                if train {
+                    self.cached = Some(PoolCache::Avg {
+                        input_shape: input.dims().to_vec(),
+                    });
+                }
+                Ok(out)
+            }
+            PoolKind::Max => {
+                let (out, argmax) = max_pool2d(input, self.window, self.stride)?;
+                if train {
+                    self.cached = Some(PoolCache::Max {
+                        input_shape: input.dims().to_vec(),
+                        argmax,
+                    });
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before `forward(train=true)`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match self.cached.as_ref() {
+            Some(PoolCache::Avg { input_shape }) => {
+                avg_pool2d_backward(input_shape, self.window, self.stride, grad_out)
+            }
+            Some(PoolCache::Max { input_shape, argmax }) => {
+                max_pool2d_backward(input_shape, argmax, grad_out)
+            }
+            None => Err(TensorError::InvalidArgument {
+                op: "Pool::backward",
+                message: "backward called before forward(train=true)".to_string(),
+            }),
+        }
+    }
+}
+
+/// Flattens `[N, ...]` to `[N, prod(...)]` for the transition from
+/// convolutional to dense layers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Flatten {
+    #[serde(skip)]
+    cached_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+
+    /// Forward pass; remembers the input shape when `train` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank-0 input.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if input.rank() == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "Flatten::forward",
+                message: "cannot flatten a scalar".to_string(),
+            });
+        }
+        if train {
+            self.cached_shape = Some(input.shape().clone());
+        }
+        let n = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        input.reshape([n, rest])
+    }
+
+    /// Backward pass: restores the original shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before `forward(train=true)`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape = self.cached_shape.as_ref().ok_or(TensorError::InvalidArgument {
+            op: "Flatten::backward",
+            message: "backward called before forward(train=true)".to_string(),
+        })?;
+        grad_out.reshape(shape.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_round_trip() {
+        let mut layer = Relu::new();
+        let x = Tensor::from_vec([4], vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        let y = layer.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = layer.backward(&Tensor::ones([4])).unwrap();
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_backward_requires_forward() {
+        let mut layer = Relu::new();
+        assert!(layer.backward(&Tensor::ones([2])).is_err());
+    }
+
+    #[test]
+    fn avg_pool_layer_halves_spatial_dims() {
+        let mut pool = Pool::down2(PoolKind::Avg);
+        let x = Tensor::ones([1, 2, 8, 8]);
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 4, 4]);
+        let g = pool.backward(&Tensor::ones([1, 2, 4, 4])).unwrap();
+        assert_eq!(g.dims(), &[1, 2, 8, 8]);
+        assert!((g.sum() - 16.0 * 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn max_pool_layer_routes_gradient() {
+        let mut pool = Pool::down2(PoolKind::Max);
+        let x = Tensor::from_fn([1, 1, 4, 4], |i| (i[2] * 4 + i[3]) as f32);
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+        let g = pool.backward(&Tensor::ones([1, 1, 2, 2])).unwrap();
+        assert_eq!(g.sum(), 4.0);
+        assert_eq!(g.get(&[0, 0, 3, 3]), Some(1.0));
+    }
+
+    #[test]
+    fn pool_backward_requires_forward() {
+        let mut pool = Pool::down2(PoolKind::Avg);
+        assert!(pool.backward(&Tensor::ones([1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pool_window_panics() {
+        let _ = Pool::new(PoolKind::Avg, 0, 1);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut flat = Flatten::new();
+        let x = Tensor::from_fn([2, 3, 2, 2], |i| i[0] as f32);
+        let y = flat.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let g = flat.backward(&y).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert!(flat.forward(&Tensor::scalar(1.0), false).is_err());
+    }
+
+    #[test]
+    fn flatten_backward_requires_forward() {
+        let mut flat = Flatten::new();
+        assert!(flat.backward(&Tensor::ones([1, 4])).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the DNN substrate: analytic gradients versus
+//! finite differences on randomized shapes, and conversion invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use t2fsnn_dnn::layers::{Conv2d, Linear};
+use t2fsnn_dnn::{normalize_for_snn, Network};
+use t2fsnn_tensor::ops::Conv2dSpec;
+use t2fsnn_tensor::Tensor;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conv_weight_gradient_matches_finite_difference(
+        seed in 0u64..1000,
+        in_ch in 1usize..3,
+        out_ch in 1usize..3,
+        hw in 4usize..7,
+        padding in 0usize..2,
+    ) {
+        let spec = Conv2dSpec::new(1, padding);
+        let mut conv = Conv2d::new(&mut rng(seed), in_ch, out_ch, 3, spec);
+        let x = Tensor::from_fn([1, in_ch, hw, hw], |i| {
+            ((i[1] * 13 + i[2] * 5 + i[3]) % 7) as f32 * 0.1 - 0.2
+        });
+        let y = conv.forward(&x, true).unwrap();
+        conv.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let analytic = conv.grad_weight.clone().unwrap();
+
+        let eps = 1e-2f32;
+        // Check a handful of coordinates.
+        let total = conv.weight.numel();
+        for probe in 0..4usize {
+            let flat = (probe * 31) % total;
+            let mut wp = conv.clone();
+            wp.weight.data_mut()[flat] += eps;
+            let mut wm = conv.clone();
+            wm.weight.data_mut()[flat] -= eps;
+            let fd = (wp.forward(&x, false).unwrap().sum()
+                - wm.forward(&x, false).unwrap().sum())
+                / (2.0 * eps);
+            prop_assert!(
+                (fd - analytic.data()[flat]).abs() < 5e-2,
+                "w[{flat}]: fd={fd} analytic={}",
+                analytic.data()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn linear_input_gradient_matches_finite_difference(
+        seed in 0u64..1000,
+        in_f in 1usize..8,
+        out_f in 1usize..6,
+        batch in 1usize..4,
+    ) {
+        let mut fc = Linear::new(&mut rng(seed), in_f, out_f);
+        let x = Tensor::from_fn([batch, in_f], |i| (i[0] * 3 + i[1]) as f32 * 0.1 - 0.2);
+        let y = fc.forward(&x, true).unwrap();
+        let gx = fc.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let eps = 1e-2f32;
+        for flat in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let fd = (fc.forward(&xp, false).unwrap().sum()
+                - fc.forward(&xm, false).unwrap().sum())
+                / (2.0 * eps);
+            prop_assert!((fd - gx.data()[flat]).abs() < 5e-2);
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_argmax_on_random_mlps(
+        seed in 0u64..1000,
+        hidden in 2usize..10,
+    ) {
+        // Build an arbitrary 2-layer ReLU MLP; normalization must never
+        // change predictions (positive-homogeneity of ReLU).
+        let mut r = rng(seed);
+        let mut net = Network::new();
+        net.push("fc1", Linear::new(&mut r, 6, hidden));
+        net.push("relu1", t2fsnn_dnn::layers::Relu::new());
+        net.push("fc2", Linear::new(&mut r, hidden, 3));
+        let x = Tensor::from_fn([5, 6], |i| ((i[0] * 7 + i[1] * 3) % 10) as f32 * 0.1);
+        let before = net.predict(&x).unwrap();
+        normalize_for_snn(&mut net, &x, 1.0).unwrap();
+        let after = net.predict(&x).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn normalized_activations_bounded(seed in 0u64..1000, hidden in 2usize..10) {
+        let mut r = rng(seed);
+        let mut net = Network::new();
+        net.push("fc1", Linear::new(&mut r, 6, hidden));
+        net.push("relu1", t2fsnn_dnn::layers::Relu::new());
+        net.push("fc2", Linear::new(&mut r, hidden, 3));
+        let x = Tensor::from_fn([5, 6], |i| ((i[0] * 7 + i[1] * 3) % 10) as f32 * 0.1);
+        normalize_for_snn(&mut net, &x, 1.0).unwrap();
+        let acts = t2fsnn_dnn::weighted_layer_activations(&mut net, &x).unwrap();
+        for (idx, act) in acts {
+            prop_assert!(
+                act.max() <= 1.0 + 1e-4,
+                "layer {idx}: max {} after normalization",
+                act.max()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_forward_equals_per_sample_forward(
+        seed in 0u64..1000,
+        batch in 2usize..5,
+    ) {
+        // The network must treat batch rows independently.
+        let mut r = rng(seed);
+        let mut net = Network::new();
+        net.push("fc1", Linear::new(&mut r, 4, 6));
+        net.push("relu1", t2fsnn_dnn::layers::Relu::new());
+        net.push("fc2", Linear::new(&mut r, 6, 2));
+        let x = Tensor::from_fn([batch, 4], |i| (i[0] * 4 + i[1]) as f32 * 0.07);
+        let full = net.forward(&x, false).unwrap();
+        for b in 0..batch {
+            let row = x.index_axis0(b).unwrap().reshape([1, 4]).unwrap();
+            let single = net.forward(&row, false).unwrap();
+            let full_row = full.index_axis0(b).unwrap();
+            prop_assert!(single.reshape([2]).unwrap().all_close(&full_row, 1e-5));
+        }
+    }
+}

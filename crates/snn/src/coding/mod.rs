@@ -1,0 +1,87 @@
+//! Neural coding schemes (Fig. 1 of the paper).
+//!
+//! A [`Coding`] defines how analog values become spike trains and back:
+//! how the input image drives the first layer at each time step, how a
+//! hidden IF population converts membrane potential into outgoing spikes,
+//! and how bias currents are scaled so that decoded values stay calibrated.
+//!
+//! Implementations: [`RateCoding`] (Diehl/Rueckauer-style), [`PhaseCoding`]
+//! (weighted spikes, Kim et al. 2018), [`BurstCoding`] (Park et al. DAC
+//! 2019) and [`ReverseCoding`] (TDSNN-like, for the Table III cost
+//! analysis). The paper's own contribution — TTFS with dynamic
+//! threshold/dendrite kernels — lives in the `t2fsnn` core crate.
+
+mod burst;
+mod phase;
+mod rate;
+mod reverse;
+
+pub use burst::BurstCoding;
+pub use phase::PhaseCoding;
+pub use rate::{RateCoding, RateInput};
+pub use reverse::{ReverseCoding, TdsnnCostModel};
+
+use t2fsnn_tensor::Tensor;
+
+/// A neural coding scheme for the clock-driven simulator.
+///
+/// The simulator calls [`Coding::encode`] once per time step to obtain the
+/// input drive, then alternates [`propagate → integrate → fire`] through
+/// the layer stack. All state beyond membrane potentials (e.g. phase
+/// counters) lives in the coding object itself.
+pub trait Coding {
+    /// Short name used in reports (e.g. `"rate"`).
+    fn name(&self) -> &'static str;
+
+    /// Clears any per-inference state (refractory masks, phase counters).
+    /// Called by the simulator before each run. Stateless codings keep the
+    /// default no-op.
+    fn reset(&mut self) {}
+
+    /// Input drive injected into the first op at time step `t`, plus the
+    /// number of input spikes this step contributes to the spike count
+    /// (0 for analog current injection).
+    fn encode(&mut self, images: &Tensor, t: usize) -> (Tensor, u64);
+
+    /// Converts a hidden population's membrane potential into outgoing
+    /// spikes at time `t`. Returns `(spike_tensor, spike_count)` and
+    /// resets the potential according to the scheme's rule.
+    fn fire(&mut self, potential: &mut Tensor, t: usize, layer: usize) -> (Tensor, u64);
+
+    /// Scale applied to bias currents at time `t` so that per-decoding-
+    /// window bias contributions match the DNN bias.
+    fn bias_scale(&self, t: usize) -> f32;
+
+    /// Whether one synaptic event costs a multiply in addition to an add
+    /// (Table III: rate coding is accumulate-only; weighted-spike schemes
+    /// multiply by the spike weight, possibly via lookup table).
+    fn synop_needs_mult(&self) -> bool;
+
+    /// Number of time steps after which the output accumulator represents
+    /// one full decoded value (used to normalize output potentials).
+    fn decode_window(&self) -> usize;
+
+    /// If the input encoding is periodic in `t` with this period, the
+    /// simulator may cache the (deterministic) input-layer drive per phase
+    /// and replay it — the arithmetic still *counts* every step, it is
+    /// just not recomputed. `None` disables caching (stochastic or
+    /// one-shot inputs).
+    fn input_period(&self) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All bundled codings must expose stable names — experiment tables key
+    /// on them.
+    #[test]
+    fn coding_names_are_stable() {
+        assert_eq!(RateCoding::new().name(), "rate");
+        assert_eq!(PhaseCoding::new(8).name(), "phase");
+        assert_eq!(BurstCoding::new(5).name(), "burst");
+        assert_eq!(ReverseCoding::new(16).name(), "reverse");
+    }
+}

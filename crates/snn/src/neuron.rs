@@ -1,0 +1,169 @@
+//! Integrate-and-fire neuron state arrays.
+
+use serde::{Deserialize, Serialize};
+use t2fsnn_tensor::{Result, Tensor, TensorError};
+
+/// Membrane-potential state for one layer's population of IF neurons
+/// (Eq. 3 of the paper: `u(t) = u(t-1) + z(t)`).
+///
+/// The array covers a whole batch: shape `[N, ...neurons]`.
+///
+/// # Examples
+///
+/// ```
+/// use t2fsnn_snn::IfState;
+/// use t2fsnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), t2fsnn_tensor::TensorError> {
+/// let mut state = IfState::new([1, 3]);
+/// state.integrate(&Tensor::from_vec([1, 3], vec![0.5, 1.5, 2.5])?)?;
+/// let (spikes, count) = state.fire_subtract(1.0);
+/// assert_eq!(count, 2); // the 1.5 and 2.5 neurons fire
+/// assert_eq!(spikes.data(), &[0.0, 1.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IfState {
+    potential: Tensor,
+}
+
+impl IfState {
+    /// Creates a zero-potential population with the given `[N, ...]` shape.
+    pub fn new(shape: impl Into<t2fsnn_tensor::Shape>) -> Self {
+        IfState {
+            potential: Tensor::zeros(shape),
+        }
+    }
+
+    /// Current membrane potentials.
+    pub fn potential(&self) -> &Tensor {
+        &self.potential
+    }
+
+    /// Mutable membrane potentials (used by codings with custom reset
+    /// rules).
+    pub fn potential_mut(&mut self) -> &mut Tensor {
+        &mut self.potential
+    }
+
+    /// Adds the postsynaptic drive `z` to the membrane (Eq. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `z`'s shape differs from the population shape.
+    pub fn integrate(&mut self, z: &Tensor) -> Result<()> {
+        if z.shape() != self.potential.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "IfState::integrate",
+                lhs: self.potential.shape().clone(),
+                rhs: z.shape().clone(),
+            });
+        }
+        self.potential.add_scaled(z, 1.0)
+    }
+
+    /// Fires every neuron whose potential reaches `theta`, resetting by
+    /// subtraction (the Rueckauer conversion rule, which avoids quantization
+    /// bias). Returns the binary spike tensor and the spike count.
+    pub fn fire_subtract(&mut self, theta: f32) -> (Tensor, u64) {
+        let mut count = 0u64;
+        let mut spikes = Tensor::zeros(self.potential.shape().clone());
+        let sd = spikes.data_mut();
+        for (u, s) in self.potential.data_mut().iter_mut().zip(sd.iter_mut()) {
+            if *u >= theta {
+                *u -= theta;
+                *s = 1.0;
+                count += 1;
+            }
+        }
+        (spikes, count)
+    }
+
+    /// Resets all potentials to zero (start of a new inference).
+    pub fn reset(&mut self) {
+        self.potential.map_inplace(|_| 0.0);
+    }
+
+    /// Number of neurons (including the batch axis).
+    pub fn len(&self) -> usize {
+        self.potential.numel()
+    }
+
+    /// Returns `true` for an empty population.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrate_accumulates() {
+        let mut s = IfState::new([1, 2]);
+        let z = Tensor::from_vec([1, 2], vec![0.3, 0.6]).unwrap();
+        s.integrate(&z).unwrap();
+        s.integrate(&z).unwrap();
+        assert!(s.potential().all_close(
+            &Tensor::from_vec([1, 2], vec![0.6, 1.2]).unwrap(),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn integrate_validates_shape() {
+        let mut s = IfState::new([1, 2]);
+        assert!(s.integrate(&Tensor::zeros([2, 2])).is_err());
+    }
+
+    #[test]
+    fn fire_subtract_keeps_residual() {
+        let mut s = IfState::new([1, 1]);
+        s.integrate(&Tensor::from_vec([1, 1], vec![1.7]).unwrap()).unwrap();
+        let (spikes, n) = s.fire_subtract(1.0);
+        assert_eq!(n, 1);
+        assert_eq!(spikes.data(), &[1.0]);
+        assert!((s.potential().data()[0] - 0.7).abs() < 1e-6);
+        // Second step without new input: no spike.
+        let (_, n) = s.fire_subtract(1.0);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn rate_over_window_approximates_input() {
+        // Constant drive x < 1 should make the neuron fire at rate ≈ x.
+        let mut s = IfState::new([1, 1]);
+        let x = 0.37f32;
+        let drive = Tensor::from_vec([1, 1], vec![x]).unwrap();
+        let steps = 1000;
+        let mut total = 0u64;
+        for _ in 0..steps {
+            s.integrate(&drive).unwrap();
+            let (_, n) = s.fire_subtract(1.0);
+            total += n;
+        }
+        let rate = total as f32 / steps as f32;
+        assert!((rate - x).abs() < 0.01, "rate {rate} vs {x}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = IfState::new([2, 2]);
+        s.integrate(&Tensor::ones([2, 2])).unwrap();
+        s.reset();
+        assert_eq!(s.potential().sum(), 0.0);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn negative_potential_never_fires() {
+        let mut s = IfState::new([1, 1]);
+        s.integrate(&Tensor::from_vec([1, 1], vec![-5.0]).unwrap()).unwrap();
+        let (_, n) = s.fire_subtract(1.0);
+        assert_eq!(n, 0);
+        assert_eq!(s.potential().data()[0], -5.0);
+    }
+}

@@ -1,0 +1,498 @@
+//! The clock-driven simulation engine.
+//!
+//! Simulates a converted [`SnnNetwork`] under any [`Coding`] over a batch
+//! of images, recording everything the paper's evaluation needs: the
+//! accuracy-versus-time curve (Fig. 6), per-layer spike counts (Table I/II),
+//! synaptic operation counts (Table III extension) and latency.
+
+use serde::{Deserialize, Serialize};
+use t2fsnn_tensor::{Result, Tensor, TensorError};
+
+use crate::coding::Coding;
+use crate::network::{SnnNetwork, SnnOp};
+use crate::neuron::IfState;
+
+/// Engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Total simulated time steps.
+    pub max_steps: usize,
+    /// Sample the accuracy curve every this many steps (also the curve's
+    /// resolution for latency measurements).
+    pub record_every: usize,
+}
+
+impl SimConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field is zero.
+    pub fn new(max_steps: usize, record_every: usize) -> Self {
+        assert!(max_steps > 0 && record_every > 0, "sim config must be positive");
+        SimConfig {
+            max_steps,
+            record_every,
+        }
+    }
+}
+
+/// One sample of the accuracy-versus-time curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Time step (1-based: accuracy after this many steps).
+    pub step: usize,
+    /// Classification accuracy over the simulated batch.
+    pub accuracy: f32,
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Name of the coding scheme.
+    pub coding: String,
+    /// Number of images simulated.
+    pub images: usize,
+    /// Steps actually simulated.
+    pub steps: usize,
+    /// Accuracy curve, sampled every `record_every` steps.
+    pub curve: Vec<CurvePoint>,
+    /// Final accuracy (last curve point).
+    pub final_accuracy: f32,
+    /// `(layer_name, spikes)` for every hidden weighted layer, summed over
+    /// the batch and all steps.
+    pub spikes_per_layer: Vec<(String, u64)>,
+    /// Spikes emitted by the input encoding (0 for analog current).
+    pub input_spikes: u64,
+    /// Synaptic accumulate operations performed.
+    pub synop_adds: u64,
+    /// Synaptic multiply operations performed (0 for unweighted-spike
+    /// codings).
+    pub synop_mults: u64,
+}
+
+impl SimOutcome {
+    /// Total spikes: input encoding plus all hidden layers.
+    pub fn total_spikes(&self) -> u64 {
+        self.input_spikes + self.spikes_per_layer.iter().map(|&(_, s)| s).sum::<u64>()
+    }
+
+    /// Average spikes per image.
+    pub fn spikes_per_image(&self) -> f64 {
+        if self.images == 0 {
+            0.0
+        } else {
+            self.total_spikes() as f64 / self.images as f64
+        }
+    }
+
+    /// Latency: the first recorded step at which accuracy reaches
+    /// `final_accuracy - tolerance`. This is the "time to (near-)final
+    /// accuracy" notion behind the paper's latency columns.
+    pub fn latency(&self, tolerance: f32) -> usize {
+        let target = self.final_accuracy - tolerance;
+        self.curve
+            .iter()
+            .find(|p| p.accuracy >= target)
+            .map(|p| p.step)
+            .unwrap_or(self.steps)
+    }
+}
+
+/// Simulates `net` under `coding` for a batch of images.
+///
+/// `images` is `[N, C, H, W]` with unit-range pixels; `labels` has length
+/// `N`. The final weighted layer never fires — its membrane potential
+/// accumulates and its argmax is the prediction (standard conversion
+/// practice for the output layer).
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent or the label count differs
+/// from the image count.
+pub fn simulate(
+    net: &SnnNetwork,
+    coding: &mut dyn Coding,
+    images: &Tensor,
+    labels: &[usize],
+    config: &SimConfig,
+) -> Result<SimOutcome> {
+    if images.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "simulate",
+            message: format!("expected [N, C, H, W] images, got {}", images.shape()),
+        });
+    }
+    let n = images.dims()[0];
+    if labels.len() != n {
+        return Err(TensorError::InvalidArgument {
+            op: "simulate",
+            message: format!("{n} images but {} labels", labels.len()),
+        });
+    }
+    if net.has_max_pool() {
+        return Err(TensorError::InvalidArgument {
+            op: "simulate",
+            message: "max pooling has no exact spiking equivalent under rate/phase/burst \
+                      coding; build the DNN with PoolKind::Avg (TTFS supports max pooling \
+                      via first-spike gating in the t2fsnn engine)"
+                .to_string(),
+        });
+    }
+    let input_dims = &images.dims()[1..];
+    let shapes = net.output_shapes(input_dims)?;
+    let ops = net.ops();
+    let last_weighted = ops
+        .iter()
+        .rposition(SnnOp::is_weighted)
+        .ok_or(TensorError::InvalidArgument {
+            op: "simulate",
+            message: "network has no weighted ops".to_string(),
+        })?;
+
+    // Neuron state per weighted op.
+    let mut states: Vec<Option<IfState>> = ops
+        .iter()
+        .zip(&shapes)
+        .map(|(op, shape)| {
+            op.is_weighted().then(|| {
+                let mut dims = vec![n];
+                dims.extend_from_slice(shape);
+                IfState::new(dims)
+            })
+        })
+        .collect();
+
+    coding.reset();
+    let needs_mult = coding.synop_needs_mult();
+    let mut spikes_hidden: Vec<u64> = ops.iter().map(|_| 0).collect();
+    let mut input_spikes = 0u64;
+    let mut synop_adds = 0u64;
+    let mut synop_mults = 0u64;
+    let mut curve = Vec::new();
+
+    // Deterministic periodic inputs let us compute the (expensive, often
+    // dense) input-layer propagation once per phase and replay it. The
+    // cached synop counts are still charged every step — the arithmetic
+    // happens on real hardware; we just avoid recomputing it.
+    let first_weighted = ops
+        .iter()
+        .position(SnnOp::is_weighted)
+        .expect("checked above");
+    let mut input_cache: Vec<Option<(Tensor, u64, u64)>> = match coding.input_period() {
+        Some(p) if p > 0 => vec![None; p],
+        _ => Vec::new(),
+    };
+
+    for t in 0..config.max_steps {
+        let cache_key = if input_cache.is_empty() {
+            None
+        } else {
+            Some(t % input_cache.len())
+        };
+        let precomputed = cache_key.and_then(|k| input_cache[k].clone());
+        let (mut signal, skip_until) = if let Some((z, in_spikes, synops)) = precomputed {
+            input_spikes += in_spikes;
+            synop_adds += synops;
+            if needs_mult {
+                synop_mults += synops;
+            }
+            (z, first_weighted)
+        } else {
+            let (raw, in_spikes) = coding.encode(images, t);
+            input_spikes += in_spikes;
+            // Propagate through everything up to (and including) the first
+            // weighted op, then cache.
+            let mut z = raw;
+            let mut synops_acc = 0u64;
+            for op in &ops[..=first_weighted] {
+                let (next, synops) = op.propagate(&z)?;
+                synops_acc += synops;
+                z = next;
+            }
+            synop_adds += synops_acc;
+            if needs_mult {
+                synop_mults += synops_acc;
+            }
+            if let Some(k) = cache_key {
+                input_cache[k] = Some((z.clone(), in_spikes, synops_acc));
+            }
+            (z, first_weighted)
+        };
+        let bias_scale = coding.bias_scale(t);
+        let mut hidden_index = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            let (mut z, synops) = if i < skip_until {
+                continue;
+            } else if i == skip_until {
+                // `signal` already holds this op's output drive.
+                (std::mem::take(&mut signal), 0)
+            } else {
+                let (z, synops) = op.propagate(&signal)?;
+                (z, synops)
+            };
+            synop_adds += synops;
+            if needs_mult {
+                synop_mults += synops;
+            }
+            if op.is_weighted() {
+                op.inject_bias(&mut z, bias_scale)?;
+                let state = states[i].as_mut().expect("weighted op has state");
+                state.integrate(&z)?;
+                if i == last_weighted {
+                    // Output layer: accumulate only.
+                    signal = Tensor::zeros(z.shape().clone());
+                } else {
+                    let (spikes, count) = coding.fire(state.potential_mut(), t, hidden_index);
+                    spikes_hidden[i] += count;
+                    signal = spikes;
+                    hidden_index += 1;
+                }
+            } else {
+                signal = z;
+            }
+        }
+        if (t + 1) % config.record_every == 0 || t + 1 == config.max_steps {
+            let output = states[last_weighted].as_ref().expect("output state");
+            let accuracy = batch_accuracy(output.potential(), labels)?;
+            curve.push(CurvePoint {
+                step: t + 1,
+                accuracy,
+            });
+        }
+    }
+
+    let final_accuracy = curve.last().map(|p| p.accuracy).unwrap_or(0.0);
+    let spikes_per_layer = ops
+        .iter()
+        .enumerate()
+        .filter(|(i, op)| op.is_weighted() && *i != last_weighted)
+        .map(|(i, op)| (op.name().unwrap_or("?").to_string(), spikes_hidden[i]))
+        .collect();
+    Ok(SimOutcome {
+        coding: coding.name().to_string(),
+        images: n,
+        steps: config.max_steps,
+        curve,
+        final_accuracy,
+        spikes_per_layer,
+        input_spikes,
+        synop_adds,
+        synop_mults,
+    })
+}
+
+/// Argmax accuracy of a `[N, classes]` potential tensor.
+fn batch_accuracy(potential: &Tensor, labels: &[usize]) -> Result<f32> {
+    if potential.rank() != 2 || potential.dims()[0] != labels.len() {
+        return Err(TensorError::InvalidArgument {
+            op: "batch_accuracy",
+            message: format!(
+                "potential {} vs {} labels — output layer is not [N, classes]",
+                potential.shape(),
+                labels.len()
+            ),
+        });
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let (n, c) = (potential.dims()[0], potential.dims()[1]);
+    let mut correct = 0usize;
+    for (i, &y) in labels.iter().enumerate() {
+        let row = &potential.data()[i * c..(i + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        if pred == y {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coding::{BurstCoding, PhaseCoding, RateCoding};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use t2fsnn_data::{DatasetSpec, SyntheticConfig};
+    use t2fsnn_dnn::architectures::mlp_tiny;
+    use t2fsnn_dnn::{normalize_for_snn, train, TrainConfig};
+
+    /// A trained, normalized tiny network plus its dataset.
+    fn fixture() -> (SnnNetwork, Tensor, Vec<usize>, f32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let data = SyntheticConfig::new(DatasetSpec::tiny(), 6).generate(80);
+        let (train_set, test_set) = data.split(64);
+        let mut dnn = mlp_tiny(&mut rng, &data.spec);
+        train(&mut dnn, &train_set, &TrainConfig::default(), &mut rng).unwrap();
+        normalize_for_snn(&mut dnn, &train_set.images, 0.999).unwrap();
+        let dnn_acc = t2fsnn_dnn::evaluate(&mut dnn, &test_set, 16).unwrap();
+        let snn = SnnNetwork::from_dnn(&dnn).unwrap();
+        (snn, test_set.images.clone(), test_set.labels.clone(), dnn_acc)
+    }
+
+    #[test]
+    fn rate_coding_approaches_dnn_accuracy() {
+        let (snn, images, labels, dnn_acc) = fixture();
+        let mut coding = RateCoding::new();
+        let outcome = simulate(
+            &snn,
+            &mut coding,
+            &images,
+            &labels,
+            &SimConfig::new(256, 32),
+        )
+        .unwrap();
+        assert!(
+            outcome.final_accuracy >= dnn_acc - 0.15,
+            "rate SNN {:.3} too far below DNN {:.3}",
+            outcome.final_accuracy,
+            dnn_acc
+        );
+        assert!(outcome.total_spikes() > 0);
+        // Rate coding spikes grow ~linearly with time: later half must add
+        // a similar amount as the first half.
+        let early = simulate(
+            &snn,
+            &mut RateCoding::new(),
+            &images,
+            &labels,
+            &SimConfig::new(128, 32),
+        )
+        .unwrap();
+        assert!(outcome.total_spikes() > early.total_spikes());
+    }
+
+    #[test]
+    fn phase_coding_runs_and_spikes_less_per_value() {
+        let (snn, images, labels, _) = fixture();
+        let outcome = simulate(
+            &snn,
+            &mut PhaseCoding::new(8),
+            &images,
+            &labels,
+            &SimConfig::new(64, 8),
+        )
+        .unwrap();
+        assert_eq!(outcome.coding, "phase");
+        assert!(outcome.final_accuracy > 0.25, "{}", outcome.final_accuracy);
+        assert!(outcome.synop_mults > 0, "phase coding multiplies");
+    }
+
+    #[test]
+    fn burst_coding_converges_quickly() {
+        let (snn, images, labels, dnn_acc) = fixture();
+        let outcome = simulate(
+            &snn,
+            &mut BurstCoding::new(5),
+            &images,
+            &labels,
+            &SimConfig::new(64, 8),
+        )
+        .unwrap();
+        assert!(
+            outcome.final_accuracy >= dnn_acc - 0.2,
+            "burst {:.3} vs dnn {:.3}",
+            outcome.final_accuracy,
+            dnn_acc
+        );
+    }
+
+    #[test]
+    fn burst_uses_fewer_spikes_than_rate_at_same_accuracy_scale() {
+        let (snn, images, labels, _) = fixture();
+        let rate = simulate(
+            &snn,
+            &mut RateCoding::new(),
+            &images,
+            &labels,
+            &SimConfig::new(256, 64),
+        )
+        .unwrap();
+        let burst = simulate(
+            &snn,
+            &mut BurstCoding::new(5),
+            &images,
+            &labels,
+            &SimConfig::new(64, 16),
+        )
+        .unwrap();
+        assert!(
+            burst.total_spikes() < rate.total_spikes(),
+            "burst {} !< rate {}",
+            burst.total_spikes(),
+            rate.total_spikes()
+        );
+    }
+
+    #[test]
+    fn curve_is_sampled_at_requested_resolution() {
+        let (snn, images, labels, _) = fixture();
+        let outcome = simulate(
+            &snn,
+            &mut RateCoding::new(),
+            &images,
+            &labels,
+            &SimConfig::new(100, 25),
+        )
+        .unwrap();
+        let steps: Vec<usize> = outcome.curve.iter().map(|p| p.step).collect();
+        assert_eq!(steps, vec![25, 50, 75, 100]);
+    }
+
+    #[test]
+    fn latency_finds_first_good_step() {
+        let outcome = SimOutcome {
+            coding: "x".into(),
+            images: 1,
+            steps: 100,
+            curve: vec![
+                CurvePoint { step: 25, accuracy: 0.1 },
+                CurvePoint { step: 50, accuracy: 0.8 },
+                CurvePoint { step: 75, accuracy: 0.82 },
+                CurvePoint { step: 100, accuracy: 0.82 },
+            ],
+            final_accuracy: 0.82,
+            spikes_per_layer: vec![],
+            input_spikes: 0,
+            synop_adds: 0,
+            synop_mults: 0,
+        };
+        assert_eq!(outcome.latency(0.05), 50);
+        assert_eq!(outcome.latency(0.0), 75);
+    }
+
+    #[test]
+    fn simulate_validates_inputs() {
+        let (snn, images, labels, _) = fixture();
+        let bad = Tensor::zeros([2, 8, 8]);
+        assert!(simulate(
+            &snn,
+            &mut RateCoding::new(),
+            &bad,
+            &labels,
+            &SimConfig::new(4, 2)
+        )
+        .is_err());
+        assert!(simulate(
+            &snn,
+            &mut RateCoding::new(),
+            &images,
+            &labels[..3],
+            &SimConfig::new(4, 2)
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_config_panics() {
+        let _ = SimConfig::new(0, 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the SNN substrate: IF-neuron conservation
+//! laws, coding invariants, and event-driven propagation equivalence.
+
+use proptest::prelude::*;
+use t2fsnn_snn::coding::{BurstCoding, Coding, PhaseCoding, RateCoding, ReverseCoding};
+use t2fsnn_snn::{IfState, SnnOp};
+use t2fsnn_tensor::ops::{conv2d, Conv2dSpec};
+use t2fsnn_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn if_neuron_conserves_charge(drives in prop::collection::vec(0.0f32..2.0, 1..50)) {
+        // Total input = total transmitted (spikes × θ) + residual potential.
+        let mut state = IfState::new([1, 1]);
+        let mut spikes = 0u64;
+        for &d in &drives {
+            state.integrate(&Tensor::from_vec([1, 1], vec![d]).unwrap()).unwrap();
+            let (_, n) = state.fire_subtract(1.0);
+            spikes += n;
+        }
+        let total_in: f32 = drives.iter().sum();
+        let residual = state.potential().data()[0];
+        prop_assert!(
+            (total_in - (spikes as f32 + residual)).abs() < 1e-3,
+            "in={total_in} spikes={spikes} residual={residual}"
+        );
+    }
+
+    #[test]
+    fn rate_spike_count_tracks_value(xi in 1u32..100, steps in 50usize..300) {
+        let x = xi as f32 / 100.0;
+        let mut coding = RateCoding::new();
+        let mut u = Tensor::zeros([1, 1]);
+        let mut spikes = 0u64;
+        for t in 0..steps {
+            u.data_mut()[0] += x;
+            let (_, n) = coding.fire(&mut u, t, 0);
+            spikes += n;
+        }
+        let rate = spikes as f32 / steps as f32;
+        prop_assert!((rate - x).abs() < 0.05, "rate {rate} vs {x}");
+    }
+
+    #[test]
+    fn phase_coding_transmits_value_per_period(xi in 0u32..256) {
+        // One period of weighted spikes decodes to x within 2^-K.
+        let x = xi as f32 / 256.0;
+        let mut coding = PhaseCoding::new(8);
+        let img = Tensor::from_vec([1, 1], vec![x]).unwrap();
+        let mut decoded = 0.0f32;
+        for t in 0..8 {
+            let (d, _) = coding.encode(&img, t);
+            decoded += d.data()[0];
+        }
+        prop_assert!((decoded - x).abs() <= 1.0 / 256.0 + 1e-6, "{decoded} vs {x}");
+    }
+
+    #[test]
+    fn burst_transmission_is_conservative(v in 0.0f32..40.0, n_max in 1u32..8) {
+        let mut coding = BurstCoding::new(n_max);
+        let mut u = Tensor::from_vec([1, 1], vec![v]).unwrap();
+        let (s, count) = coding.fire(&mut u, 0, 0);
+        // Residual + transmitted = original, and burst length respected.
+        prop_assert!((u.data()[0] + s.data()[0] - v).abs() < 1e-4);
+        prop_assert!(count <= n_max as u64);
+        // Transmitted value matches the geometric formula for the count.
+        if count > 0 {
+            prop_assert!((s.data()[0] - coding.burst_value(count as u32)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reverse_coding_orders_by_value(a in 0.01f32..1.0, b in 0.01f32..1.0) {
+        let coding = ReverseCoding::new(64);
+        let ta = coding.spike_time(a).unwrap();
+        let tb = coding.spike_time(b).unwrap();
+        if a < b {
+            prop_assert!(ta <= tb, "smaller value must not fire later");
+        }
+    }
+
+    #[test]
+    fn conv_scatter_equals_dense_conv_on_random_spikes(
+        positions in prop::collection::vec((0usize..2, 0usize..6, 0usize..6), 0..12),
+        stride in 1usize..3,
+        padding in 0usize..2,
+    ) {
+        let weight = Tensor::from_fn([3, 2, 3, 3], |i| {
+            ((i[0] * 7 + i[1] * 5 + i[2] * 3 + i[3]) % 11) as f32 * 0.1 - 0.5
+        });
+        let spec = Conv2dSpec::new(stride, padding);
+        let mut input = Tensor::zeros([1, 2, 6, 6]);
+        for (c, y, x) in positions {
+            input.set(&[0, c, y, x], 1.0).unwrap();
+        }
+        let op = SnnOp::Conv {
+            name: "prop".into(),
+            weight: weight.clone(),
+            bias: Tensor::zeros([3]),
+            spec,
+        };
+        let (sparse, _) = op.propagate(&input).unwrap();
+        let dense = conv2d(&input, &weight, &Tensor::zeros([3]), spec).unwrap();
+        prop_assert!(sparse.all_close(&dense, 1e-4));
+    }
+
+    #[test]
+    fn linear_scatter_synops_equal_nnz_times_fanout(
+        mask in prop::collection::vec(prop::bool::ANY, 8..9),
+        out_features in 1usize..6,
+    ) {
+        let weight = Tensor::ones([out_features, 8]);
+        let op = SnnOp::Linear {
+            name: "prop".into(),
+            weight,
+            bias: Tensor::zeros([out_features]),
+        };
+        let data: Vec<f32> = mask.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let nnz = data.iter().filter(|&&x| x != 0.0).count() as u64;
+        let input = Tensor::from_vec([1, 8], data).unwrap();
+        let (_, synops) = op.propagate(&input).unwrap();
+        prop_assert_eq!(synops, nnz * out_features as u64);
+    }
+
+    #[test]
+    fn bias_scales_sum_to_unity_over_decode_window(period in 1usize..16) {
+        // Every coding's bias injection must integrate to one full bias
+        // per decode window.
+        let codings: Vec<Box<dyn Coding>> = vec![
+            Box::new(RateCoding::new()),
+            Box::new(PhaseCoding::new(period.max(1).min(24))),
+            Box::new(BurstCoding::new(5)),
+        ];
+        for coding in codings {
+            let window = coding.decode_window();
+            let total: f32 = (0..window).map(|t| coding.bias_scale(t)).sum();
+            prop_assert!(
+                (total - 1.0).abs() < 1e-4,
+                "{}: bias integrates to {total} over window {window}",
+                coding.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Error produced by fallible tensor operations.
+///
+/// Every public fallible function in this crate returns
+/// `Result<_, TensorError>`. The variants carry enough context to print an
+/// actionable message (the offending shapes or indices).
+///
+/// # Examples
+///
+/// ```
+/// use t2fsnn_tensor::{Tensor, TensorError};
+///
+/// let a = Tensor::zeros([2, 3]);
+/// let b = Tensor::zeros([4, 5]);
+/// match a.add(&b) {
+///     Err(TensorError::ShapeMismatch { .. }) => {}
+///     _ => panic!("expected a shape mismatch"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand / first operand.
+        lhs: Shape,
+        /// Shape of the right-hand / second operand.
+        rhs: Shape,
+    },
+    /// The requested shape does not match the number of elements available.
+    InvalidReshape {
+        /// Shape of the source tensor.
+        from: Shape,
+        /// Requested target shape.
+        to: Shape,
+    },
+    /// A multi-dimensional index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// Shape of the indexed tensor.
+        shape: Shape,
+    },
+    /// An operation-specific argument was invalid (e.g. a zero stride).
+    InvalidArgument {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: {lhs} vs {rhs}")
+            }
+            TensorError::InvalidReshape { from, to } => {
+                write!(
+                    f,
+                    "cannot reshape {from} ({} elements) into {to} ({} elements)",
+                    from.numel(),
+                    to.numel()
+                )
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape}")
+            }
+            TensorError::InvalidArgument { op, message } => {
+                write!(f, "invalid argument to `{op}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: Shape::new(&[2, 3]),
+            rhs: Shape::new(&[4]),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4]"));
+    }
+
+    #[test]
+    fn display_invalid_reshape_includes_element_counts() {
+        let err = TensorError::InvalidReshape {
+            from: Shape::new(&[2, 3]),
+            to: Shape::new(&[7]),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("6 elements"));
+        assert!(msg.contains("7 elements"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let err = TensorError::IndexOutOfBounds {
+            index: vec![5, 0],
+            shape: Shape::new(&[2, 2]),
+        };
+        assert!(err.to_string().contains("[5, 0]"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TensorError>();
+    }
+}

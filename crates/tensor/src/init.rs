@@ -1,0 +1,115 @@
+//! Random tensor initializers for network weights.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Draws every element from `U(low, high)`.
+///
+/// # Panics
+///
+/// Panics if `low >= high` (propagated from the underlying distribution).
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: impl Into<Shape>, low: f32, high: f32) -> Tensor {
+    let dist = Uniform::new(low, high);
+    let shape = shape.into();
+    let data = (0..shape.numel()).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(shape, data).expect("length matches by construction")
+}
+
+/// Draws every element from `N(mean, std²)` using a Box–Muller transform.
+///
+/// Implemented locally so the crate does not need `rand_distr`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, shape: impl Into<Shape>, mean: f32, std: f32) -> Tensor {
+    let shape = shape.into();
+    let n = shape.numel();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        // Box–Muller: two uniforms to two normals.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(shape, data).expect("length matches by construction")
+}
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2 / fan_in)²)`.
+///
+/// The standard initializer for layers followed by ReLU, which is every
+/// hidden layer of the VGG networks used in the paper.
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, shape: impl Into<Shape>, fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(rng, shape, 0.0, std)
+}
+
+/// Xavier (Glorot) uniform initialization:
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(rng, shape, -bound, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform(&mut rng(), [1000], -0.5, 0.5);
+        assert!(t.iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_has_roughly_requested_moments() {
+        let t = normal(&mut rng(), [20_000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_handles_odd_lengths() {
+        let t = normal(&mut rng(), [7], 0.0, 1.0);
+        assert_eq!(t.numel(), 7);
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let wide = he_normal(&mut rng(), [10_000], 10_000);
+        let narrow = he_normal(&mut rng(), [10_000], 4);
+        let std = |t: &Tensor| t.map(|x| x * x).mean().sqrt();
+        assert!(std(&wide) < std(&narrow));
+    }
+
+    #[test]
+    fn xavier_uniform_respects_bound() {
+        let t = xavier_uniform(&mut rng(), [1000], 100, 100);
+        let bound = (6.0f32 / 200.0).sqrt();
+        assert!(t.iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let a = uniform(&mut rng(), [16], 0.0, 1.0);
+        let b = uniform(&mut rng(), [16], 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

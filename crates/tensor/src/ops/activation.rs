@@ -1,0 +1,292 @@
+//! Activation functions and classification heads.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, applied element-wise: `max(0, x)`.
+pub fn relu(input: &Tensor) -> Tensor {
+    input.map(|x| x.max(0.0))
+}
+
+/// Backward pass of [`relu`]: passes gradient where the forward input was
+/// strictly positive.
+///
+/// # Errors
+///
+/// Returns a shape-mismatch error if `input` and `grad_out` differ.
+pub fn relu_backward(input: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+    input.zip_with(grad_out, |x, g| if x > 0.0 { g } else { 0.0 })
+}
+
+/// Row-wise softmax for a `[batch, classes]` tensor, computed with the
+/// max-subtraction trick for numerical stability.
+///
+/// # Errors
+///
+/// Returns an error if `logits` is not rank 2.
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    if logits.rank() != 2 {
+        return Err(TensorError::InvalidArgument {
+            op: "softmax",
+            message: format!("expected [batch, classes], got {}", logits.shape()),
+        });
+    }
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = vec![0.0f32; n * c];
+    let data = logits.data();
+    for i in 0..n {
+        let row = &data[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (j, &x) in row.iter().enumerate() {
+            let e = (x - m).exp();
+            out[i * c + j] = e;
+            z += e;
+        }
+        for j in 0..c {
+            out[i * c + j] /= z;
+        }
+    }
+    Tensor::from_vec([n, c], out)
+}
+
+/// Mean cross-entropy loss and its gradient for a `[batch, classes]` logits
+/// tensor and integer class labels.
+///
+/// Returns `(loss, grad_logits)` where the gradient already includes the
+/// softmax Jacobian (`softmax(x) - onehot(y)`, averaged over the batch).
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree or a label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    if logits.rank() != 2 || logits.dims()[0] != labels.len() {
+        return Err(TensorError::InvalidArgument {
+            op: "cross_entropy",
+            message: format!(
+                "logits {} incompatible with {} labels",
+                logits.shape(),
+                labels.len()
+            ),
+        });
+    }
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    if let Some(&bad) = labels.iter().find(|&&y| y >= c) {
+        return Err(TensorError::InvalidArgument {
+            op: "cross_entropy",
+            message: format!("label {bad} out of range for {c} classes"),
+        });
+    }
+    let probs = softmax(logits)?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let gd = grad.data_mut();
+    let inv_n = 1.0 / n as f32;
+    for (i, &y) in labels.iter().enumerate() {
+        let p = probs.data()[i * c + y].max(1e-12);
+        loss -= p.ln();
+        gd[i * c + y] -= 1.0;
+    }
+    for g in gd.iter_mut() {
+        *g *= inv_n;
+    }
+    Ok((loss * inv_n, grad))
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    if logits.rank() != 2 || logits.dims()[0] != labels.len() {
+        return Err(TensorError::InvalidArgument {
+            op: "accuracy",
+            message: format!(
+                "logits {} incompatible with {} labels",
+                logits.shape(),
+                labels.len()
+            ),
+        });
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let mut correct = 0usize;
+    for (i, &y) in labels.iter().enumerate() {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        if pred == y {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / n as f32)
+}
+
+/// Fraction of rows whose label appears among the `k` largest logits
+/// (top-k accuracy; the usual CIFAR-100 companion metric to top-1).
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree or `k == 0`.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> Result<f32> {
+    if logits.rank() != 2 || logits.dims()[0] != labels.len() {
+        return Err(TensorError::InvalidArgument {
+            op: "top_k_accuracy",
+            message: format!(
+                "logits {} incompatible with {} labels",
+                logits.shape(),
+                labels.len()
+            ),
+        });
+    }
+    if k == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "top_k_accuracy",
+            message: "k must be positive".to_string(),
+        });
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let k = k.min(c);
+    let mut hits = 0usize;
+    for (i, &y) in labels.iter().enumerate() {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        // The label is in the top k iff fewer than k entries beat it
+        // (ties broken toward lower indices, matching argmax).
+        let target = row[y];
+        let better = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, &v)| v > target || (v == target && j < y))
+            .count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    Ok(hits as f32 / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec([4], vec![-1.0, 0.0, 0.5, 2.0]).unwrap();
+        assert_eq!(relu(&t).data(), &[0.0, 0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = Tensor::from_vec([4], vec![-1.0, 0.0, 0.5, 2.0]).unwrap();
+        let g = Tensor::ones([4]);
+        let gx = relu_backward(&x, &g).unwrap();
+        assert_eq!(gx.data(), &[0.0, 0.0, 1.0, 1.0]);
+        assert!(relu_backward(&x, &Tensor::ones([3])).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let s = softmax(&t).unwrap();
+        for i in 0..2 {
+            let row_sum: f32 = s.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-6);
+        }
+        assert!(s.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = a.add_scalar(1000.0);
+        let sa = softmax(&a).unwrap();
+        let sb = softmax(&b).unwrap();
+        assert!(sa.all_close(&sb, 1e-6));
+        assert!(sb.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec([1, 3], vec![100.0, 0.0, 0.0]).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec([2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-2f32;
+        for flat in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[flat] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[flat] -= eps;
+            let fd = (cross_entropy(&lp, &labels).unwrap().0
+                - cross_entropy(&lm, &labels).unwrap().0)
+                / (2.0 * eps);
+            assert!(
+                (fd - grad.data()[flat]).abs() < 1e-3,
+                "flat {flat}: fd={fd} analytic={}",
+                grad.data()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_labels() {
+        let logits = Tensor::zeros([1, 3]);
+        assert!(cross_entropy(&logits, &[3]).is_err());
+        assert!(cross_entropy(&logits, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn top_k_widens_with_k() {
+        let logits = Tensor::from_vec(
+            [2, 4],
+            vec![0.1, 0.9, 0.5, 0.2, 0.4, 0.3, 0.2, 0.1],
+        )
+        .unwrap();
+        let labels = [2usize, 1];
+        assert_eq!(top_k_accuracy(&logits, &labels, 1).unwrap(), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &labels, 2).unwrap(), 1.0);
+        // k beyond class count saturates at 1.0.
+        assert_eq!(top_k_accuracy(&logits, &labels, 99).unwrap(), 1.0);
+        // top-1 agrees with plain accuracy.
+        assert_eq!(
+            top_k_accuracy(&logits, &labels, 1).unwrap(),
+            accuracy(&logits, &labels).unwrap()
+        );
+        assert!(top_k_accuracy(&logits, &labels, 0).is_err());
+        assert!(top_k_accuracy(&logits, &[0], 1).is_err());
+    }
+
+    #[test]
+    fn top_k_tie_breaking_matches_argmax() {
+        // Two equal logits: the lower index wins the tie.
+        let logits = Tensor::from_vec([1, 3], vec![0.5, 0.5, 0.1]).unwrap();
+        assert_eq!(top_k_accuracy(&logits, &[0], 1).unwrap(), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[1], 1).unwrap(), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[1], 2).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits =
+            Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
+        let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&Tensor::zeros([0, 2]), &[]).unwrap(), 0.0);
+    }
+}

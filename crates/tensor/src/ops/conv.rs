@@ -1,0 +1,486 @@
+//! 2-D convolution via im2col, with full backward passes.
+//!
+//! Layout conventions (matching the rest of the workspace):
+//! * activations: `[N, C, H, W]` (batch, channels, height, width)
+//! * weights: `[O, I, KH, KW]` (out-channels, in-channels, kernel h/w)
+//! * biases: `[O]`
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, TensorError};
+use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::tensor::Tensor;
+
+/// Stride and zero-padding configuration for a 2-D convolution.
+///
+/// # Examples
+///
+/// ```
+/// use t2fsnn_tensor::ops::Conv2dSpec;
+///
+/// let spec = Conv2dSpec::new(1, 1); // "same" conv for a 3×3 kernel
+/// assert_eq!(spec.output_dim(32, 3), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Step between kernel applications, identical for both axes.
+    pub stride: usize,
+    /// Zero padding added on every border.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec from a stride and a symmetric padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn new(stride: usize, padding: usize) -> Self {
+        assert!(stride > 0, "convolution stride must be positive");
+        Conv2dSpec { stride, padding }
+    }
+
+    /// Output spatial size for an input of size `input` and kernel `kernel`.
+    ///
+    /// Returns zero when the kernel does not fit at all.
+    pub fn output_dim(&self, input: usize, kernel: usize) -> usize {
+        let padded = input + 2 * self.padding;
+        if padded < kernel {
+            0
+        } else {
+            (padded - kernel) / self.stride + 1
+        }
+    }
+}
+
+impl Default for Conv2dSpec {
+    /// Stride 1, no padding.
+    fn default() -> Self {
+        Conv2dSpec::new(1, 0)
+    }
+}
+
+/// Unfolds one `[C, H, W]` image into an im2col matrix
+/// `[C·KH·KW, OH·OW]` where each column is a flattened receptive field.
+pub fn im2col(
+    image: &Tensor,
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    if image.rank() != 3 {
+        return Err(TensorError::InvalidArgument {
+            op: "im2col",
+            message: format!("expected [C, H, W], got {}", image.shape()),
+        });
+    }
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    let (kh, kw) = kernel;
+    let oh = spec.output_dim(h, kh);
+    let ow = spec.output_dim(w, kw);
+    let rows = c * kh * kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = image.data();
+    let pad = spec.padding as isize;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride) as isize + ki as isize - pad;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride) as isize + kj as isize - pad;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        let src = (ci * h + ii as usize) * w + jj as usize;
+                        out[row * cols + oi * ow + oj] = data[src];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([rows, cols], out)
+}
+
+/// Folds an im2col matrix back into a `[C, H, W]` image, *summing*
+/// contributions of overlapping receptive fields (the adjoint of [`im2col`],
+/// as needed for input gradients).
+pub fn col2im(
+    cols_mat: &Tensor,
+    channels: usize,
+    image_hw: (usize, usize),
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let (h, w) = image_hw;
+    let (kh, kw) = kernel;
+    let oh = spec.output_dim(h, kh);
+    let ow = spec.output_dim(w, kw);
+    let rows = channels * kh * kw;
+    if cols_mat.dims() != [rows, oh * ow] {
+        return Err(TensorError::InvalidArgument {
+            op: "col2im",
+            message: format!(
+                "expected [{rows}, {}], got {}",
+                oh * ow,
+                cols_mat.shape()
+            ),
+        });
+    }
+    let mut out = vec![0.0f32; channels * h * w];
+    let data = cols_mat.data();
+    let pad = spec.padding as isize;
+    let colw = oh * ow;
+    for ci in 0..channels {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride) as isize + ki as isize - pad;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride) as isize + kj as isize - pad;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        let dst = (ci * h + ii as usize) * w + jj as usize;
+                        out[dst] += data[row * colw + oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([channels, h, w], out)
+}
+
+fn check_conv_args(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Result<()> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d",
+            message: format!("expected input [N, C, H, W], got {}", input.shape()),
+        });
+    }
+    if weight.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d",
+            message: format!("expected weight [O, I, KH, KW], got {}", weight.shape()),
+        });
+    }
+    if input.dims()[1] != weight.dims()[1] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: input.shape().clone(),
+            rhs: weight.shape().clone(),
+        });
+    }
+    if bias.rank() != 1 || bias.dims()[0] != weight.dims()[0] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: weight.shape().clone(),
+            rhs: bias.shape().clone(),
+        });
+    }
+    Ok(())
+}
+
+/// 2-D convolution forward pass.
+///
+/// `input: [N, C, H, W]`, `weight: [O, C, KH, KW]`, `bias: [O]` →
+/// `[N, O, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns an error if any operand has the wrong rank or if channel counts
+/// disagree.
+///
+/// # Examples
+///
+/// ```
+/// use t2fsnn_tensor::{ops, Tensor};
+///
+/// # fn main() -> Result<(), t2fsnn_tensor::TensorError> {
+/// let input = Tensor::ones([1, 1, 3, 3]);
+/// let weight = Tensor::ones([1, 1, 3, 3]);
+/// let bias = Tensor::zeros([1]);
+/// let out = ops::conv2d(&input, &weight, &bias, ops::Conv2dSpec::new(1, 1))?;
+/// assert_eq!(out.dims(), &[1, 1, 3, 3]);
+/// assert_eq!(out.get(&[0, 0, 1, 1]), Some(9.0)); // full 3×3 overlap
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
+    check_conv_args(input, weight, bias)?;
+    let (n, _c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (o, i, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    let oh = spec.output_dim(h, kh);
+    let ow = spec.output_dim(w, kw);
+    let weight_mat = weight.reshape([o, i * kh * kw])?;
+    let mut out = Vec::with_capacity(n * o * oh * ow);
+    for img in 0..n {
+        let image = input.index_axis0(img)?;
+        let cols_mat = im2col(&image, (kh, kw), spec)?;
+        let res = matmul(&weight_mat, &cols_mat)?; // [O, OH*OW]
+        let rd = res.data();
+        for oc in 0..o {
+            let b = bias.data()[oc];
+            for p in 0..oh * ow {
+                out.push(rd[oc * oh * ow + p] + b);
+            }
+        }
+    }
+    Tensor::from_vec([n, o, oh, ow], out)
+}
+
+/// Gradients of [`conv2d`] with respect to input, weight and bias.
+///
+/// Returns `(grad_input, grad_weight, grad_bias)` given the forward `input`,
+/// `weight` and upstream gradient `grad_out: [N, O, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent with the forward pass.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (o, i, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    let oh = spec.output_dim(h, kh);
+    let ow = spec.output_dim(w, kw);
+    if grad_out.dims() != [n, o, oh, ow] {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_backward",
+            message: format!(
+                "expected grad_out [{n}, {o}, {oh}, {ow}], got {}",
+                grad_out.shape()
+            ),
+        });
+    }
+    let weight_mat = weight.reshape([o, i * kh * kw])?;
+    let mut grad_input = Vec::with_capacity(n * c * h * w);
+    let mut grad_weight = Tensor::zeros([o, i * kh * kw]);
+    let mut grad_bias = vec![0.0f32; o];
+    for img in 0..n {
+        let image = input.index_axis0(img)?;
+        let cols_mat = im2col(&image, (kh, kw), spec)?;
+        let gout = grad_out.index_axis0(img)?.reshape([o, oh * ow])?;
+        // dW += gout · colsᵀ
+        let gw = matmul_a_bt(&gout, &cols_mat)?;
+        grad_weight.add_scaled(&gw, 1.0)?;
+        // db += Σ gout
+        for oc in 0..o {
+            grad_bias[oc] += gout.data()[oc * oh * ow..(oc + 1) * oh * ow]
+                .iter()
+                .sum::<f32>();
+        }
+        // dX = col2im(Wᵀ · gout)
+        let gcols = matmul_at_b(&weight_mat, &gout)?;
+        let gimg = col2im(&gcols, c, (h, w), (kh, kw), spec)?;
+        grad_input.extend_from_slice(gimg.data());
+    }
+    Ok((
+        Tensor::from_vec([n, c, h, w], grad_input)?,
+        grad_weight.reshape([o, i, kh, kw])?,
+        Tensor::from_vec([o], grad_bias)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (quadruple-loop) convolution used as an oracle.
+    fn conv2d_naive(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) -> Tensor {
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (o, _i, kh, kw) = (
+            weight.dims()[0],
+            weight.dims()[1],
+            weight.dims()[2],
+            weight.dims()[3],
+        );
+        let oh = spec.output_dim(h, kh);
+        let ow = spec.output_dim(w, kw);
+        Tensor::from_fn([n, o, oh, ow], |idx| {
+            let (ni, oc, oi, oj) = (idx[0], idx[1], idx[2], idx[3]);
+            let mut acc = bias.data()[oc];
+            for ci in 0..c {
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                        if ii < 0 || jj < 0 || ii >= h as isize || jj >= w as isize {
+                            continue;
+                        }
+                        acc += input[&[ni, ci, ii as usize, jj as usize][..]]
+                            * weight[&[oc, ci, ki, kj][..]];
+                    }
+                }
+            }
+            acc
+        })
+    }
+
+    fn arange(shape: impl Into<crate::shape::Shape>) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        // Small magnitudes and a sign flip keep accumulated f32 error well
+        // below the comparison tolerance while still exercising negatives.
+        Tensor::from_vec(
+            shape,
+            (0..n)
+                .map(|i| ((i % 13) as f32) * 0.05 - 0.3)
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn output_dim_formula() {
+        let spec = Conv2dSpec::new(1, 1);
+        assert_eq!(spec.output_dim(32, 3), 32);
+        let spec = Conv2dSpec::new(2, 0);
+        assert_eq!(spec.output_dim(8, 2), 4);
+        let spec = Conv2dSpec::new(1, 0);
+        assert_eq!(spec.output_dim(2, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_panics() {
+        let _ = Conv2dSpec::new(0, 0);
+    }
+
+    #[test]
+    fn conv_matches_naive_oracle() {
+        for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 0), (2, 1)] {
+            let spec = Conv2dSpec::new(stride, padding);
+            let input = arange([2, 3, 6, 6]);
+            let weight = arange([4, 3, 3, 3]);
+            let bias = Tensor::from_vec([4], vec![0.1, -0.2, 0.3, 0.0]).unwrap();
+            let fast = conv2d(&input, &weight, &bias, spec).unwrap();
+            let slow = conv2d_naive(&input, &weight, &bias, spec);
+            assert!(
+                fast.all_close(&slow, 1e-4),
+                "mismatch at stride={stride} padding={padding}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_validates_shapes() {
+        let spec = Conv2dSpec::default();
+        let input = Tensor::zeros([1, 3, 4, 4]);
+        let weight = Tensor::zeros([2, 4, 3, 3]); // wrong in-channels
+        let bias = Tensor::zeros([2]);
+        assert!(conv2d(&input, &weight, &bias, spec).is_err());
+        let weight = Tensor::zeros([2, 3, 3, 3]);
+        let bias = Tensor::zeros([3]); // wrong bias length
+        assert!(conv2d(&input, &weight, &bias, spec).is_err());
+        assert!(conv2d(&Tensor::zeros([3, 4, 4]), &weight, &Tensor::zeros([2]), spec).is_err());
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_property() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint identity.
+        let spec = Conv2dSpec::new(1, 1);
+        let x = arange([2, 4, 4]);
+        let cols_x = im2col(&x, (3, 3), spec).unwrap();
+        let y = arange(cols_x.shape().clone());
+        let folded = col2im(&y, 2, (4, 4), (3, 3), spec).unwrap();
+        let lhs: f32 = cols_x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(folded.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let spec = Conv2dSpec::new(1, 1);
+        let input = arange([1, 2, 4, 4]);
+        let weight = arange([2, 2, 3, 3]).scale(0.3);
+        let bias = Tensor::from_vec([2], vec![0.05, -0.05]).unwrap();
+        // Loss = sum(conv output); upstream gradient of ones.
+        let out = conv2d(&input, &weight, &bias, spec).unwrap();
+        let gout = Tensor::ones(out.shape().clone());
+        let (gi, gw, gb) = conv2d_backward(&input, &weight, &gout, spec).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |inp: &Tensor, wgt: &Tensor, b: &Tensor| {
+            conv2d(inp, wgt, b, spec).unwrap().sum()
+        };
+        // Check a scattering of coordinates for each gradient.
+        for &flat in &[0usize, 5, 17, 31] {
+            let mut ip = input.clone();
+            ip.data_mut()[flat] += eps;
+            let mut im = input.clone();
+            im.data_mut()[flat] -= eps;
+            let fd = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
+            assert!(
+                (fd - gi.data()[flat]).abs() < 2e-2,
+                "input grad {flat}: fd={fd} analytic={}",
+                gi.data()[flat]
+            );
+        }
+        for &flat in &[0usize, 7, 20, 35] {
+            let mut wp = weight.clone();
+            wp.data_mut()[flat] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[flat] -= eps;
+            let fd = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            assert!(
+                (fd - gw.data()[flat]).abs() < 2e-2,
+                "weight grad {flat}: fd={fd} analytic={}",
+                gw.data()[flat]
+            );
+        }
+        for flat in 0..2 {
+            let mut bp = bias.clone();
+            bp.data_mut()[flat] += eps;
+            let mut bm = bias.clone();
+            bm.data_mut()[flat] -= eps;
+            let fd = (loss(&input, &weight, &bp) - loss(&input, &weight, &bm)) / (2.0 * eps);
+            assert!((fd - gb.data()[flat]).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn backward_rejects_wrong_grad_shape() {
+        let spec = Conv2dSpec::default();
+        let input = Tensor::zeros([1, 1, 4, 4]);
+        let weight = Tensor::zeros([1, 1, 3, 3]);
+        let bad = Tensor::zeros([1, 1, 9, 9]);
+        assert!(conv2d_backward(&input, &weight, &bad, spec).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! Dense matrix multiplication kernels.
+//!
+//! These loops are written for a single CPU core: the inner loop is laid out
+//! so the compiler can auto-vectorize over contiguous rows, and the
+//! transposed variants avoid materializing transposed copies during
+//! backpropagation.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+fn check_2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::InvalidArgument {
+            op,
+            message: format!("expected rank-2 tensor, got shape {}", t.shape()),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Computes `A · B` for `A: [m, k]`, `B: [k, n]`, returning `[m, n]`.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank 2 or if the inner
+/// dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use t2fsnn_tensor::{ops, Tensor};
+///
+/// # fn main() -> Result<(), t2fsnn_tensor::TensorError> {
+/// let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let id = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0])?;
+/// assert_eq!(ops::matmul(&a, &id)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_2d(a, "matmul")?;
+    let (k2, n) = check_2d(b, "matmul")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue; // spike matrices are sparse; skip zero rows cheaply
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Computes `Aᵀ · B` for `A: [k, m]`, `B: [k, n]`, returning `[m, n]`.
+///
+/// Used for weight gradients (`∂L/∂W = Xᵀ · ∂L/∂Y`) without an explicit
+/// transpose.
+///
+/// # Errors
+///
+/// Returns an error on non-rank-2 operands or mismatched leading dimensions.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = check_2d(a, "matmul_at_b")?;
+    let (k2, n) = check_2d(b, "matmul_at_b")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Computes `A · Bᵀ` for `A: [m, k]`, `B: [n, k]`, returning `[m, n]`.
+///
+/// Used for input gradients (`∂L/∂X = ∂L/∂Y · Wᵀ`) without an explicit
+/// transpose.
+///
+/// # Errors
+///
+/// Returns an error on non-rank-2 operands or mismatched trailing dimensions.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_2d(a, "matmul_a_bt")?;
+    let (n, k2) = check_2d(b, "matmul_a_bt")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Computes the matrix-vector product `A · x` for `A: [m, k]`, `x: [k]`.
+///
+/// # Errors
+///
+/// Returns an error if `A` is not rank 2, `x` not rank 1, or sizes disagree.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_2d(a, "matvec")?;
+    if x.rank() != 1 || x.dims()[0] != k {
+        return Err(TensorError::ShapeMismatch {
+            op: "matvec",
+            lhs: a.shape().clone(),
+            rhs: x.shape().clone(),
+        });
+    }
+    let ad = a.data();
+    let xd = x.data();
+    let mut out = vec![0.0f32; m];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &ad[i * k..(i + 1) * k];
+        let mut acc = 0.0f32;
+        for (&av, &xv) in row.iter().zip(xd) {
+            acc += av * xv;
+        }
+        *o = acc;
+    }
+    Tensor::from_vec([m], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: [usize; 2], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = t([2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = t([3, 2], &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t([2, 2], &[1., 2., 3., 4.]);
+        let id = t([2, 2], &[1., 0., 0., 1.]);
+        assert_eq!(matmul(&a, &id).unwrap(), a);
+        assert_eq!(matmul(&id, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = t([2, 3], &[0.; 6]);
+        let b = t([2, 3], &[0.; 6]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = t([3, 2], &[1., 2., 3., 4., 5., 6.]);
+        let b = t([3, 4], &[1., 0., 2., -1., 3., 1., 0., 2., -2., 1., 1., 0.]);
+        let expect = matmul(&a.transpose().unwrap(), &b).unwrap();
+        assert!(matmul_at_b(&a, &b).unwrap().all_close(&expect, 1e-6));
+
+        let c = t([2, 4], &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let expect = matmul(&b, &c.transpose().unwrap()).unwrap();
+        let got = matmul_a_bt(&b, &c).unwrap();
+        assert!(got.all_close(&expect, 1e-6));
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let a = t([2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let x = Tensor::from_vec([3], vec![1., 0., -1.]).unwrap();
+        let y = matvec(&a, &x).unwrap();
+        assert_eq!(y.data(), &[-2.0, -2.0]);
+        assert!(matvec(&a, &Tensor::zeros([2])).is_err());
+    }
+
+    #[test]
+    fn matmul_skips_zero_rows_correctly() {
+        // Regression guard for the sparsity fast-path: zeros in A must not
+        // change the result.
+        let a = t([2, 3], &[0., 2., 0., 4., 0., 6.]);
+        let b = t([3, 2], &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[18., 20., 94., 104.]);
+    }
+}

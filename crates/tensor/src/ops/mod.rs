@@ -1,0 +1,16 @@
+//! Numeric kernels on [`Tensor`](crate::Tensor): matrix multiplication,
+//! 2-D convolution, pooling, and activations.
+//!
+//! All kernels are plain safe Rust tuned for a single CPU core; the
+//! convolution path uses im2col + matmul with a zero-skipping inner loop
+//! that doubles as a sparse path for spike tensors.
+
+mod activation;
+mod conv;
+mod matmul;
+mod pool;
+
+pub use activation::{accuracy, cross_entropy, relu, relu_backward, softmax, top_k_accuracy};
+pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dSpec};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b, matvec};
+pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};

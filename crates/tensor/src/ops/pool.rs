@@ -1,0 +1,294 @@
+//! 2-D max- and average-pooling with backward passes.
+//!
+//! DNN→SNN conversion pipelines traditionally prefer average pooling
+//! (it is linear, so it converts exactly to synaptic weights); max pooling
+//! is provided for completeness and for the VGG-16 architecture fidelity.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+fn check_pool_input(input: &Tensor, op: &'static str, window: usize, stride: usize) -> Result<()> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op,
+            message: format!("expected [N, C, H, W], got {}", input.shape()),
+        });
+    }
+    if window == 0 || stride == 0 {
+        return Err(TensorError::InvalidArgument {
+            op,
+            message: "window and stride must be positive".to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn pooled_dim(input: usize, window: usize, stride: usize) -> usize {
+    if input < window {
+        0
+    } else {
+        (input - window) / stride + 1
+    }
+}
+
+/// Max pooling over `window × window` regions with the given stride.
+///
+/// Returns the pooled tensor and the flat argmax index (into the input) of
+/// every output element, which [`max_pool2d_backward`] uses to route
+/// gradients.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or a zero window/stride.
+pub fn max_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<(Tensor, Vec<usize>)> {
+    check_pool_input(input, "max_pool2d", window, stride)?;
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oh = pooled_dim(h, window, stride);
+    let ow = pooled_dim(w, window, stride);
+    let mut out = Vec::with_capacity(n * c * oh * ow);
+    let mut argmax = Vec::with_capacity(n * c * oh * ow);
+    let data = input.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ki in 0..window {
+                        for kj in 0..window {
+                            let idx = base + (oi * stride + ki) * w + (oj * stride + kj);
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out.push(best);
+                    argmax.push(best_idx);
+                }
+            }
+        }
+    }
+    Ok((Tensor::from_vec([n, c, oh, ow], out)?, argmax))
+}
+
+/// Backward pass of [`max_pool2d`]: routes each upstream gradient to the
+/// input element that produced the maximum.
+///
+/// # Errors
+///
+/// Returns an error if `grad_out.numel() != argmax.len()`.
+pub fn max_pool2d_backward(
+    input_shape: &[usize],
+    argmax: &[usize],
+    grad_out: &Tensor,
+) -> Result<Tensor> {
+    if grad_out.numel() != argmax.len() {
+        return Err(TensorError::InvalidArgument {
+            op: "max_pool2d_backward",
+            message: format!(
+                "grad_out has {} elements but argmax has {}",
+                grad_out.numel(),
+                argmax.len()
+            ),
+        });
+    }
+    let mut grad_input = Tensor::zeros(input_shape);
+    let gi = grad_input.data_mut();
+    for (&idx, &g) in argmax.iter().zip(grad_out.data()) {
+        gi[idx] += g;
+    }
+    Ok(grad_input)
+}
+
+/// Average pooling over `window × window` regions with the given stride.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or a zero window/stride.
+pub fn avg_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    check_pool_input(input, "avg_pool2d", window, stride)?;
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oh = pooled_dim(h, window, stride);
+    let ow = pooled_dim(w, window, stride);
+    let inv_area = 1.0 / (window * window) as f32;
+    let mut out = Vec::with_capacity(n * c * oh * ow);
+    let data = input.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ki in 0..window {
+                        for kj in 0..window {
+                            acc += data[base + (oi * stride + ki) * w + (oj * stride + kj)];
+                        }
+                    }
+                    out.push(acc * inv_area);
+                }
+            }
+        }
+    }
+    Tensor::from_vec([n, c, oh, ow], out)
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each upstream gradient evenly
+/// over its pooling window.
+///
+/// # Errors
+///
+/// Returns an error if `grad_out`'s shape is inconsistent with pooling
+/// `input_shape` by `window`/`stride`.
+pub fn avg_pool2d_backward(
+    input_shape: &[usize],
+    window: usize,
+    stride: usize,
+    grad_out: &Tensor,
+) -> Result<Tensor> {
+    let (n, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    let oh = pooled_dim(h, window, stride);
+    let ow = pooled_dim(w, window, stride);
+    if grad_out.dims() != [n, c, oh, ow] {
+        return Err(TensorError::InvalidArgument {
+            op: "avg_pool2d_backward",
+            message: format!(
+                "expected grad_out [{n}, {c}, {oh}, {ow}], got {}",
+                grad_out.shape()
+            ),
+        });
+    }
+    let inv_area = 1.0 / (window * window) as f32;
+    let mut grad_input = Tensor::zeros(input_shape);
+    let gi = grad_input.data_mut();
+    let god = grad_out.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let obase = (ni * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let g = god[obase + oi * ow + oj] * inv_area;
+                    for ki in 0..window {
+                        for kj in 0..window {
+                            gi[base + (oi * stride + ki) * w + (oj * stride + kj)] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1., 2., 3., 4., //
+                5., 6., 7., 8., //
+                9., 10., 11., 12., //
+                13., 14., 15., 16.,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn max_pool_known_answer() {
+        let (out, argmax) = max_pool2d(&sample(), 2, 2).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[6., 8., 14., 16.]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn avg_pool_known_answer() {
+        let out = avg_pool2d(&sample(), 2, 2).unwrap();
+        assert_eq!(out.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let input = sample();
+        let (out, argmax) = max_pool2d(&input, 2, 2).unwrap();
+        let gout = Tensor::from_vec(out.shape().clone(), vec![1., 2., 3., 4.]).unwrap();
+        let gin = max_pool2d_backward(input.dims(), &argmax, &gout).unwrap();
+        assert_eq!(gin.get(&[0, 0, 1, 1]), Some(1.0));
+        assert_eq!(gin.get(&[0, 0, 1, 3]), Some(2.0));
+        assert_eq!(gin.get(&[0, 0, 3, 1]), Some(3.0));
+        assert_eq!(gin.get(&[0, 0, 3, 3]), Some(4.0));
+        assert_eq!(gin.sum(), 10.0);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_evenly() {
+        let input = sample();
+        let gout = Tensor::ones([1, 1, 2, 2]);
+        let gin = avg_pool2d_backward(input.dims(), 2, 2, &gout).unwrap();
+        assert!(gin.iter().all(|&g| (g - 0.25).abs() < 1e-6));
+        assert!((gin.sum() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn avg_pool_gradient_matches_finite_difference() {
+        let input = sample();
+        let eps = 1e-2;
+        let gout = Tensor::ones([1, 1, 2, 2]);
+        let gin = avg_pool2d_backward(input.dims(), 2, 2, &gout).unwrap();
+        for flat in 0..input.numel() {
+            let mut ip = input.clone();
+            ip.data_mut()[flat] += eps;
+            let mut im = input.clone();
+            im.data_mut()[flat] -= eps;
+            let fd = (avg_pool2d(&ip, 2, 2).unwrap().sum() - avg_pool2d(&im, 2, 2).unwrap().sum())
+                / (2.0 * eps);
+            assert!((fd - gin.data()[flat]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn pool_validates_arguments() {
+        assert!(max_pool2d(&Tensor::zeros([4, 4]), 2, 2).is_err());
+        assert!(max_pool2d(&Tensor::zeros([1, 1, 4, 4]), 0, 2).is_err());
+        assert!(avg_pool2d(&Tensor::zeros([1, 1, 4, 4]), 2, 0).is_err());
+        assert!(max_pool2d_backward(&[1, 1, 4, 4], &[0, 1], &Tensor::zeros([3])).is_err());
+        assert!(avg_pool2d_backward(&[1, 1, 4, 4], 2, 2, &Tensor::zeros([1, 1, 3, 3])).is_err());
+    }
+
+    #[test]
+    fn non_square_input_pools() {
+        let t = Tensor::from_fn([1, 2, 6, 4], |i| (i[2] * 4 + i[3]) as f32);
+        let out = avg_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(out.dims(), &[1, 2, 3, 2]);
+        let (out, _) = max_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(out.dims(), &[1, 2, 3, 2]);
+    }
+
+    #[test]
+    fn window_larger_than_input_yields_empty() {
+        let t = Tensor::zeros([1, 1, 2, 2]);
+        let out = avg_pool2d(&t, 3, 1).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 0, 0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Tensor shapes and row-major stride arithmetic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The dimensions of a tensor, stored outermost-first (row-major).
+///
+/// A `Shape` is a thin wrapper around a `Vec<usize>` that provides element
+/// counting, stride computation and flat-index conversion. Scalars are
+/// represented by the empty shape `[]` with one element.
+///
+/// # Examples
+///
+/// ```
+/// use t2fsnn_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.flat_index(&[1, 2, 3]), Some(23));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Returns the dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Returns the number of dimensions (the rank).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns the size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Returns the total number of elements (product of all dimensions).
+    ///
+    /// The empty shape (a scalar) has one element.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns row-major strides: `strides[i]` is the flat-index distance
+    /// between consecutive elements along axis `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat offset, or `None` if the
+    /// index is out of bounds or has the wrong rank.
+    pub fn flat_index(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.0.len() {
+            return None;
+        }
+        let mut flat = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(&self.0).zip(&strides) {
+            if i >= d {
+                return None;
+            }
+            flat += i * s;
+        }
+        Some(flat)
+    }
+
+    /// Converts a flat offset back to a multi-dimensional index, or `None`
+    /// if the offset is out of range.
+    pub fn multi_index(&self, mut flat: usize) -> Option<Vec<usize>> {
+        if flat >= self.numel() {
+            return None;
+        }
+        let strides = self.strides();
+        let mut index = vec![0usize; self.0.len()];
+        for (i, &s) in strides.iter().enumerate() {
+            index[i] = flat / s;
+            flat %= s;
+        }
+        Some(index)
+    }
+
+    /// Returns `true` if the shape has zero elements along any axis.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().any(|&d| d == 0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.flat_index(&[]), Some(0));
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let s = Shape::new(&[5]);
+        assert_eq!(s.strides(), vec![1]);
+    }
+
+    #[test]
+    fn flat_index_round_trips() {
+        let s = Shape::new(&[2, 3, 4]);
+        for flat in 0..s.numel() {
+            let multi = s.multi_index(flat).expect("in range");
+            assert_eq!(s.flat_index(&multi), Some(flat));
+        }
+    }
+
+    #[test]
+    fn flat_index_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.flat_index(&[2, 0]), None);
+        assert_eq!(s.flat_index(&[0, 3]), None);
+        assert_eq!(s.flat_index(&[0]), None);
+        assert_eq!(s.multi_index(6), None);
+    }
+
+    #[test]
+    fn zero_sized_axis_is_empty() {
+        let s = Shape::new(&[2, 0, 3]);
+        assert!(s.is_empty());
+        assert_eq!(s.numel(), 0);
+    }
+
+    #[test]
+    fn display_formats_like_a_list() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+
+    #[test]
+    fn conversions_from_arrays_and_vecs() {
+        let a: Shape = [1, 2, 3].into();
+        let b: Shape = vec![1, 2, 3].into();
+        assert_eq!(a, b);
+        assert_eq!(a.as_ref(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use t2fsnn_tensor::{init, ops, Shape, Tensor};
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+fn tensor_with(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    prop::collection::vec(-10.0f32..10.0, n..=n)
+        .prop_map(move |data| Tensor::from_vec(Shape::from(dims.clone()), data).unwrap())
+}
+
+fn arbitrary_tensor() -> impl Strategy<Value = Tensor> {
+    small_dims().prop_flat_map(tensor_with)
+}
+
+proptest! {
+    #[test]
+    fn flat_multi_index_round_trip(dims in small_dims(), seed in 0usize..1000) {
+        let shape = Shape::from(dims);
+        let flat = seed % shape.numel();
+        let multi = shape.multi_index(flat).unwrap();
+        prop_assert_eq!(shape.flat_index(&multi), Some(flat));
+    }
+
+    #[test]
+    fn add_is_commutative(t in arbitrary_tensor()) {
+        let u = t.map(|x| x * 0.5 + 1.0);
+        let ab = t.add(&u).unwrap();
+        let ba = u.add(&t).unwrap();
+        prop_assert!(ab.all_close(&ba, 1e-6));
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(t in arbitrary_tensor()) {
+        let u = t.map(|x| x - 3.0);
+        let back = t.sub(&u).unwrap().add(&u).unwrap();
+        prop_assert!(back.all_close(&t, 1e-4));
+    }
+
+    #[test]
+    fn scale_distributes_over_add(t in arbitrary_tensor(), alpha in -5.0f32..5.0) {
+        let u = t.map(|x| x * 0.25);
+        let lhs = t.add(&u).unwrap().scale(alpha);
+        let rhs = t.scale(alpha).add(&u.scale(alpha)).unwrap();
+        prop_assert!(lhs.all_close(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn reshape_preserves_sum(t in arbitrary_tensor()) {
+        let flat = t.reshape([t.numel()]).unwrap();
+        prop_assert!((flat.sum() - t.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sum_bounded_by_extremes(t in arbitrary_tensor()) {
+        let n = t.numel() as f32;
+        prop_assert!(t.sum() <= t.max() * n + 1e-3);
+        prop_assert!(t.sum() >= t.min() * n - 1e-3);
+    }
+
+    #[test]
+    fn argmax_points_at_max(t in arbitrary_tensor()) {
+        let i = t.argmax().unwrap();
+        prop_assert_eq!(t.data()[i], t.max());
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(t in arbitrary_tensor()) {
+        let r = ops::relu(&t);
+        prop_assert!(r.iter().all(|&x| x >= 0.0));
+        prop_assert!(ops::relu(&r).all_close(&r, 0.0));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..4,
+        cols in 1usize..6,
+        seed in prop::collection::vec(-20.0f32..20.0, 1..24)
+    ) {
+        let n = rows * cols;
+        let data: Vec<f32> = (0..n).map(|i| seed[i % seed.len()]).collect();
+        let t = Tensor::from_vec([rows, cols], data).unwrap();
+        let s = ops::softmax(&t).unwrap();
+        for r in 0..rows {
+            let sum: f32 = s.data()[r * cols..(r + 1) * cols].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_is_linear_in_first_argument(
+        m in 1usize..4, k in 1usize..4, n in 1usize..4, alpha in -3.0f32..3.0
+    ) {
+        let mut rng = rand::rngs::mock::StepRng::new(7, 13);
+        use rand::Rng;
+        let rand_t = |r: &mut rand::rngs::mock::StepRng, rows: usize, cols: usize| {
+            Tensor::from_vec(
+                [rows, cols],
+                (0..rows * cols).map(|_| (r.gen::<u32>() % 17) as f32 / 8.0 - 1.0).collect(),
+            ).unwrap()
+        };
+        let a = rand_t(&mut rng, m, k);
+        let b = rand_t(&mut rng, k, n);
+        let lhs = ops::matmul(&a.scale(alpha), &b).unwrap();
+        let rhs = ops::matmul(&a, &b).unwrap().scale(alpha);
+        prop_assert!(lhs.all_close(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(
+        c in 1usize..3, hw in 3usize..6, o in 1usize..3, alpha in -2.0f32..2.0
+    ) {
+        let spec = ops::Conv2dSpec::new(1, 1);
+        let input = Tensor::from_fn([1, c, hw, hw], |i| ((i[1] + i[2] * i[3]) % 5) as f32 * 0.2);
+        let weight = Tensor::from_fn([o, c, 3, 3], |i| ((i[0] + i[2] + i[3]) % 3) as f32 * 0.1 - 0.1);
+        let bias = Tensor::zeros([o]);
+        let lhs = ops::conv2d(&input.scale(alpha), &weight, &bias, spec).unwrap();
+        let rhs = ops::conv2d(&input, &weight, &bias, spec).unwrap().scale(alpha);
+        prop_assert!(lhs.all_close(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn avg_pool_preserves_global_mean_when_exact(
+        c in 1usize..3, half in 1usize..4
+    ) {
+        // When the window tiles the input exactly, the pooled mean equals
+        // the input mean.
+        let hw = half * 2;
+        let input = Tensor::from_fn([1, c, hw, hw], |i| (i[1] * 7 + i[2] * 3 + i[3]) as f32 * 0.1);
+        let pooled = ops::avg_pool2d(&input, 2, 2).unwrap();
+        prop_assert!((pooled.mean() - input.mean()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn max_pool_never_decreases_max(c in 1usize..3, half in 1usize..4) {
+        let hw = half * 2;
+        let input = Tensor::from_fn([1, c, hw, hw], |i| ((i[1] * 13 + i[2] * 5 + i[3] * 2) % 11) as f32);
+        let (pooled, _) = ops::max_pool2d(&input, 2, 2).unwrap();
+        prop_assert_eq!(pooled.max(), input.max());
+        prop_assert!(pooled.min() >= input.min());
+    }
+
+    #[test]
+    fn he_init_std_tracks_fan_in(fan_in in 1usize..512) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(fan_in as u64);
+        let t = init::he_normal(&mut rng, [4096], fan_in);
+        let expect = (2.0 / fan_in as f32).sqrt();
+        let std = t.map(|x| x * x).mean().sqrt();
+        prop_assert!((std - expect).abs() < expect * 0.2 + 1e-3);
+    }
+
+    #[test]
+    fn stack_then_index_round_trips(dims in small_dims(), n in 1usize..4) {
+        let parts: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::from_fn(Shape::from(dims.clone()), |idx| {
+                (i * 100 + idx.iter().sum::<usize>()) as f32
+            }))
+            .collect();
+        let stacked = Tensor::stack(&parts).unwrap();
+        for (i, part) in parts.iter().enumerate() {
+            prop_assert_eq!(&stacked.index_axis0(i).unwrap(), part);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Compares the four neural coding schemes of the paper's Fig. 1 on the
+//! same trained network: rate, phase, burst, and T2FSNN (TTFS).
+//!
+//! Prints a Table II-style summary: accuracy, latency, spikes and
+//! normalized energy.
+//!
+//! ```sh
+//! cargo run --release --example coding_comparison
+//! ```
+
+use std::error::Error;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use t2fsnn::eval::{build_variant, energy_table, CodingMeasurement, Variant};
+use t2fsnn::optimize::GoConfig;
+use t2fsnn::KernelParams;
+use t2fsnn_data::{DatasetSpec, SyntheticConfig};
+use t2fsnn_dnn::architectures::cnn_small;
+use t2fsnn_dnn::layers::PoolKind;
+use t2fsnn_dnn::{normalize_for_snn, train, TrainConfig};
+use t2fsnn_snn::coding::{BurstCoding, Coding, PhaseCoding, RateCoding};
+use t2fsnn_snn::{simulate, SimConfig, SnnNetwork};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+
+    // Train one source network everybody shares.
+    let spec = DatasetSpec::new("demo-16x16", 1, 16, 16, 4);
+    let data = SyntheticConfig::new(spec.clone(), 3).generate(256);
+    let (train_set, test_set) = data.split(192);
+    let mut dnn = cnn_small(&mut rng, &spec, PoolKind::Avg);
+    train(&mut dnn, &train_set, &TrainConfig::default(), &mut rng)?;
+    normalize_for_snn(&mut dnn, &train_set.images, 0.999)?;
+    let snn = SnnNetwork::from_dnn(&dnn)?;
+
+    // Baselines on the clock-driven simulator.
+    let mut measurements = Vec::new();
+    let runs: Vec<(Box<dyn Coding>, SimConfig)> = vec![
+        (Box::new(RateCoding::new()), SimConfig::new(512, 32)),
+        (Box::new(PhaseCoding::new(8)), SimConfig::new(128, 16)),
+        (Box::new(BurstCoding::new(5)), SimConfig::new(128, 16)),
+    ];
+    for (mut coding, config) in runs {
+        let outcome = simulate(
+            &snn,
+            coding.as_mut(),
+            &test_set.images,
+            &test_set.labels,
+            &config,
+        )?;
+        measurements.push(CodingMeasurement::from_sim(&outcome, 0.01));
+    }
+
+    // The paper's method: T2FSNN+GO+EF.
+    let model = build_variant(
+        &mut dnn,
+        &train_set.images,
+        32,
+        Variant { go: true, ef: true },
+        KernelParams::new(8.0, 0.0),
+        &GoConfig::default(),
+        &mut rng,
+    )?;
+    let ttfs = model.run(&test_set.images, &test_set.labels)?;
+    measurements.push(CodingMeasurement::from_ttfs("T2FSNN+GO+EF", &ttfs));
+
+    // Table II-style output, energy normalized against rate coding.
+    let reference = measurements[0].clone();
+    let energy = energy_table(&measurements, &reference)?;
+    println!(
+        "{:<14} {:>9} {:>9} {:>13} {:>8} {:>8}",
+        "coding", "acc (%)", "latency", "spikes/image", "TN", "SN"
+    );
+    for (m, e) in measurements.iter().zip(&energy) {
+        println!(
+            "{:<14} {:>9.1} {:>9} {:>13.0} {:>8.3} {:>8.3}",
+            m.coding,
+            m.accuracy * 100.0,
+            m.latency,
+            m.spikes_per_image(),
+            e.truenorth,
+            e.spinnaker
+        );
+    }
+    println!("\n(TN/SN: energy normalized against rate coding — TrueNorth and");
+    println!(" SpiNNaker parameters from the paper's Table II.)");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Explores the paper's neuromorphic energy estimator
+//! `E = spikes·E_dyn + latency·E_sta` (Table II) in isolation: how the
+//! TrueNorth and SpiNNaker parameterizations reward spike- versus
+//! latency-reduction differently.
+//!
+//! ```sh
+//! cargo run --release --example energy_model
+//! ```
+
+use std::error::Error;
+
+use t2fsnn_snn::energy::{EnergyModel, SPINNAKER, TRUENORTH};
+
+fn row(model: &EnergyModel, label: &str, spikes: f64, latency: f64) {
+    // Reference: a rate-coded run with 1.0 relative spikes and latency.
+    let e = model.normalized(spikes, latency, 1.0, 1.0);
+    println!("  {label:<38} {e:>8.3}");
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("normalized energy = E_dyn·(spikes ratio) + E_sta·(latency ratio)\n");
+    for model in [TRUENORTH, SPINNAKER] {
+        println!(
+            "{} (E_dyn = {}, E_sta = {}):",
+            model.name, model.e_dyn, model.e_sta
+        );
+        row(&model, "rate baseline (1.0, 1.0)", 1.0, 1.0);
+        row(&model, "burst-like: 0.11x spikes, 0.11x latency", 0.11, 0.11);
+        row(&model, "phase-like: 0.57x spikes, 0.15x latency", 0.57, 0.15);
+        row(
+            &model,
+            "T2FSNN-like: 0.001x spikes, 0.07x latency",
+            0.001,
+            0.07,
+        );
+        println!();
+    }
+    println!("Observations (match the paper's Table II):");
+    println!("  * Under SpiNNaker's spike-heavy split (0.64/0.36), T2FSNN's");
+    println!("    thousandfold spike cut dominates: energy ≈ 0.03.");
+    println!("  * Under TrueNorth's static-heavy split (0.4/0.6), latency");
+    println!("    matters more, so T2FSNN's win comes from early firing too.");
+
+    // A miniature sweep: at what spike ratio does a scheme with 2x latency
+    // still beat the baseline?
+    println!("\nbreak-even spike ratio at 2x latency:");
+    for model in [TRUENORTH, SPINNAKER] {
+        // Solve e_dyn·s + e_sta·2 = 1 for s.
+        let s = (1.0 - 2.0 * model.e_sta as f64) / model.e_dyn as f64;
+        if s > 0.0 {
+            println!("  {:<10} s < {s:.3}", model.name);
+        } else {
+            println!(
+                "  {:<10} impossible — static energy alone already exceeds the baseline",
+                model.name
+            );
+        }
+    }
+    Ok(())
+}
