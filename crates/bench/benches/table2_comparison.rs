@@ -22,9 +22,7 @@ fn bench_codings(c: &mut Criterion) {
     for mut coding in codings {
         let name = coding.name().to_string();
         group.bench_function(BenchmarkId::from_parameter(&name), |b| {
-            b.iter(|| {
-                simulate(&snn, coding.as_mut(), &images, &labels, &config).expect("sim")
-            })
+            b.iter(|| simulate(&snn, coding.as_mut(), &images, &labels, &config).expect("sim"))
         });
     }
     group.finish();

@@ -40,8 +40,8 @@ fn main() {
         } else {
             T2fsnnConfig::new(window).with_early_start(offset)
         };
-        let model = T2fsnn::from_dnn(&prepared.dnn, config, scenario.initial_kernel())
-            .expect("conversion");
+        let model =
+            T2fsnn::from_dnn(&prepared.dnn, config, scenario.initial_kernel()).expect("conversion");
         let run = model.run(&images, &labels).expect("run");
         points.push(EfSweepPoint {
             offset,

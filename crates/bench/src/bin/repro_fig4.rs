@@ -27,8 +27,8 @@ fn main() {
     // Ground truth z̄: real activations of the trained CIFAR-10-like VGG's
     // first conv layer — the same supervision the paper uses.
     let mut prepared = prepare(Scenario::Cifar10Like);
-    let activations = weighted_layer_activations(&mut prepared.dnn, &prepared.train.images)
-        .expect("activations");
+    let activations =
+        weighted_layer_activations(&mut prepared.dnn, &prepared.train.images).expect("activations");
     let values: Vec<f32> = activations[0].1.iter().copied().collect();
     println!(
         "optimizing against {} activations of layer conv1_1 (T = 20)",

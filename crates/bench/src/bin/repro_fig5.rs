@@ -50,7 +50,16 @@ fn main() {
     let (images, labels) = prepared.eval_subset(scenario.eval_images());
     let mut results = Vec::new();
 
-    for variant in [Variant { go: false, ef: false }, Variant { go: true, ef: false }] {
+    for variant in [
+        Variant {
+            go: false,
+            ef: false,
+        },
+        Variant {
+            go: true,
+            ef: false,
+        },
+    ] {
         let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed() + 5);
         let model = build_variant(
             &mut prepared.dnn,
@@ -63,7 +72,11 @@ fn main() {
         )
         .expect("variant build");
         let run = model.run(&images, &labels).expect("run");
-        println!("\n== {} (accuracy {:.1}%) ==", variant.name(), run.accuracy * 100.0);
+        println!(
+            "\n== {} (accuracy {:.1}%) ==",
+            variant.name(),
+            run.accuracy * 100.0
+        );
         for layer in &run.layers {
             if !FIG5_LAYERS.contains(&layer.name.as_str()) {
                 continue;

@@ -32,8 +32,8 @@ fn main() {
     for tau in [2.0f32, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0] {
         let params = KernelParams::new(tau, 0.0);
         let kernel = ExpKernel::new(params, window);
-        let model = T2fsnn::from_dnn(&prepared.dnn, T2fsnnConfig::new(window), params)
-            .expect("conversion");
+        let model =
+            T2fsnn::from_dnn(&prepared.dnn, T2fsnnConfig::new(window), params).expect("conversion");
         let run = model.run(&images, &labels).expect("run");
         points.push(TauSweepPoint {
             tau,
@@ -62,7 +62,13 @@ fn main() {
             scenario.name(),
             prepared.dnn_accuracy * 100.0
         ),
-        &["tau", "min repr.", "prec err @0.5", "Accuracy(%)", "Spikes/img"],
+        &[
+            "tau",
+            "min repr.",
+            "prec err @0.5",
+            "Accuracy(%)",
+            "Spikes/img",
+        ],
         &rows,
     );
     save_json("tau_sweep", &points);

@@ -132,7 +132,11 @@ fn cmd_run(args: &Args) {
         args.scenario.name(),
         labels.len()
     );
-    println!("  accuracy      {:.2}% (DNN {:.2}%)", run.accuracy * 100.0, prepared.dnn_accuracy * 100.0);
+    println!(
+        "  accuracy      {:.2}% (DNN {:.2}%)",
+        run.accuracy * 100.0,
+        prepared.dnn_accuracy * 100.0
+    );
     println!("  latency       {} steps", run.latency);
     println!("  spikes/image  {:.0}", run.spikes_per_image());
     for layer in &run.layers {
@@ -153,8 +157,14 @@ fn cmd_compare(args: &Args) {
     let mut measurements = Vec::new();
     let baselines: Vec<(Box<dyn Coding>, usize)> = vec![
         (Box::new(RateCoding::new()), args.scenario.rate_steps()),
-        (Box::new(PhaseCoding::new(8)), args.scenario.fast_coding_steps()),
-        (Box::new(BurstCoding::new(5)), args.scenario.fast_coding_steps()),
+        (
+            Box::new(PhaseCoding::new(8)),
+            args.scenario.fast_coding_steps(),
+        ),
+        (
+            Box::new(BurstCoding::new(5)),
+            args.scenario.fast_coding_steps(),
+        ),
     ];
     for (mut coding, steps) in baselines {
         eprintln!("simulating {} for {steps} steps…", coding.name());

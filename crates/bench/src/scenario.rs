@@ -179,6 +179,13 @@ impl Scenario {
         }
     }
 
+    /// Parameter count of this scenario's freshly initialized network —
+    /// a cheap architecture fingerprint for cache validation.
+    fn param_count(&self) -> u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed());
+        self.build_network(&mut rng).param_count() as u64
+    }
+
     fn train_config(&self) -> TrainConfig {
         let quick = quick_mode();
         match self {
@@ -229,7 +236,9 @@ impl Scenario {
 
 /// `T2FSNN_QUICK=1` shrinks every scenario for CI-speed runs.
 pub fn quick_mode() -> bool {
-    std::env::var("T2FSNN_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("T2FSNN_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// A scenario's trained, normalized network plus its data splits.
@@ -266,6 +275,13 @@ impl Prepared {
 struct CacheFile {
     version: u32,
     quick: bool,
+    /// Fingerprint of the training recipe: the scenario seed plus the
+    /// parameter count of the architecture it was trained with. Guards
+    /// against silently loading a network cached under an older
+    /// scenario definition (seed or architecture change without a
+    /// CACHE_VERSION bump).
+    seed: u64,
+    params: u64,
     dnn: Network,
     dnn_accuracy: f32,
 }
@@ -273,10 +289,49 @@ struct CacheFile {
 const CACHE_VERSION: u32 = 1;
 
 fn cache_path(scenario: Scenario) -> PathBuf {
-    let root = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
-    PathBuf::from(root)
-        .join("t2fsnn-cache")
-        .join(format!("{}-v{}.json", scenario.name(), CACHE_VERSION))
+    // Anchor at the workspace target dir regardless of the process cwd
+    // (cargo runs test binaries with cwd = the package root, and the
+    // release binaries may be invoked from anywhere).
+    let root = if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        let dir = PathBuf::from(dir);
+        if dir.is_absolute() {
+            dir
+        } else {
+            // Cargo resolves a relative CARGO_TARGET_DIR against its own
+            // invocation cwd, which this process cannot recover (test
+            // binaries run with cwd = the package root). Anchor at the
+            // workspace root — correct for the common run-from-root case
+            // and never scatters caches into crates/*/.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(dir)
+        }
+    } else {
+        // Compile-time anchor: <workspace>/crates/bench -> ../../target.
+        let build_anchor = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target");
+        if build_anchor.exists() {
+            build_anchor
+        } else {
+            // Relocated binary (build path gone): use the target/ dir the
+            // executable itself lives under, if any.
+            std::env::current_exe()
+                .ok()
+                .and_then(|exe| {
+                    exe.ancestors()
+                        .find(|a| a.file_name().is_some_and(|n| n == "target"))
+                        .map(PathBuf::from)
+                })
+                .unwrap_or_else(|| PathBuf::from("target"))
+        }
+    };
+    // The quick flag is part of the key (like CACHE_VERSION) so quick
+    // and full runs do not evict each other's entries.
+    let mode = if quick_mode() { "quick" } else { "full" };
+    root.join("t2fsnn-cache").join(format!(
+        "{}-{mode}-v{}.json",
+        scenario.name(),
+        CACHE_VERSION
+    ))
 }
 
 /// Trains (or loads from cache) a scenario's source network, normalized
@@ -296,7 +351,12 @@ pub fn prepare(scenario: Scenario) -> Prepared {
     let path = cache_path(scenario);
     if let Ok(bytes) = fs::read(&path) {
         if let Ok(cache) = serde_json::from_slice::<CacheFile>(&bytes) {
-            if cache.version == CACHE_VERSION && cache.quick == quick_mode() {
+            if cache.version == CACHE_VERSION
+                && cache.quick == quick_mode()
+                && cache.seed == scenario.seed()
+                && cache.params == cache.dnn.param_count() as u64
+                && cache.params == scenario.param_count()
+            {
                 return Prepared {
                     scenario,
                     dnn: cache.dnn,
@@ -331,11 +391,22 @@ pub fn prepare(scenario: Scenario) -> Prepared {
     let cache = CacheFile {
         version: CACHE_VERSION,
         quick: quick_mode(),
+        seed: scenario.seed(),
+        params: dnn.param_count() as u64,
         dnn: dnn.clone(),
         dnn_accuracy,
     };
     if let Ok(bytes) = serde_json::to_vec(&cache) {
-        let _ = fs::write(&path, bytes);
+        // Write-then-rename so parallel writers racing on a cold cache
+        // can never leave a truncated/interleaved file behind; the last
+        // complete write wins. The tmp name is unique per process AND
+        // per writer (test threads within one binary share a pid).
+        static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let writer = WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{writer}", std::process::id()));
+        if fs::write(&tmp, bytes).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
     }
     Prepared {
         scenario,
@@ -362,7 +433,10 @@ mod tests {
     #[test]
     fn tiny_prepare_trains_and_caches() {
         let first = prepare(Scenario::Tiny);
-        assert!(first.dnn_accuracy > 0.4, "tiny scenario should be learnable");
+        assert!(
+            first.dnn_accuracy > 0.4,
+            "tiny scenario should be learnable"
+        );
         // Second call must hit the cache (same result, no retraining).
         let second = prepare(Scenario::Tiny);
         assert_eq!(first.dnn_accuracy, second.dnn_accuracy);

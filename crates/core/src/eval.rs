@@ -27,9 +27,18 @@ pub struct Variant {
 impl Variant {
     /// All four ablation variants in the paper's Table I order.
     pub const ALL: [Variant; 4] = [
-        Variant { go: false, ef: false },
-        Variant { go: true, ef: false },
-        Variant { go: false, ef: true },
+        Variant {
+            go: false,
+            ef: false,
+        },
+        Variant {
+            go: true,
+            ef: false,
+        },
+        Variant {
+            go: false,
+            ef: true,
+        },
         Variant { go: true, ef: true },
     ];
 
@@ -339,6 +348,6 @@ mod tests {
             total_spikes: 0,
             images: 1,
         };
-        assert!(energy_table(&[bad.clone()], &bad).is_err());
+        assert!(energy_table(std::slice::from_ref(&bad), &bad).is_err());
     }
 }

@@ -188,8 +188,7 @@ fn sgd_step(
     if z_min.is_finite() {
         // Eq. 13: ∂L_min/∂τ = -((T − t_d)/τ²)·(z̄_min − ẑ_min)·ẑ_min
         let zh_min = kernel.min_representable();
-        grad_tau -=
-            (t_f - params.t_d) / (params.tau * params.tau) * (z_min - zh_min) * zh_min;
+        grad_tau -= (t_f - params.t_d) / (params.tau * params.tau) * (z_min - zh_min) * zh_min;
         // Eq. 14: ∂L_max/∂t_d = -(1/τ)·(z̄_max − ẑ_max)·ẑ_max
         let zh_max = kernel.max_representable();
         grad_td -= (z_max - zh_max) * zh_max / params.tau;
@@ -285,8 +284,7 @@ pub fn optimize_model<R: Rng + ?Sized>(
     let hidden = activations.len().saturating_sub(1);
     for (i, (_, act)) in activations.into_iter().take(hidden).enumerate() {
         let values: Vec<f32> = act.iter().copied().collect();
-        let outcome =
-            optimize_kernel(&values, model.kernels()[i], window, theta0, config, rng)?;
+        let outcome = optimize_kernel(&values, model.kernels()[i], window, theta0, config, rng)?;
         model.set_kernel(i, outcome.params)?;
         outcomes.push(outcome);
     }

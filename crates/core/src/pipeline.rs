@@ -245,6 +245,7 @@ impl T2fsnn {
 
         let mut noise_rng = config.noise.map(|cfg| ChaCha8Rng::seed_from_u64(cfg.seed));
 
+        #[allow(clippy::needless_range_loop)] // `t` drives far more than the histogram
         for t in 0..total_steps {
             // Input fire window: [0, T).
             if t < t_window {
@@ -273,7 +274,8 @@ impl T2fsnn {
                     input_spikes += any;
                     input_histogram[t] += any;
                     synop_mults += any; // one kernel multiply per spike
-                    let z = propagate_segment(ops, &segments[0], drive, &mut gates, &mut synop_adds)?;
+                    let z =
+                        propagate_segment(ops, &segments[0], drive, &mut gates, &mut synop_adds)?;
                     potentials[0].add_scaled(&z, 1.0)?;
                 }
             }
@@ -523,9 +525,7 @@ mod tests {
     fn latency_equals_pipeline_formula() {
         let (dnn, _, test_set) = fixture();
         let m = model(&dnn, T2fsnnConfig::new(16));
-        let run = m
-            .run(&test_set.images, &test_set.labels)
-            .unwrap();
+        let run = m.run(&test_set.images, &test_set.labels).unwrap();
         // mlp_tiny has 2 weighted layers: (2-1)*16 + 16 = 32.
         assert_eq!(run.latency, 32);
         assert_eq!(run.curve.last().unwrap().step, 32);
@@ -539,10 +539,7 @@ mod tests {
         for layer in &run.layers {
             assert_eq!(layer.histogram.iter().sum::<u64>(), layer.count);
         }
-        assert_eq!(
-            run.input_histogram.iter().sum::<u64>(),
-            run.input_spikes
-        );
+        assert_eq!(run.input_histogram.iter().sum::<u64>(), run.input_spikes);
         assert_eq!(run.input_histogram.len(), 32);
     }
 
@@ -582,13 +579,15 @@ mod tests {
         let spec = DatasetSpec::new("maxpool", 1, 16, 16, 4);
         let data = SyntheticConfig::new(spec.clone(), 14).generate(96);
         let (train_set, test_set) = data.split(72);
-        let mut dnn =
-            t2fsnn_dnn::architectures::cnn_small(&mut rng, &spec, t2fsnn_dnn::layers::PoolKind::Max);
+        let mut dnn = t2fsnn_dnn::architectures::cnn_small(
+            &mut rng,
+            &spec,
+            t2fsnn_dnn::layers::PoolKind::Max,
+        );
         train(&mut dnn, &train_set, &TrainConfig::default(), &mut rng).unwrap();
         normalize_for_snn(&mut dnn, &train_set.images, 0.999).unwrap();
         let dnn_acc = t2fsnn_dnn::evaluate(&mut dnn, &test_set, 16).unwrap();
-        let m = T2fsnn::from_dnn(&dnn, T2fsnnConfig::new(32), KernelParams::new(8.0, 0.0))
-            .unwrap();
+        let m = T2fsnn::from_dnn(&dnn, T2fsnnConfig::new(32), KernelParams::new(8.0, 0.0)).unwrap();
         let run = m.run(&test_set.images, &test_set.labels).unwrap();
         let logits = m.analytic_logits(&test_set.images).unwrap();
         let analytic_acc = output_accuracy(&logits, &test_set.labels).unwrap();
@@ -610,8 +609,8 @@ mod tests {
     fn zero_noise_equals_ideal_run() {
         let (dnn, _, test_set) = fixture();
         let ideal = model(&dnn, T2fsnnConfig::new(32));
-        let noisy_cfg = T2fsnnConfig::new(32)
-            .with_noise(crate::network::NoiseConfig::jitter_only(0, 7));
+        let noisy_cfg =
+            T2fsnnConfig::new(32).with_noise(crate::network::NoiseConfig::jitter_only(0, 7));
         let noisy = model(&dnn, noisy_cfg);
         let a = ideal.run(&test_set.images, &test_set.labels).unwrap();
         let b = noisy.run(&test_set.images, &test_set.labels).unwrap();
@@ -623,8 +622,8 @@ mod tests {
     fn heavy_drops_degrade_accuracy_and_deliveries() {
         let (dnn, _, test_set) = fixture();
         let ideal = model(&dnn, T2fsnnConfig::new(32));
-        let broken_cfg = T2fsnnConfig::new(32)
-            .with_noise(crate::network::NoiseConfig::drops_only(0.95, 7));
+        let broken_cfg =
+            T2fsnnConfig::new(32).with_noise(crate::network::NoiseConfig::drops_only(0.95, 7));
         let broken = model(&dnn, broken_cfg);
         let a = ideal.run(&test_set.images, &test_set.labels).unwrap();
         let b = broken.run(&test_set.images, &test_set.labels).unwrap();

@@ -6,9 +6,8 @@ use t2fsnn::kernel::{ExpKernel, KernelParams};
 use t2fsnn::optimize::kernel_losses;
 
 fn params() -> impl Strategy<Value = (KernelParams, usize)> {
-    (0.5f32..40.0, 0.0f32..8.0, 8usize..128).prop_map(|(tau, t_d, window)| {
-        (KernelParams::new(tau, t_d), window)
-    })
+    (0.5f32..40.0, 0.0f32..8.0, 8usize..128)
+        .prop_map(|(tau, t_d, window)| (KernelParams::new(tau, t_d), window))
 }
 
 proptest! {

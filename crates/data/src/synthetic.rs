@@ -42,8 +42,9 @@ impl ClassPrototype {
     /// guarantees every pair of classes differs in at least one coarse
     /// attribute, while a class-seeded RNG still jitters within the cell.
     fn for_class(seed: u64, class: usize, total_classes: usize, channels: usize) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
-            .wrapping_mul(class as u64 + 1)));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(class as u64 + 1)),
+        );
         let base = (total_classes as f32).cbrt().ceil().max(2.0) as usize;
         let d0 = class % base;
         let d1 = (class / base) % base;
@@ -180,8 +181,7 @@ impl SyntheticConfig {
                             // Box–Muller normal draw.
                             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                             let u2: f32 = rng.gen_range(0.0f32..1.0);
-                            let z = (-2.0 * u1.ln()).sqrt()
-                                * (std::f32::consts::TAU * u2).cos();
+                            let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
                             v += self.noise_std * z;
                         }
                         images.push(v.clamp(0.0, 1.0));

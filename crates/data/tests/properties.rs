@@ -4,9 +4,8 @@ use proptest::prelude::*;
 use t2fsnn_data::{DatasetSpec, DatasetStats, SyntheticConfig};
 
 fn small_spec() -> impl Strategy<Value = DatasetSpec> {
-    (1usize..3, 4usize..12, 4usize..12, 2usize..6).prop_map(|(c, h, w, k)| {
-        DatasetSpec::new("prop", c, h, w, k)
-    })
+    (1usize..3, 4usize..12, 4usize..12, 2usize..6)
+        .prop_map(|(c, h, w, k)| DatasetSpec::new("prop", c, h, w, k))
 }
 
 proptest! {

@@ -68,7 +68,7 @@ impl VggScale {
 /// Panics if `spec.height`/`spec.width` are not divisible by 32.
 pub fn vgg_scaled<R: Rng + ?Sized>(rng: &mut R, spec: &DatasetSpec, scale: VggScale) -> Network {
     assert!(
-        spec.height % 32 == 0 && spec.width % 32 == 0,
+        spec.height.is_multiple_of(32) && spec.width.is_multiple_of(32),
         "vgg_scaled needs spatial dims divisible by 32, got {}x{}",
         spec.height,
         spec.width
@@ -82,7 +82,10 @@ pub fn vgg_scaled<R: Rng + ?Sized>(rng: &mut R, spec: &DatasetSpec, scale: VggSc
             let name = format!("conv{}_{}", block + 1, conv + 1);
             net.push(&name, Conv2d::new(rng, in_ch, out_ch, 3, conv_spec));
             if scale.batch_norm {
-                net.push(&format!("bn{}_{}", block + 1, conv + 1), BatchNorm2d::new(out_ch));
+                net.push(
+                    &format!("bn{}_{}", block + 1, conv + 1),
+                    BatchNorm2d::new(out_ch),
+                );
             }
             net.push(&format!("relu{}_{}", block + 1, conv + 1), Relu::new());
             in_ch = out_ch;
@@ -165,11 +168,7 @@ mod tests {
             ..VggScale::default()
         };
         let net = vgg_scaled(&mut rng(), &spec, scale);
-        let convs = net
-            .layers()
-            .iter()
-            .filter(|l| l.kind() == "conv")
-            .count();
+        let convs = net.layers().iter().filter(|l| l.kind() == "conv").count();
         assert_eq!(convs, 13, "VGG-16 has 13 conv layers");
         assert!(net.index_of("conv5_3").is_some());
     }

@@ -107,7 +107,7 @@ impl BatchNorm2d {
         let mut out = vec![0.0f32; id.len()];
         let mut x_hat = vec![0.0f32; id.len()];
         let mut inv_stds = vec![0.0f32; c];
-        for ci in 0..c {
+        for (ci, inv_std_slot) in inv_stds.iter_mut().enumerate() {
             let (mean, var) = if train {
                 let mut sum = 0.0f32;
                 let mut sq = 0.0f32;
@@ -130,7 +130,7 @@ impl BatchNorm2d {
                 (self.running_mean.data()[ci], self.running_var.data()[ci])
             };
             let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds[ci] = inv_std;
+            *inv_std_slot = inv_std;
             let g = self.gamma.data()[ci];
             let b = self.beta.data()[ci];
             for ni in 0..n {
@@ -287,11 +287,7 @@ mod tests {
         let _ = bn.forward(&x, true).unwrap();
         let gx = bn.backward(&gout).unwrap();
         let loss = |bn: &mut BatchNorm2d, input: &Tensor| {
-            bn.forward(input, true)
-                .unwrap()
-                .mul(&gout)
-                .unwrap()
-                .sum()
+            bn.forward(input, true).unwrap().mul(&gout).unwrap().sum()
         };
         let eps = 1e-2f32;
         for &flat in &[0usize, 7, 19, 35] {
@@ -327,7 +323,10 @@ mod tests {
             bm.gamma.data_mut()[ci] -= eps;
             let fd = (loss(&mut bp, &x) - loss(&mut bm, &x)) / (2.0 * eps);
             let analytic = bn.grad_gamma.as_ref().unwrap().data()[ci];
-            assert!((fd - analytic).abs() < 5e-2, "γ[{ci}]: fd={fd} vs {analytic}");
+            assert!(
+                (fd - analytic).abs() < 5e-2,
+                "γ[{ci}]: fd={fd} vs {analytic}"
+            );
         }
     }
 

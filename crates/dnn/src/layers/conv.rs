@@ -110,10 +110,13 @@ impl Conv2d {
     /// Returns an error if no forward pass with `train == true` preceded
     /// this call, or on shape inconsistencies.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::InvalidArgument {
-            op: "Conv2d::backward",
-            message: "backward called before forward(train=true)".to_string(),
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::InvalidArgument {
+                op: "Conv2d::backward",
+                message: "backward called before forward(train=true)".to_string(),
+            })?;
         let (gi, gw, gb) = conv2d_backward(input, &self.weight, grad_out, self.spec)?;
         match &mut self.grad_weight {
             Some(g) => g.add_scaled(&gw, 1.0)?,
@@ -142,10 +145,7 @@ impl Conv2d {
         let k = self.weight.dims()[2];
         let oh = self.spec.output_dim(h, k) as u64;
         let ow = self.spec.output_dim(w, k) as u64;
-        oh * ow
-            * self.out_channels() as u64
-            * self.in_channels() as u64
-            * (k * k) as u64
+        oh * ow * self.out_channels() as u64 * self.in_channels() as u64 * (k * k) as u64
     }
 }
 

@@ -105,10 +105,13 @@ impl Linear {
     /// Returns an error if no forward pass with `train == true` preceded
     /// this call.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::InvalidArgument {
-            op: "Linear::backward",
-            message: "backward called before forward(train=true)".to_string(),
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::InvalidArgument {
+                op: "Linear::backward",
+                message: "backward called before forward(train=true)".to_string(),
+            })?;
         // dW = goutᵀ · x ; db = Σ_batch gout ; dx = gout · W
         let gw = matmul_at_b(grad_out, input)?;
         match &mut self.grad_weight {
@@ -118,8 +121,8 @@ impl Linear {
         let (n, o) = (grad_out.dims()[0], grad_out.dims()[1]);
         let mut gb = vec![0.0f32; o];
         for i in 0..n {
-            for j in 0..o {
-                gb[j] += grad_out.data()[i * o + j];
+            for (j, g) in gb.iter_mut().enumerate() {
+                *g += grad_out.data()[i * o + j];
             }
         }
         let gb = Tensor::from_vec([o], gb)?;
@@ -183,7 +186,10 @@ mod tests {
             m.weight.data_mut()[flat] -= eps;
             let fd = (loss(&mut p, &x) - loss(&mut m, &x)) / (2.0 * eps);
             let analytic = fc.grad_weight.as_ref().unwrap().data()[flat];
-            assert!((fd - analytic).abs() < 1e-2, "w[{flat}]: {fd} vs {analytic}");
+            assert!(
+                (fd - analytic).abs() < 1e-2,
+                "w[{flat}]: {fd} vs {analytic}"
+            );
         }
         for flat in 0..x.numel() {
             let mut xp = x.clone();

@@ -34,10 +34,13 @@ impl Relu {
     /// Returns an error if called before `forward(train=true)` or on shape
     /// mismatch.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::InvalidArgument {
-            op: "Relu::backward",
-            message: "backward called before forward(train=true)".to_string(),
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::InvalidArgument {
+                op: "Relu::backward",
+                message: "backward called before forward(train=true)".to_string(),
+            })?;
         relu_backward(input, grad_out)
     }
 }
@@ -66,8 +69,13 @@ pub struct Pool {
 
 #[derive(Debug, Clone)]
 enum PoolCache {
-    Avg { input_shape: Vec<usize> },
-    Max { input_shape: Vec<usize>, argmax: Vec<usize> },
+    Avg {
+        input_shape: Vec<usize>,
+    },
+    Max {
+        input_shape: Vec<usize>,
+        argmax: Vec<usize>,
+    },
 }
 
 impl Pool {
@@ -77,7 +85,10 @@ impl Pool {
     ///
     /// Panics if `window` or `stride` is zero.
     pub fn new(kind: PoolKind, window: usize, stride: usize) -> Self {
-        assert!(window > 0 && stride > 0, "pool window/stride must be positive");
+        assert!(
+            window > 0 && stride > 0,
+            "pool window/stride must be positive"
+        );
         Pool {
             kind,
             window,
@@ -130,9 +141,10 @@ impl Pool {
             Some(PoolCache::Avg { input_shape }) => {
                 avg_pool2d_backward(input_shape, self.window, self.stride, grad_out)
             }
-            Some(PoolCache::Max { input_shape, argmax }) => {
-                max_pool2d_backward(input_shape, argmax, grad_out)
-            }
+            Some(PoolCache::Max {
+                input_shape,
+                argmax,
+            }) => max_pool2d_backward(input_shape, argmax, grad_out),
             None => Err(TensorError::InvalidArgument {
                 op: "Pool::backward",
                 message: "backward called before forward(train=true)".to_string(),
@@ -181,10 +193,13 @@ impl Flatten {
     ///
     /// Returns an error if called before `forward(train=true)`.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let shape = self.cached_shape.as_ref().ok_or(TensorError::InvalidArgument {
-            op: "Flatten::backward",
-            message: "backward called before forward(train=true)".to_string(),
-        })?;
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(TensorError::InvalidArgument {
+                op: "Flatten::backward",
+                message: "backward called before forward(train=true)".to_string(),
+            })?;
         grad_out.reshape(shape.clone())
     }
 }

@@ -309,10 +309,7 @@ mod tests {
     fn predict_returns_argmax_rows() {
         let mut net = Network::new();
         let w = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
-        net.push(
-            "id",
-            Linear::from_parts(w, Tensor::zeros([2])).unwrap(),
-        );
+        net.push("id", Linear::from_parts(w, Tensor::zeros([2])).unwrap());
         let x = Tensor::from_vec([2, 2], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
         assert_eq!(net.predict(&x).unwrap(), vec![0, 1]);
     }

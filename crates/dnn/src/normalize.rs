@@ -101,10 +101,7 @@ pub fn normalize_for_snn(
         scales.push((i, lambda));
         prev_scale = lambda;
     }
-    Ok(NormalizationReport {
-        scales,
-        percentile,
-    })
+    Ok(NormalizationReport { scales, percentile })
 }
 
 /// Records the post-activation output of every *weighted* layer for the

@@ -186,11 +186,7 @@ mod tests {
             momentum: 0.9,
             weight_decay: 0.0,
         });
-        let x = Tensor::from_vec(
-            [4, 2],
-            vec![1.0, 0.0, 0.8, 0.1, 0.0, 1.0, 0.2, 0.9],
-        )
-        .unwrap();
+        let x = Tensor::from_vec([4, 2], vec![1.0, 0.0, 0.8, 0.1, 0.0, 1.0, 0.2, 0.9]).unwrap();
         let labels = [0usize, 0, 1, 1];
         let mut last_loss = f32::INFINITY;
         for _ in 0..50 {

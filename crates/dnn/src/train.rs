@@ -138,11 +138,7 @@ pub fn evaluate(network: &mut Network, dataset: &Dataset, batch_size: usize) -> 
     let mut correct = 0usize;
     for (images, labels) in dataset.batches(batch_size.max(1)) {
         let preds = network.predict(&images)?;
-        correct += preds
-            .iter()
-            .zip(&labels)
-            .filter(|(p, y)| p == y)
-            .count();
+        correct += preds.iter().zip(&labels).filter(|(p, y)| p == y).count();
     }
     Ok(correct as f32 / dataset.len() as f32)
 }

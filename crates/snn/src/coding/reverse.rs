@@ -85,8 +85,8 @@ impl Coding for ReverseCoding {
         if self.fired.len() <= layer {
             self.fired.resize(layer + 1, None);
         }
-        let fired = self.fired[layer]
-            .get_or_insert_with(|| Tensor::zeros(potential.shape().clone()));
+        let fired =
+            self.fired[layer].get_or_insert_with(|| Tensor::zeros(potential.shape().clone()));
         let mut spikes = Tensor::zeros(potential.shape().clone());
         let sd = spikes.data_mut();
         let mut count = 0u64;
@@ -182,7 +182,7 @@ mod tests {
             total += n;
         }
         assert_eq!(total, 2); // the 0.0 pixel never spikes
-        // Past the window: silence.
+                              // Past the window: silence.
         let (_, n) = c.encode(&img, 100);
         assert_eq!(n, 0);
     }

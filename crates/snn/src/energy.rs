@@ -7,10 +7,14 @@
 //! rate coding* on the same dataset. This module implements exactly that
 //! estimator with the paper's parameter pairs.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// A neuromorphic platform's relative dynamic/static energy split.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the platform name is a `&'static str` so the
+/// [`TRUENORTH`]/[`SPINNAKER`] presets can be `const`, which rules out
+/// deserialization (nothing round-trips this type).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct EnergyModel {
     /// Platform name for reports.
     pub name: &'static str,
@@ -44,13 +48,7 @@ impl EnergyModel {
     /// # Panics
     ///
     /// Panics if either reference quantity is zero.
-    pub fn normalized(
-        &self,
-        spikes: f64,
-        latency: f64,
-        ref_spikes: f64,
-        ref_latency: f64,
-    ) -> f64 {
+    pub fn normalized(&self, spikes: f64, latency: f64, ref_spikes: f64, ref_latency: f64) -> f64 {
         assert!(
             ref_spikes > 0.0 && ref_latency > 0.0,
             "reference spikes/latency must be positive"

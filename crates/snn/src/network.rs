@@ -441,7 +441,9 @@ impl SnnNetwork {
     /// Returns `true` if the network contains max-pooling ops (supported
     /// by the TTFS engine only — see [`SnnOp::MaxPool`]).
     pub fn has_max_pool(&self) -> bool {
-        self.ops.iter().any(|op| matches!(op, SnnOp::MaxPool { .. }))
+        self.ops
+            .iter()
+            .any(|op| matches!(op, SnnOp::MaxPool { .. }))
     }
 
     /// Number of weighted (neuron-bearing) ops.
@@ -551,7 +553,10 @@ mod tests {
 
     #[test]
     fn max_pool_op_takes_spatial_max() {
-        let op = SnnOp::MaxPool { window: 2, stride: 2 };
+        let op = SnnOp::MaxPool {
+            window: 2,
+            stride: 2,
+        };
         let mut input = Tensor::zeros([1, 1, 4, 4]);
         input.set(&[0, 0, 0, 0], 0.3).unwrap();
         input.set(&[0, 0, 1, 1], 0.7).unwrap();
@@ -560,10 +565,7 @@ mod tests {
         assert_eq!(synops, 0);
         assert_eq!(out.get(&[0, 0, 0, 0]), Some(0.7));
         assert_eq!(out.get(&[0, 0, 1, 1]), Some(0.5));
-        assert_eq!(
-            op.output_shape(&[1, 4, 4]).unwrap(),
-            vec![1, 2, 2]
-        );
+        assert_eq!(op.output_shape(&[1, 4, 4]).unwrap(), vec![1, 2, 2]);
     }
 
     #[test]
@@ -682,7 +684,10 @@ mod tests {
 
     #[test]
     fn avg_pool_op_passes_scaled_spikes() {
-        let op = SnnOp::AvgPool { window: 2, stride: 2 };
+        let op = SnnOp::AvgPool {
+            window: 2,
+            stride: 2,
+        };
         let mut input = Tensor::zeros([1, 1, 4, 4]);
         input.set(&[0, 0, 0, 0], 1.0).unwrap();
         let (out, synops) = op.propagate(&input).unwrap();

@@ -106,10 +106,9 @@ mod tests {
         let z = Tensor::from_vec([1, 2], vec![0.3, 0.6]).unwrap();
         s.integrate(&z).unwrap();
         s.integrate(&z).unwrap();
-        assert!(s.potential().all_close(
-            &Tensor::from_vec([1, 2], vec![0.6, 1.2]).unwrap(),
-            1e-6
-        ));
+        assert!(s
+            .potential()
+            .all_close(&Tensor::from_vec([1, 2], vec![0.6, 1.2]).unwrap(), 1e-6));
     }
 
     #[test]
@@ -121,7 +120,8 @@ mod tests {
     #[test]
     fn fire_subtract_keeps_residual() {
         let mut s = IfState::new([1, 1]);
-        s.integrate(&Tensor::from_vec([1, 1], vec![1.7]).unwrap()).unwrap();
+        s.integrate(&Tensor::from_vec([1, 1], vec![1.7]).unwrap())
+            .unwrap();
         let (spikes, n) = s.fire_subtract(1.0);
         assert_eq!(n, 1);
         assert_eq!(spikes.data(), &[1.0]);
@@ -161,7 +161,8 @@ mod tests {
     #[test]
     fn negative_potential_never_fires() {
         let mut s = IfState::new([1, 1]);
-        s.integrate(&Tensor::from_vec([1, 1], vec![-5.0]).unwrap()).unwrap();
+        s.integrate(&Tensor::from_vec([1, 1], vec![-5.0]).unwrap())
+            .unwrap();
         let (_, n) = s.fire_subtract(1.0);
         assert_eq!(n, 0);
         assert_eq!(s.potential().data()[0], -5.0);

@@ -130,7 +130,7 @@ proptest! {
         // per decode window.
         let codings: Vec<Box<dyn Coding>> = vec![
             Box::new(RateCoding::new()),
-            Box::new(PhaseCoding::new(period.max(1).min(24))),
+            Box::new(PhaseCoding::new(period.clamp(1, 24))),
             Box::new(BurstCoding::new(5)),
         ];
         for coding in codings {

@@ -11,7 +11,12 @@ use crate::tensor::Tensor;
 /// # Panics
 ///
 /// Panics if `low >= high` (propagated from the underlying distribution).
-pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: impl Into<Shape>, low: f32, high: f32) -> Tensor {
+pub fn uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: impl Into<Shape>,
+    low: f32,
+    high: f32,
+) -> Tensor {
     let dist = Uniform::new(low, high);
     let shape = shape.into();
     let data = (0..shape.numel()).map(|_| dist.sample(rng)).collect();
@@ -21,7 +26,12 @@ pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: impl Into<Shape>, low: f32, 
 /// Draws every element from `N(mean, std²)` using a Box–Muller transform.
 ///
 /// Implemented locally so the crate does not need `rand_distr`.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, shape: impl Into<Shape>, mean: f32, std: f32) -> Tensor {
+pub fn normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: impl Into<Shape>,
+    mean: f32,
+    std: f32,
+) -> Tensor {
     let shape = shape.into();
     let n = shape.numel();
     let mut data = Vec::with_capacity(n);

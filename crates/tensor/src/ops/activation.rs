@@ -253,11 +253,8 @@ mod tests {
 
     #[test]
     fn top_k_widens_with_k() {
-        let logits = Tensor::from_vec(
-            [2, 4],
-            vec![0.1, 0.9, 0.5, 0.2, 0.4, 0.3, 0.2, 0.1],
-        )
-        .unwrap();
+        let logits =
+            Tensor::from_vec([2, 4], vec![0.1, 0.9, 0.5, 0.2, 0.4, 0.3, 0.2, 0.1]).unwrap();
         let labels = [2usize, 1];
         assert_eq!(top_k_accuracy(&logits, &labels, 1).unwrap(), 0.0);
         assert_eq!(top_k_accuracy(&logits, &labels, 2).unwrap(), 1.0);
@@ -283,8 +280,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_hits() {
-        let logits =
-            Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
+        let logits = Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
         let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&Tensor::zeros([0, 2]), &[]).unwrap(), 0.0);

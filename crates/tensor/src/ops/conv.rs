@@ -62,11 +62,7 @@ impl Default for Conv2dSpec {
 
 /// Unfolds one `[C, H, W]` image into an im2col matrix
 /// `[C·KH·KW, OH·OW]` where each column is a flattened receptive field.
-pub fn im2col(
-    image: &Tensor,
-    kernel: (usize, usize),
-    spec: Conv2dSpec,
-) -> Result<Tensor> {
+pub fn im2col(image: &Tensor, kernel: (usize, usize), spec: Conv2dSpec) -> Result<Tensor> {
     if image.rank() != 3 {
         return Err(TensorError::InvalidArgument {
             op: "im2col",
@@ -124,11 +120,7 @@ pub fn col2im(
     if cols_mat.dims() != [rows, oh * ow] {
         return Err(TensorError::InvalidArgument {
             op: "col2im",
-            message: format!(
-                "expected [{rows}, {}], got {}",
-                oh * ow,
-                cols_mat.shape()
-            ),
+            message: format!("expected [{rows}, {}], got {}", oh * ow, cols_mat.shape()),
         });
     }
     let mut out = vec![0.0f32; channels * h * w];
@@ -296,8 +288,8 @@ pub fn conv2d_backward(
         let gw = matmul_a_bt(&gout, &cols_mat)?;
         grad_weight.add_scaled(&gw, 1.0)?;
         // db += Σ gout
-        for oc in 0..o {
-            grad_bias[oc] += gout.data()[oc * oh * ow..(oc + 1) * oh * ow]
+        for (oc, gb) in grad_bias.iter_mut().enumerate() {
+            *gb += gout.data()[oc * oh * ow..(oc + 1) * oh * ow]
                 .iter()
                 .sum::<f32>();
         }
@@ -360,9 +352,7 @@ mod tests {
         // below the comparison tolerance while still exercising negatives.
         Tensor::from_vec(
             shape,
-            (0..n)
-                .map(|i| ((i % 13) as f32) * 0.05 - 0.3)
-                .collect(),
+            (0..n).map(|i| ((i % 13) as f32) * 0.05 - 0.3).collect(),
         )
         .unwrap()
     }
@@ -409,7 +399,13 @@ mod tests {
         let weight = Tensor::zeros([2, 3, 3, 3]);
         let bias = Tensor::zeros([3]); // wrong bias length
         assert!(conv2d(&input, &weight, &bias, spec).is_err());
-        assert!(conv2d(&Tensor::zeros([3, 4, 4]), &weight, &Tensor::zeros([2]), spec).is_err());
+        assert!(conv2d(
+            &Tensor::zeros([3, 4, 4]),
+            &weight,
+            &Tensor::zeros([2]),
+            spec
+        )
+        .is_err());
     }
 
     #[test]
@@ -437,9 +433,8 @@ mod tests {
         let (gi, gw, gb) = conv2d_backward(&input, &weight, &gout, spec).unwrap();
 
         let eps = 1e-2f32;
-        let loss = |inp: &Tensor, wgt: &Tensor, b: &Tensor| {
-            conv2d(inp, wgt, b, spec).unwrap().sum()
-        };
+        let loss =
+            |inp: &Tensor, wgt: &Tensor, b: &Tensor| conv2d(inp, wgt, b, spec).unwrap().sum();
         // Check a scattering of coordinates for each gradient.
         for &flat in &[0usize, 5, 17, 31] {
             let mut ip = input.clone();

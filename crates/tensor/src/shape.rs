@@ -99,7 +99,7 @@ impl Shape {
 
     /// Returns `true` if the shape has zero elements along any axis.
     pub fn is_empty(&self) -> bool {
-        self.0.iter().any(|&d| d == 0)
+        self.0.contains(&0)
     }
 }
 

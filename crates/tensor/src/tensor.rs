@@ -233,7 +233,12 @@ impl Tensor {
         self.binary(other, "div", |a, b| a / b)
     }
 
-    fn binary(&self, other: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+    fn binary(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Self> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 op,
@@ -405,10 +410,12 @@ impl Tensor {
     /// Returns [`TensorError::InvalidArgument`] if `tensors` is empty and
     /// [`TensorError::ShapeMismatch`] if any shapes differ.
     pub fn stack(tensors: &[Tensor]) -> Result<Self> {
-        let first = tensors.first().ok_or_else(|| TensorError::InvalidArgument {
-            op: "stack",
-            message: "cannot stack zero tensors".to_string(),
-        })?;
+        let first = tensors
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument {
+                op: "stack",
+                message: "cannot stack zero tensors".to_string(),
+            })?;
         let mut dims = vec![tensors.len()];
         dims.extend_from_slice(first.dims());
         let mut data = Vec::with_capacity(first.numel() * tensors.len());

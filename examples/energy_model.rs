@@ -25,8 +25,18 @@ fn main() -> Result<(), Box<dyn Error>> {
             model.name, model.e_dyn, model.e_sta
         );
         row(&model, "rate baseline (1.0, 1.0)", 1.0, 1.0);
-        row(&model, "burst-like: 0.11x spikes, 0.11x latency", 0.11, 0.11);
-        row(&model, "phase-like: 0.57x spikes, 0.15x latency", 0.57, 0.15);
+        row(
+            &model,
+            "burst-like: 0.11x spikes, 0.11x latency",
+            0.11,
+            0.11,
+        );
+        row(
+            &model,
+            "phase-like: 0.57x spikes, 0.15x latency",
+            0.57,
+            0.15,
+        );
         row(
             &model,
             "T2FSNN-like: 0.001x spikes, 0.07x latency",

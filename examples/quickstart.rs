@@ -75,7 +75,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 5. Spiking inference: one spike per neuron, spike time = value.
     let run = model.run(&test_set.images, &test_set.labels)?;
     println!("\n== results ==");
-    println!("  accuracy        {:.1}% (DNN: {:.1}%)", run.accuracy * 100.0, dnn_acc * 100.0);
+    println!(
+        "  accuracy        {:.1}% (DNN: {:.1}%)",
+        run.accuracy * 100.0,
+        dnn_acc * 100.0
+    );
     println!("  latency         {} time steps", run.latency);
     println!("  spikes/image    {:.0}", run.spikes_per_image());
     println!(

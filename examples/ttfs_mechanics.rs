@@ -78,9 +78,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     for (x, w) in inputs.iter().zip(&weights) {
         let t = kernel.encode(*x, 1.0).expect("representable");
         let psp = w * kernel.decode(t);
-        println!(
-            "  input {x} spikes at t={t}; dendrite delivers w·ε(t) = {psp:.4}"
-        );
+        println!("  input {x} spikes at t={t}; dendrite delivers w·ε(t) = {psp:.4}");
         u_next += psp;
     }
     let exact = 0.05 + 0.8 * 0.7 + 0.4 * 0.3;

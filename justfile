@@ -1,0 +1,58 @@
+# Developer entry points. `just verify` is the tier-1 gate every PR must
+# keep green; CI (.github/workflows/ci.yml) runs the same steps.
+
+# Tier-1 verification: release build + full test suite.
+verify:
+    cargo build --release
+    cargo test -q
+
+# Everything CI runs, in CI order.
+ci: fmt-check lint verify bench-check
+
+# Formatting gate.
+fmt-check:
+    cargo fmt --check
+
+# Apply formatting.
+fmt:
+    cargo fmt
+
+# Lint gate (no outstanding warnings are tolerated).
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Full workspace test run (unit + integration + property + doc).
+test:
+    cargo test -q --workspace
+
+# Compile all 7 Criterion bench targets without running them.
+bench-check:
+    cargo bench --no-run
+
+# Run the benches (the criterion shim prints mean/min/max wall-clock).
+bench:
+    cargo bench
+
+# Run one paper-reproduction binary, e.g. `just repro table2`.
+repro target:
+    cargo run --release --bin repro_{{target}}
+
+# Run all paper reproductions (results land in results/*.json).
+repro-all:
+    cargo run --release --bin repro_fig4
+    cargo run --release --bin repro_fig5
+    cargo run --release --bin repro_fig6
+    cargo run --release --bin repro_table1
+    cargo run --release --bin repro_table2
+    cargo run --release --bin repro_table3
+    cargo run --release --bin repro_ef_sweep
+    cargo run --release --bin repro_tau_sweep
+    cargo run --release --bin repro_noise
+
+# Run every example.
+examples:
+    cargo run -q --example quickstart
+    cargo run -q --example ttfs_mechanics
+    cargo run -q --example kernel_optimization
+    cargo run -q --example coding_comparison
+    cargo run -q --example energy_model

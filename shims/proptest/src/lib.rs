@@ -1,0 +1,530 @@
+//! Offline shim for the subset of `proptest` 1.x this workspace uses.
+//!
+//! Supports the `proptest! { #![proptest_config(..)] #[test] fn .. }`
+//! block syntax, range/tuple strategies, `prop_map`/`prop_flat_map`,
+//! `prop::collection::vec`, `prop::bool::ANY`, `Just`, `any::<T>()`, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports the sampled inputs (via
+//!   `Debug`) and the case index, then panics.
+//! - **`prop_assume!` resamples.** Rejected inputs do not consume a
+//!   case; past a global cap (10× the case count) the test fails with a
+//!   too-restrictive-assumption error, loosely mirroring upstream's
+//!   rejection limit.
+//! - **Deterministic by default.** The per-test RNG is seeded from a
+//!   fixed constant XOR a hash of the test name; set `PROPTEST_SEED` to
+//!   explore a different sample.
+//! - Default case count is 64 (upstream: 256) to keep tier-1 fast;
+//!   individual blocks override it with `ProptestConfig::with_cases`.
+
+use rand::{Rng, RngCore};
+
+/// Deterministic RNG driving case generation (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from `PROPTEST_SEED` (if set) XOR an FNV-1a hash of the
+    /// test name, so every test sees an independent stream.
+    pub fn for_test(test_name: &str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x05EE_DBA5_E0FC_0FFE);
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state: base ^ hash }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Per-block configuration; only `cases` is meaningful in this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Sets the case count, like upstream's constructor of the same name.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values, sampled once per test case.
+pub trait Strategy {
+    /// Type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms sampled values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each sampled value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (upstream API compatibility).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Type-erased strategy, as returned by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of its payload.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Types with a canonical "arbitrary" strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    fn arbitrary() -> ArbitraryStrategy<Self>;
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! arbitrary_impls {
+    ($($t:ty => $f:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<$t> {
+                ArbitraryStrategy($f)
+            }
+        }
+    )*};
+}
+
+arbitrary_impls! {
+    bool => |rng| rng.next_u32() & 1 == 1,
+    u8 => |rng| rng.next_u32() as u8,
+    u16 => |rng| rng.next_u32() as u16,
+    u32 => |rng| rng.next_u32(),
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i8 => |rng| rng.next_u32() as i8,
+    i16 => |rng| rng.next_u32() as i16,
+    i32 => |rng| rng.next_u32() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+    isize => |rng| rng.next_u64() as isize,
+}
+
+// No Arbitrary for f32/f64 on purpose: upstream's any::<f32>() covers the
+// full range including ±inf/NaN, which a naive [0,1) impl would silently
+// narrow. Use an explicit range strategy for floats; misuse is a compile
+// error instead of a vacuously-passing property.
+
+/// The canonical strategy for `T`, like upstream `any::<T>()`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    T::arbitrary()
+}
+
+/// Nested `prop::` namespace, mirroring upstream module paths.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Acceptable length specifications for [`vec`].
+        pub trait IntoSizeRange {
+            /// Lower/upper (inclusive) length bounds.
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self)
+            }
+        }
+
+        impl IntoSizeRange for core::ops::Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty vec length range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+
+        /// Strategy producing `Vec`s of `elem`-sampled values.
+        pub struct VecStrategy<S> {
+            elem: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// Vectors with lengths drawn from `size` and elements from
+        /// `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { elem, min, max }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_range(self.min..=self.max);
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+        use rand::RngCore;
+
+        /// Uniform coin flip.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Upstream-style constant: `prop::bool::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u32() & 1 == 1
+            }
+        }
+    }
+
+    /// Numeric strategy namespace (ranges already implement
+    /// [`super::Strategy`]; this exists for upstream path parity).
+    pub mod num {}
+}
+
+/// Everything a `proptest!` block needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Control value returned by each generated test case; lets
+/// [`prop_assume!`] skip a case by early-returning from the case
+/// closure.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseResult {
+    /// Case ran to completion.
+    Ran,
+    /// Case was rejected by `prop_assume!`; does not count as a failure.
+    Rejected,
+}
+
+/// Skips the current case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return $crate::CaseResult::Rejected;
+        }
+    };
+}
+
+/// Asserts inside a property; panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right); };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+); };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right); };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+); };
+}
+
+/// The `proptest!` block: wraps each `#[test] fn name(arg in strategy)`
+/// into a loop over sampled cases. On failure, the sampled inputs are
+/// printed before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                // `prop_assume!` rejections are resampled (they do not
+                // consume a case), with an upstream-style global cap so
+                // an over-restrictive assumption fails loudly instead of
+                // silently weakening the property.
+                let max_rejects = config.cases.saturating_mul(10).max(256);
+                let mut rejects = 0u32;
+                let mut case = 0u32;
+                while case < config.cases {
+                    let mut inputs = String::new();
+                    $(
+                        let __sampled = $crate::Strategy::sample(&($strat), &mut rng);
+                        inputs.push_str(&format!(
+                            "{} = {:?}; ",
+                            stringify!($arg),
+                            &__sampled
+                        ));
+                        let $arg = __sampled;
+                    )+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| -> $crate::CaseResult {
+                            $body
+                            $crate::CaseResult::Ran
+                        }),
+                    );
+                    match outcome {
+                        Ok($crate::CaseResult::Ran) => case += 1,
+                        Ok($crate::CaseResult::Rejected) => {
+                            rejects += 1;
+                            assert!(
+                                rejects <= max_rejects,
+                                "proptest {}: {} inputs rejected by prop_assume! \
+                                 (ran {}/{} cases) — the assumption is too restrictive \
+                                 for the strategy",
+                                stringify!($name),
+                                rejects,
+                                case,
+                                config.cases
+                            );
+                        }
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest {}: case {}/{} failed with inputs: {}",
+                                stringify!($name),
+                                case + 1,
+                                config.cases,
+                                inputs
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -1.5f32..1.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (1usize..4, 0.0f32..1.0).prop_map(|(n, f)| (n * 2, f * 0.5)),
+        ) {
+            prop_assert!(pair.0 % 2 == 0);
+            prop_assert!((0.0..0.5).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(
+            xs in prop::collection::vec(0u32..5, 2..6),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 5));
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_rejections_resample_instead_of_consuming_cases(
+            x in 0u32..100,
+        ) {
+            // Roughly half the samples are rejected; all 32 cases must
+            // still run (on even inputs only).
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn flat_map_produces_dependent_lengths(
+            xs in (1usize..4).prop_flat_map(|n| prop::collection::vec(0.0f32..1.0, n..=n)),
+        ) {
+            prop_assert!((1..4).contains(&xs.len()));
+        }
+    }
+
+    #[test]
+    fn same_name_means_same_stream() {
+        let mut a = crate::TestRng::for_test("t");
+        let mut b = crate::TestRng::for_test("t");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline shim for the subset of `rand` 0.8 used by this workspace.
+//!
+//! Implements [`RngCore`], the [`Rng`] extension trait (`gen`,
+//! `gen_range`, `gen_bool`, `fill`), [`SeedableRng`] with a
+//! SplitMix64-based `seed_from_u64` expansion (NOT upstream-compatible —
+//! see [`SeedableRng::seed_from_u64`]), shuffling via `seq::SliceRandom`,
+//! and the `rngs::mock::StepRng` generator the tensor property tests use.
+//! Only the API surface the workspace actually calls is implemented;
+//! unused upstream types (e.g. `SmallRng`) are deliberately absent.
+
+/// Core random number source: a stream of `u32`/`u64` words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators. Only the `seed_from_u64` entry point (plus
+/// `from_seed`) is used in this workspace.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array for every implementor here).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed into `Self::Seed` with SplitMix64, then
+    /// calls [`SeedableRng::from_seed`].
+    ///
+    /// Note: upstream rand_core uses a different expansion (PCG32), so
+    /// streams produced here will NOT match real `rand` for the same
+    /// seed — swapping the real crates back in changes every seeded
+    /// stream in the workspace.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (Steele et al.); upstream rand_core uses PCG32
+            // here, so streams differ for the same seed.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let word = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from an [`RngCore`] via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision (rand's `Standard`).
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`]. The element type is a trait
+/// parameter (not an associated type) so that a type annotation on the
+/// result — `let x: f32 = rng.gen_range(0.0..1.0)` — flows back into
+/// the literal's inferred type, matching upstream rand's inference.
+pub trait SampleRange<T> {
+    /// Draws uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                // Two-term lerp: `start + (end - start) * u` overflows to
+                // infinity when the span exceeds the type's max (e.g.
+                // MIN..MAX); this form keeps both terms finite.
+                let x = self.start * (1.0 - u) + self.end * u;
+                // Guard against rounding up to the excluded endpoint.
+                if x >= self.end {
+                    // Largest representable value strictly below `end`;
+                    // the bit pattern moves in opposite directions for
+                    // positive and negative floats, and the predecessor
+                    // of ±0.0 is the smallest-magnitude negative float.
+                    let below_end = if self.end > 0.0 {
+                        <$t>::from_bits(self.end.to_bits() - 1)
+                    } else if self.end < 0.0 {
+                        <$t>::from_bits(self.end.to_bits() + 1)
+                    } else {
+                        -<$t>::from_bits(1)
+                    };
+                    <$t>::max(self.start, below_end)
+                } else {
+                    x
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // u covers [0, 1] *inclusive* (24 random bits over
+                // 2^24 - 1) so the upper endpoint is attainable, as in
+                // upstream rand. Two-term lerp for the same
+                // span-overflow reason as the half-open impl above.
+                let u = (rng.next_u32() >> 8) as $t / ((1u32 << 24) - 1) as $t;
+                (lo * (1.0 - u) + hi * u).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value of type `T` (`u32`/`u64`/`usize`/`bool`, or a float
+    /// in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform value from a (half-open or inclusive) range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`, matching upstream rand.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool requires p in [0, 1], got {p}"
+        );
+        <f64 as Standard>::sample_standard(self) < p
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ready-made generators (the `mock` module).
+pub mod rngs {
+
+    /// Mock RNG yielding an arithmetic progression, mirroring
+    /// `rand::rngs::mock::StepRng`.
+    pub mod mock {
+        use super::super::RngCore;
+
+        /// Returns `initial`, `initial + increment`, … as `u64` words.
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            state: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates the progression starting at `initial`.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                Self {
+                    state: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                let out = self.state;
+                self.state = self.state.wrapping_add(self.increment);
+                out
+            }
+        }
+    }
+}
+
+/// Distribution types (`rand::distributions`), as far as the workspace
+/// needs them: the [`Distribution`](distributions::Distribution) trait
+/// and a uniform-range distribution.
+pub mod distributions {
+    use super::{RngCore, SampleRange};
+
+    /// Types that produce values of `T` when driven by an RNG.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: Copy + PartialOrd> Uniform<T> {
+        /// Creates the distribution.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `low >= high`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform { low, high }
+        }
+    }
+
+    impl<T: Copy> Distribution<T> for Uniform<T>
+    where
+        core::ops::Range<T>: SampleRange<T>,
+    {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            (self.low..self.high).sample_from(rng)
+        }
+    }
+}
+
+/// Sequence helpers (`rand::seq`): Fisher–Yates shuffling.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice extension trait, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates, matching rand's
+        /// downward iteration order).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// `rand::prelude`-style glob import support.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (self.0 >> 32) as u32
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = Lcg(42);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&x), "{x}");
+            let y = rng.gen_range(-1.0f32..=1.0);
+            assert!((-1.0..=1.0).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn float_ranges_with_nonpositive_upper_bounds_stay_in_range() {
+        // Exercises the excluded-endpoint guard for end <= 0.0, where
+        // the predecessor-float bit arithmetic flips direction.
+        let mut rng = Lcg(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.0f32..0.0);
+            assert!((-1.0..0.0).contains(&x), "{x}");
+            let y = rng.gen_range(-2.0f32..-1.0);
+            assert!((-2.0..-1.0).contains(&y), "{y}");
+        }
+        // Degenerately narrow range: the guard itself must produce an
+        // in-range value even when rounding hits the excluded end.
+        for _ in 0..1_000 {
+            let z = rng.gen_range(-f32::MIN_POSITIVE..0.0);
+            assert!((-f32::MIN_POSITIVE..0.0).contains(&z), "{z}");
+        }
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&x));
+            let y = rng.gen_range(-4isize..=4);
+            assert!((-4..=4).contains(&y));
+        }
+    }
+
+    #[test]
+    fn standard_floats_are_unit_interval() {
+        let mut rng = Lcg(1);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut rng = rngs::mock::StepRng::new(7, 13);
+        assert_eq!(rng.next_u64(), 7);
+        assert_eq!(rng.next_u64(), 20);
+    }
+}

@@ -1,0 +1,511 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde shim, implemented directly on `proc_macro` token streams (the
+//! container has no `syn`/`quote`).
+//!
+//! Supported input shapes — exactly what this workspace declares:
+//! named-field structs (with `#[serde(skip)]`), tuple structs (newtype
+//! semantics for one field, arrays otherwise), unit structs, and enums
+//! with unit / newtype / tuple / struct variants (externally tagged,
+//! matching serde_json's default representation). Generic types are
+//! rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name (or tuple index) and whether `#[serde(skip)]`.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ------------------------------------------------------------- parsing
+
+/// Consumes leading attributes (`#[...]`), reporting whether any of them
+/// was `#[serde(skip)]`-like.
+fn eat_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(group)) = tokens.next() {
+                    if attr_is_serde_skip(group.stream()) {
+                        skip = true;
+                    }
+                } else {
+                    panic!("expected bracket group after `#`");
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// True for exactly `#[serde(skip)]`. Any other `#[serde(...)]` content
+/// is rejected with a compile error: this shim implements no other serde
+/// attribute, and silently ignoring `rename`/`skip_serializing_if`/…
+/// would corrupt data without warning.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(group)) => {
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(i)] if i.to_string() == "skip" => true,
+                _ => panic!(
+                    "the serde shim derive only supports #[serde(skip)], got #[serde({})]",
+                    group.stream()
+                ),
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    eat_attrs(&mut tokens);
+    eat_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the serde shim derive does not support generic types (`{name}`)");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Input::NamedStruct {
+                    name,
+                    fields: parse_named_fields(group.stream()),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(group.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(group.stream()),
+            },
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}`"),
+    }
+}
+
+/// Parses `name: Type, ...` sequences, tracking `#[serde(skip)]`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        let skip = eat_attrs(&mut tokens);
+        eat_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return fields,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type_until_comma(&mut tokens);
+        fields.push(Field { name, skip });
+    }
+}
+
+/// Consumes type tokens up to (and including) the next `,` at
+/// angle-bracket depth zero.
+fn skip_type_until_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0usize;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the comma-separated fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0usize;
+    while tokens.peek().is_some() {
+        if eat_attrs(&mut tokens) {
+            panic!("the serde shim derive does not support #[serde(skip)] on tuple fields");
+        }
+        eat_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type_until_comma(&mut tokens);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            return variants;
+        }
+        if eat_attrs(&mut tokens) {
+            panic!("the serde shim derive does not support #[serde(skip)] on enum variants");
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return variants,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let inner = group.stream();
+                tokens.next();
+                VariantShape::Tuple(count_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let inner = group.stream();
+                tokens.next();
+                VariantShape::Struct(parse_named_fields(inner))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Consume an optional `= discriminant` and the trailing comma.
+        let mut depth = 0usize;
+        while let Some(token) = tokens.peek() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth = depth.saturating_sub(1);
+                    tokens.next();
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+// -------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for field in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    field.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+                 }}\n}}\n"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}\n"
+        ),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(String::from(\"{v}\")),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binders}) => ::serde::Value::Object(vec![(String::from(\"{v}\"), {inner})]),\n",
+                            binders = binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let bound: Vec<&str> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.as_str())
+                            .collect();
+                        let mut pushes = String::new();
+                        for field in &bound {
+                            pushes.push_str(&format!(
+                                "fields.push((String::from(\"{field}\"), ::serde::Serialize::to_value({field})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} .. }} => {{\n\
+                             let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![(String::from(\"{v}\"), ::serde::Value::Object(fields))])\n\
+                             }},\n",
+                            binders = bound
+                                .iter()
+                                .map(|b| format!("{b},"))
+                                .collect::<String>()
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for field in fields {
+                if field.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        field.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::__field(value, \"{0}\", \"{name}\")?,\n",
+                        field.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if value.as_object().is_none() {{\n\
+                 return Err(::serde::DeError::expected(\"object ({name})\", value));\n\
+                 }}\n\
+                 Ok(Self {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "Ok(Self(::serde::Deserialize::from_value(value)?))".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = value.as_array()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"array ({name})\", value))?;\n\
+                     if items.len() != {arity} {{\n\
+                     return Err(::serde::DeError(format!(\
+                     \"expected {arity} elements for {name}, found {{}}\", items.len())));\n\
+                     }}\n\
+                     Ok(Self({}))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+                 }}\n}}\n"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             Ok(Self)\n\
+             }}\n}}\n"
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!("Ok({name}::{v}(::serde::Deserialize::from_value(inner)?))")
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let items = inner.as_array()\
+                                 .ok_or_else(|| ::serde::DeError::expected(\"array ({name}::{v})\", inner))?;\n\
+                                 if items.len() != {arity} {{\n\
+                                 return Err(::serde::DeError(format!(\
+                                 \"expected {arity} elements for {name}::{v}, found {{}}\", items.len())));\n\
+                                 }}\n\
+                                 Ok({name}::{v}({items})) }}",
+                                items = items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{v}\" => {body},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for field in fields {
+                            if field.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    field.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::__field(inner, \"{0}\", \"{name}::{v}\")?,\n",
+                                    field.name
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match value {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::DeError::expected(\"enum {name}\", other)),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}

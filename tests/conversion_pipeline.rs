@@ -8,9 +8,7 @@ use t2fsnn::{KernelParams, T2fsnn, T2fsnnConfig};
 use t2fsnn_data::{Dataset, DatasetSpec, SyntheticConfig};
 use t2fsnn_dnn::architectures::cnn_small;
 use t2fsnn_dnn::layers::PoolKind;
-use t2fsnn_dnn::{
-    normalize_for_snn, train, weighted_layer_activations, Network, TrainConfig,
-};
+use t2fsnn_dnn::{normalize_for_snn, train, weighted_layer_activations, Network, TrainConfig};
 
 fn trained_cnn() -> (Network, Dataset, Dataset) {
     let mut rng = ChaCha8Rng::seed_from_u64(303);
@@ -78,9 +76,8 @@ fn wider_window_never_hurts_much() {
     let (mut dnn, train_set, test_set) = trained_cnn();
     normalize_for_snn(&mut dnn, &train_set.images, 0.999).expect("normalize");
     let acc_for = |window: usize| {
-        let model =
-            T2fsnn::from_dnn(&dnn, T2fsnnConfig::new(window), KernelParams::new(8.0, 0.0))
-                .expect("conversion");
+        let model = T2fsnn::from_dnn(&dnn, T2fsnnConfig::new(window), KernelParams::new(8.0, 0.0))
+            .expect("conversion");
         model
             .run(&test_set.images, &test_set.labels)
             .expect("run")
@@ -102,9 +99,7 @@ fn spike_counts_scale_linearly_with_batch() {
         .expect("conversion");
     let (half, _) = test_set.split(test_set.len() / 2);
     let run_half = model.run(&half.images, &half.labels).expect("half");
-    let run_full = model
-        .run(&test_set.images, &test_set.labels)
-        .expect("full");
+    let run_full = model.run(&test_set.images, &test_set.labels).expect("full");
     let per_img_half = run_half.spikes_per_image();
     let per_img_full = run_full.spikes_per_image();
     let ratio = per_img_half / per_img_full;

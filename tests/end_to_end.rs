@@ -12,12 +12,19 @@ use t2fsnn_dnn::layers::PoolKind;
 use t2fsnn_dnn::{evaluate, normalize_for_snn, train, Network, TrainConfig};
 
 fn pipeline_fixture() -> (Network, Dataset, Dataset, f32) {
+    // Sized so the CNN clears the >0.5 learning bar with margin; the
+    // seed fixture (96 train samples, default epochs) landed exactly at
+    // 0.5 held-out accuracy.
     let mut rng = ChaCha8Rng::seed_from_u64(101);
     let spec = DatasetSpec::new("e2e", 1, 16, 16, 4);
-    let data = SyntheticConfig::new(spec.clone(), 13).generate(128);
-    let (train_set, test_set) = data.split(96);
+    let data = SyntheticConfig::new(spec.clone(), 13).generate(224);
+    let (train_set, test_set) = data.split(176);
     let mut dnn = cnn_small(&mut rng, &spec, PoolKind::Avg);
-    train(&mut dnn, &train_set, &TrainConfig::default(), &mut rng).expect("training");
+    let cfg = TrainConfig {
+        epochs: 10,
+        ..TrainConfig::default()
+    };
+    train(&mut dnn, &train_set, &cfg, &mut rng).expect("training");
     normalize_for_snn(&mut dnn, &train_set.images, 0.999).expect("normalization");
     let dnn_acc = evaluate(&mut dnn, &test_set, 16).expect("evaluation");
     (dnn, train_set, test_set, dnn_acc)
@@ -26,14 +33,20 @@ fn pipeline_fixture() -> (Network, Dataset, Dataset, f32) {
 #[test]
 fn full_pipeline_trains_converts_and_classifies() {
     let (mut dnn, train_set, test_set, dnn_acc) = pipeline_fixture();
-    assert!(dnn_acc > 0.5, "CNN failed to learn the synthetic task: {dnn_acc}");
+    assert!(
+        dnn_acc > 0.5,
+        "CNN failed to learn the synthetic task: {dnn_acc}"
+    );
 
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let model = build_variant(
         &mut dnn,
         &train_set.images,
         32,
-        Variant { go: false, ef: false },
+        Variant {
+            go: false,
+            ef: false,
+        },
         KernelParams::new(8.0, 0.0),
         &GoConfig::default(),
         &mut rng,
@@ -84,7 +97,12 @@ fn ablation_runs_all_variants_with_consistent_shapes() {
         "early firing should cut latency substantially, got {reduction}"
     );
     for row in &rows {
-        assert!(row.accuracy > 0.3, "{} collapsed: {}", row.method, row.accuracy);
+        assert!(
+            row.accuracy > 0.3,
+            "{} collapsed: {}",
+            row.method,
+            row.accuracy
+        );
     }
 }
 
@@ -97,7 +115,10 @@ fn go_variant_reduces_or_maintains_spikes() {
         &mut dnn,
         &train_set.images,
         32,
-        Variant { go: false, ef: false },
+        Variant {
+            go: false,
+            ef: false,
+        },
         KernelParams::new(8.0, 0.0),
         &GoConfig::default(),
         &mut rng,
@@ -107,7 +128,10 @@ fn go_variant_reduces_or_maintains_spikes() {
         &mut dnn,
         &train_set.images,
         32,
-        Variant { go: true, ef: false },
+        Variant {
+            go: true,
+            ef: false,
+        },
         KernelParams::new(8.0, 0.0),
         &GoConfig::default(),
         &mut rng,
