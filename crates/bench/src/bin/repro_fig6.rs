@@ -9,8 +9,8 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
-use t2fsnn::eval::{build_variant, Variant};
-use t2fsnn::optimize::GoConfig;
+use t2fsnn::eval::{build_variant_calibrated, Variant};
+use t2fsnn::optimize::{GoCalibration, GoConfig};
 use t2fsnn_bench::report::save_json;
 use t2fsnn_bench::{prepare, Scenario};
 use t2fsnn_snn::coding::{BurstCoding, Coding, PhaseCoding, RateCoding};
@@ -63,11 +63,14 @@ fn main() {
             });
         }
 
+        // One recording forward pass serves every GO variant.
+        let calibration =
+            GoCalibration::collect(&mut prepared.dnn, &prepared.train.images).expect("calibration");
         for variant in Variant::ALL {
             let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed() + 6);
-            let model = build_variant(
-                &mut prepared.dnn,
-                &prepared.train.images,
+            let model = build_variant_calibrated(
+                &prepared.dnn,
+                &calibration,
                 scenario.time_window(),
                 variant,
                 scenario.initial_kernel(),

@@ -284,11 +284,17 @@ struct CacheFile {
     params: u64,
     dnn: Network,
     dnn_accuracy: f32,
+    /// The deterministic synthetic dataset (binary caches only — the
+    /// legacy JSON format predates this field, so it is optional on
+    /// read). Caching it saves the few hundred ms of per-pixel noise
+    /// synthesis on every warm run; `dataset_size()` is validated so a
+    /// scenario-definition change invalidates it.
+    dataset: Option<Dataset>,
 }
 
 const CACHE_VERSION: u32 = 1;
 
-fn cache_path(scenario: Scenario) -> PathBuf {
+fn cache_path(scenario: Scenario, extension: &str) -> PathBuf {
     // Anchor at the workspace target dir regardless of the process cwd
     // (cargo runs test binaries with cwd = the package root, and the
     // release binaries may be invoked from anywhere).
@@ -328,7 +334,7 @@ fn cache_path(scenario: Scenario) -> PathBuf {
     // and full runs do not evict each other's entries.
     let mode = if quick_mode() { "quick" } else { "full" };
     root.join("t2fsnn-cache").join(format!(
-        "{}-{mode}-v{}.json",
+        "{}-{mode}-v{}.{extension}",
         scenario.name(),
         CACHE_VERSION
     ))
@@ -346,28 +352,15 @@ fn cache_path(scenario: Scenario) -> PathBuf {
 /// Panics if training fails — the harness treats that as a fatal setup
 /// error.
 pub fn prepare(scenario: Scenario) -> Prepared {
-    let data = scenario.dataset();
-    let (train_set, test_set) = data.split(scenario.train_size());
-    let path = cache_path(scenario);
-    if let Ok(bytes) = fs::read(&path) {
-        if let Ok(cache) = serde_json::from_slice::<CacheFile>(&bytes) {
-            if cache.version == CACHE_VERSION
-                && cache.quick == quick_mode()
-                && cache.seed == scenario.seed()
-                && cache.params == cache.dnn.param_count() as u64
-                && cache.params == scenario.param_count()
-            {
-                return Prepared {
-                    scenario,
-                    dnn: cache.dnn,
-                    train: train_set,
-                    test: test_set,
-                    dnn_accuracy: cache.dnn_accuracy,
-                };
-            }
-        }
+    // Cache probe order: current binary format, then the legacy JSON
+    // format (kept readable for one release; it carries no dataset, so
+    // the dataset is regenerated).
+    if let Some(prepared) = load_cache(scenario) {
+        return prepared;
     }
 
+    let data = scenario.dataset();
+    let (train_set, test_set) = data.split(scenario.train_size());
     let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed() ^ 0xDEAD_BEEF);
     let mut dnn = scenario.build_network(&mut rng);
     eprintln!(
@@ -385,6 +378,7 @@ pub fn prepare(scenario: Scenario) -> Prepared {
         dnn_accuracy * 100.0
     );
 
+    let path = cache_path(scenario, "bin");
     if let Some(parent) = path.parent() {
         let _ = fs::create_dir_all(parent);
     }
@@ -395,19 +389,9 @@ pub fn prepare(scenario: Scenario) -> Prepared {
         params: dnn.param_count() as u64,
         dnn: dnn.clone(),
         dnn_accuracy,
+        dataset: Some(data),
     };
-    if let Ok(bytes) = serde_json::to_vec(&cache) {
-        // Write-then-rename so parallel writers racing on a cold cache
-        // can never leave a truncated/interleaved file behind; the last
-        // complete write wins. The tmp name is unique per process AND
-        // per writer (test threads within one binary share a pid).
-        static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let writer = WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let tmp = path.with_extension(format!("tmp.{}.{writer}", std::process::id()));
-        if fs::write(&tmp, bytes).is_ok() {
-            let _ = fs::rename(&tmp, &path);
-        }
-    }
+    write_cache(&path, &cache);
     Prepared {
         scenario,
         dnn,
@@ -415,6 +399,85 @@ pub fn prepare(scenario: Scenario) -> Prepared {
         test: test_set,
         dnn_accuracy,
     }
+}
+
+/// Atomically writes a cache file in the binary format (write-then-
+/// rename, so parallel writers racing on a cold cache can never leave a
+/// truncated/interleaved file behind; the last complete write wins).
+/// The tmp name is unique per process AND per writer (test threads
+/// within one binary share a pid).
+fn write_cache(path: &std::path::Path, cache: &CacheFile) {
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    let bytes = crate::binfmt::to_bytes(&serde::Serialize::to_value(cache));
+    static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let writer = WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{writer}", std::process::id()));
+    if fs::write(&tmp, bytes).is_ok() {
+        let _ = fs::rename(&tmp, path);
+    }
+}
+
+/// Attempts to load and validate a cached scenario (binary first, then
+/// legacy JSON). Returns `None` on any miss, mismatch, or parse error —
+/// the caller falls back to retraining.
+fn load_cache(scenario: Scenario) -> Option<Prepared> {
+    let candidates = [cache_path(scenario, "bin"), cache_path(scenario, "json")];
+    for path in candidates {
+        let Ok(bytes) = fs::read(&path) else {
+            continue;
+        };
+        let parsed: Option<CacheFile> = if crate::binfmt::is_binary(&bytes) {
+            crate::binfmt::from_bytes(&bytes)
+                .ok()
+                .and_then(|value| serde::Deserialize::from_value(&value).ok())
+        } else {
+            serde_json::from_slice(&bytes).ok()
+        };
+        // An unreadable candidate (corrupt, or a future format version)
+        // falls through to the next one rather than aborting the probe.
+        let Some(mut cache) = parsed else {
+            continue;
+        };
+        if cache.version != CACHE_VERSION
+            || cache.quick != quick_mode()
+            || cache.seed != scenario.seed()
+            || cache.params != cache.dnn.param_count() as u64
+            || cache.params != scenario.param_count()
+        {
+            continue;
+        }
+        // A cached dataset must still match the scenario definition
+        // (size changes invalidate it without a seed change).
+        let data = match cache.dataset {
+            Some(data) if data.len() == scenario.dataset_size() && data.spec == scenario.spec() => {
+                data
+            }
+            Some(_) => continue,
+            None => {
+                // Legacy JSON entry: regenerate the dataset once and
+                // upgrade the cache to the binary format in passing.
+                let data = scenario.dataset();
+                let upgraded = CacheFile {
+                    dataset: Some(data.clone()),
+                    ..cache
+                };
+                write_cache(&cache_path(scenario, "bin"), &upgraded);
+                cache = upgraded;
+                data
+            }
+        };
+        let (train_set, test_set) = data.split(scenario.train_size());
+        return Some(Prepared {
+            scenario,
+            dnn: cache.dnn,
+            train: train_set,
+            test: test_set,
+            dnn_accuracy: cache.dnn_accuracy,
+        });
+    }
+    None
 }
 
 #[cfg(test)]

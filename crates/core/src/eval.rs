@@ -11,7 +11,7 @@ use t2fsnn_tensor::{Result, Tensor, TensorError};
 
 use crate::kernel::KernelParams;
 use crate::network::{T2fsnn, T2fsnnConfig};
-use crate::optimize::{optimize_model, GoConfig};
+use crate::optimize::{optimize_model_calibrated, GoCalibration, GoConfig};
 use crate::pipeline::TtfsRun;
 
 /// Which of the paper's two extensions a T2FSNN variant enables
@@ -74,13 +74,48 @@ pub fn build_variant<R: Rng + ?Sized>(
     go_config: &GoConfig,
     rng: &mut R,
 ) -> Result<T2fsnn> {
+    if variant.go {
+        let values = GoCalibration::collect(dnn, calibration)?;
+        build_variant_calibrated(dnn, &values, window, variant, initial, go_config, rng)
+    } else {
+        build_variant_calibrated(
+            dnn,
+            // Non-GO variants never touch the calibration values.
+            &GoCalibration::empty(),
+            window,
+            variant,
+            initial,
+            go_config,
+            rng,
+        )
+    }
+}
+
+/// [`build_variant`] with precollected [`GoCalibration`] values: the
+/// recording forward pass over the calibration set (the dominant cost of
+/// a GO build) runs once, however many variants are built from the same
+/// network.
+///
+/// # Errors
+///
+/// Propagates conversion and optimization errors.
+#[allow(clippy::too_many_arguments)]
+pub fn build_variant_calibrated<R: Rng + ?Sized>(
+    dnn: &Network,
+    calibration: &GoCalibration,
+    window: usize,
+    variant: Variant,
+    initial: KernelParams,
+    go_config: &GoConfig,
+    rng: &mut R,
+) -> Result<T2fsnn> {
     let mut config = T2fsnnConfig::new(window);
     if variant.ef {
         config = config.with_early_firing();
     }
     let mut model = T2fsnn::from_dnn(dnn, config, initial)?;
     if variant.go {
-        optimize_model(&mut model, dnn, calibration, go_config, rng)?;
+        optimize_model_calibrated(&mut model, calibration, go_config, rng)?;
     }
     Ok(model)
 }

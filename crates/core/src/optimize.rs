@@ -268,23 +268,107 @@ pub fn optimize_model<R: Rng + ?Sized>(
     config: &GoConfig,
     rng: &mut R,
 ) -> Result<Vec<GoOutcome>> {
+    let calibration = GoCalibration::collect(dnn, images)?;
+    optimize_model_calibrated(model, &calibration, config, rng)
+}
+
+/// The ground-truth value sets kernel optimization trains against:
+/// the raw pixel distribution for the input encoder and each hidden
+/// weighted layer's post-ReLU DNN activations (the `z̄` of Eq. 9).
+///
+/// Collecting them costs one recording forward pass over the
+/// calibration set — by far the dominant cost of a GO run — so harness
+/// code that builds several GO variants of the same network collects
+/// once and calls [`optimize_model_calibrated`] per variant.
+pub struct GoCalibration {
+    pixels: Vec<f32>,
+    hidden_values: Vec<Vec<f32>>,
+}
+
+impl GoCalibration {
+    /// Runs the recording forward pass and extracts the value sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn collect(dnn: &mut Network, images: &Tensor) -> Result<Self> {
+        let pixels: Vec<f32> = images.iter().copied().collect();
+        // The last weighted layer never fires, so it is skipped.
+        let activations = weighted_layer_activations(dnn, images)?;
+        let hidden = activations.len().saturating_sub(1);
+        let hidden_values = activations
+            .into_iter()
+            .take(hidden)
+            .map(|(_, act)| act.into_vec())
+            .collect();
+        Ok(GoCalibration {
+            pixels,
+            hidden_values,
+        })
+    }
+
+    /// Number of hidden (firing) layers covered.
+    pub fn hidden_layers(&self) -> usize {
+        self.hidden_values.len()
+    }
+
+    /// A calibration with no values, for building variants that skip
+    /// kernel optimization.
+    pub fn empty() -> Self {
+        GoCalibration {
+            pixels: Vec::new(),
+            hidden_values: Vec::new(),
+        }
+    }
+}
+
+/// [`optimize_model`] against precollected [`GoCalibration`] data.
+///
+/// # Errors
+///
+/// Propagates validation errors (e.g. a calibration collected from a
+/// network with a different number of hidden layers).
+pub fn optimize_model_calibrated<R: Rng + ?Sized>(
+    model: &mut T2fsnn,
+    calibration: &GoCalibration,
+    config: &GoConfig,
+    rng: &mut R,
+) -> Result<Vec<GoOutcome>> {
+    // `kernels()` has one entry per weighted layer including the output
+    // layer, which never fires; the calibration must cover exactly the
+    // firing (hidden) layers — a mismatch either way means it was
+    // collected from a different network.
+    let firing_layers = model.kernels().len().saturating_sub(1);
+    if calibration.hidden_layers() != firing_layers {
+        return Err(TensorError::InvalidArgument {
+            op: "optimize_model_calibrated",
+            message: format!(
+                "calibration covers {} hidden layers but the model has {} firing layers — \
+                 was it collected from a different network?",
+                calibration.hidden_layers(),
+                firing_layers
+            ),
+        });
+    }
     let window = model.config().time_window;
     let theta0 = model.config().theta0;
     let mut outcomes = Vec::new();
 
     // Input encoder ← pixel distribution.
-    let pixels: Vec<f32> = images.iter().copied().collect();
-    let outcome = optimize_kernel(&pixels, model.input_kernel(), window, theta0, config, rng)?;
+    let outcome = optimize_kernel(
+        &calibration.pixels,
+        model.input_kernel(),
+        window,
+        theta0,
+        config,
+        rng,
+    )?;
     model.set_input_kernel(outcome.params);
     outcomes.push(outcome);
 
-    // Hidden layers ← DNN activations. The last weighted layer never
-    // fires, so it is skipped.
-    let activations = weighted_layer_activations(dnn, images)?;
-    let hidden = activations.len().saturating_sub(1);
-    for (i, (_, act)) in activations.into_iter().take(hidden).enumerate() {
-        let values: Vec<f32> = act.iter().copied().collect();
-        let outcome = optimize_kernel(&values, model.kernels()[i], window, theta0, config, rng)?;
+    // Hidden layers ← DNN activations.
+    for (i, values) in calibration.hidden_values.iter().enumerate() {
+        let outcome = optimize_kernel(values, model.kernels()[i], window, theta0, config, rng)?;
         model.set_kernel(i, outcome.params)?;
         outcomes.push(outcome);
     }

@@ -12,8 +12,9 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use t2fsnn_snn::{CurvePoint, SnnOp};
-use t2fsnn_tensor::{Result, Tensor, TensorError};
+use t2fsnn_snn::{CurvePoint, OpExecutor, SimEngine, SnnOp};
+use t2fsnn_tensor::ops::sparse;
+use t2fsnn_tensor::{Result, SpikeBatch, Tensor, TensorError};
 
 use crate::network::{NoiseConfig, T2fsnn};
 
@@ -109,30 +110,90 @@ fn build_segments(ops: &[SnnOp]) -> Vec<Segment> {
 /// weighted op), applying first-spike gating at max-pool ops: under TTFS
 /// the earliest spike in a pool window carries the maximum value, so each
 /// window forwards exactly its first spike and suppresses the rest.
+///
+/// Propagation routes through the [`OpExecutor`], which dispatches to
+/// event-list kernels when the spike signal is sparse — under TTFS it
+/// almost always is (each neuron fires at most once over a whole window).
 fn propagate_segment(
     ops: &[SnnOp],
+    executor: &mut OpExecutor,
     seg: &Segment,
     mut signal: Tensor,
     gates: &mut [Option<Tensor>],
     synop_adds: &mut u64,
 ) -> Result<Tensor> {
     for &pi in &seg.pre_ops {
-        let (mut z, s) = ops[pi].propagate(&signal)?;
+        let (mut z, s) = executor.propagate(ops, pi, &signal)?;
         *synop_adds += s;
-        if let Some(gate) = gates[pi].as_mut() {
-            for (v, g) in z.data_mut().iter_mut().zip(gate.data_mut()) {
-                if *g != 0.0 {
-                    *v = 0.0; // window already fired: suppress
-                } else if *v != 0.0 {
-                    *g = 1.0; // first spike through this window: latch
+        apply_gate(gates[pi].as_mut(), &mut z);
+        signal = z;
+    }
+    let (z, s) = executor.propagate(ops, seg.weighted, &signal)?;
+    *synop_adds += s;
+    Ok(z)
+}
+
+/// [`propagate_segment`] for a spike signal already in event form (the
+/// core engine's fire phases emit events directly — under TTFS every
+/// neuron spikes at most once per window, so the dense intermediate was
+/// almost entirely zeros). The signal stays in event form through
+/// ungated average pooling and flatten and is densified at the first
+/// gated (max-pool) op, where first-spike latching needs the dense view.
+fn propagate_segment_events(
+    ops: &[SnnOp],
+    executor: &mut OpExecutor,
+    seg: &Segment,
+    events: &mut SpikeBatch,
+    gates: &mut [Option<Tensor>],
+    synop_adds: &mut u64,
+) -> Result<Tensor> {
+    let mut dense: Option<Tensor> = None;
+    for &pi in &seg.pre_ops {
+        if let Some(signal) = dense.take() {
+            let (mut z, s) = executor.propagate(ops, pi, &signal)?;
+            *synop_adds += s;
+            apply_gate(gates[pi].as_mut(), &mut z);
+            dense = Some(z);
+        } else {
+            match &ops[pi] {
+                SnnOp::AvgPool { window, stride } if gates[pi].is_none() => {
+                    dense = Some(sparse::avg_pool2d_events(events, *window, *stride)?);
+                }
+                SnnOp::Flatten if gates[pi].is_none() => {
+                    let numel = events.feature_numel();
+                    events.reshape_features(&[numel])?;
+                }
+                _ => {
+                    let signal = events.to_dense();
+                    let (mut z, s) = executor.propagate(ops, pi, &signal)?;
+                    *synop_adds += s;
+                    apply_gate(gates[pi].as_mut(), &mut z);
+                    dense = Some(z);
                 }
             }
         }
-        signal = z;
     }
-    let (z, s) = ops[seg.weighted].propagate(&signal)?;
+    let (z, s) = match dense {
+        Some(signal) => executor.propagate(ops, seg.weighted, &signal)?,
+        None => executor.propagate_events(ops, seg.weighted, events)?,
+    };
     *synop_adds += s;
     Ok(z)
+}
+
+/// First-spike gating at a max-pool op: a window forwards exactly its
+/// first spike and suppresses the rest.
+#[inline]
+fn apply_gate(gate: Option<&mut Tensor>, z: &mut Tensor) {
+    if let Some(gate) = gate {
+        for (v, g) in z.data_mut().iter_mut().zip(gate.data_mut()) {
+            if *g != 0.0 {
+                *v = 0.0; // window already fired: suppress
+            } else if *v != 0.0 {
+                *g = 1.0; // first spike through this window: latch
+            }
+        }
+    }
 }
 
 /// The PSP value a spike fired at `local` delivers downstream, with
@@ -187,6 +248,7 @@ impl T2fsnn {
         let segments = build_segments(ops);
         let l_count = segments.len();
         let shapes = self.network().output_shapes(&images.dims()[1..])?;
+        let mut executor = OpExecutor::new(ops, SimEngine::default());
 
         // Membrane potentials (initialized with the bias: one constant
         // current injection per inference) and refractory masks.
@@ -244,6 +306,8 @@ impl T2fsnn {
             .collect();
 
         let mut noise_rng = config.noise.map(|cfg| ChaCha8Rng::seed_from_u64(cfg.seed));
+        // Reused event list for the fire phases.
+        let mut fire_ev = SpikeBatch::empty();
 
         #[allow(clippy::needless_range_loop)] // `t` drives far more than the histogram
         for t in 0..total_steps {
@@ -274,8 +338,14 @@ impl T2fsnn {
                     input_spikes += any;
                     input_histogram[t] += any;
                     synop_mults += any; // one kernel multiply per spike
-                    let z =
-                        propagate_segment(ops, &segments[0], drive, &mut gates, &mut synop_adds)?;
+                    let z = propagate_segment(
+                        ops,
+                        &mut executor,
+                        &segments[0],
+                        drive,
+                        &mut gates,
+                        &mut synop_adds,
+                    )?;
                     potentials[0].add_scaled(&z, 1.0)?;
                 }
             }
@@ -290,33 +360,49 @@ impl T2fsnn {
                 let eps = fire_tables[i][local];
                 let threshold = theta0 * eps;
                 let mut count = 0u64;
-                let mut spikes = Tensor::zeros(potentials[i].shape().clone());
                 {
-                    let sd = spikes.data_mut();
+                    // Emit spikes straight into the event list (a spike
+                    // dropped by noise still counts but delivers no PSP,
+                    // exactly as the dense tensor's 0.0 entry did).
+                    let feature: usize = potentials[i].dims()[1..].iter().product();
+                    let feature_dims = potentials[i].dims()[1..].to_vec();
+                    fire_ev.begin(&feature_dims);
                     let pd = potentials[i].data();
                     let fd = fired[i].data_mut();
-                    for ((s, &u), f) in sd.iter_mut().zip(pd).zip(fd.iter_mut()) {
-                        if *f == 0.0 && u >= threshold {
-                            *f = 1.0;
-                            // Dendrite-decoded PSP value (ideal: ε·θ0).
-                            *s = delivered_value(
-                                &fire_tables[i],
-                                local,
-                                theta0,
-                                config.noise,
-                                &mut noise_rng,
-                            );
-                            count += 1;
+                    for (img, (pimg, fimg)) in pd
+                        .chunks_exact(feature.max(1))
+                        .zip(fd.chunks_exact_mut(feature.max(1)))
+                        .enumerate()
+                    {
+                        let _ = img;
+                        for (j, (&u, f)) in pimg.iter().zip(fimg.iter_mut()).enumerate() {
+                            if *f == 0.0 && u >= threshold {
+                                *f = 1.0;
+                                // Dendrite-decoded PSP value (ideal: ε·θ0).
+                                let v = delivered_value(
+                                    &fire_tables[i],
+                                    local,
+                                    theta0,
+                                    config.noise,
+                                    &mut noise_rng,
+                                );
+                                if v != 0.0 {
+                                    fire_ev.push(j as u32, v);
+                                }
+                                count += 1;
+                            }
                         }
+                        fire_ev.end_image();
                     }
                 }
                 if count > 0 {
                     layer_hists[i][local] += count;
                     synop_mults += count;
-                    let z = propagate_segment(
+                    let z = propagate_segment_events(
                         ops,
+                        &mut executor,
                         &segments[i + 1],
-                        spikes,
+                        &mut fire_ev,
                         &mut gates,
                         &mut synop_adds,
                     )?;

@@ -102,13 +102,17 @@ impl Network {
     ///
     /// Propagates the first layer error encountered.
     pub fn forward_recording(&mut self, input: &Tensor) -> Result<(Tensor, Vec<Tensor>)> {
-        let mut x = input.clone();
-        let mut record = Vec::with_capacity(self.layers.len());
-        for layer in &mut self.layers {
-            x = layer.forward(&x, false)?;
-            record.push(x.clone());
+        let mut record: Vec<Tensor> = Vec::with_capacity(self.layers.len());
+        for i in 0..self.layers.len() {
+            // Borrow the previous output from the record instead of
+            // cloning every activation (they can be tens of MB for a
+            // whole calibration set).
+            let x = record.last().unwrap_or(input);
+            let y = self.layers[i].forward(x, false)?;
+            record.push(y);
         }
-        Ok((x, record))
+        let output = record.last().cloned().unwrap_or_else(|| input.clone());
+        Ok((output, record))
     }
 
     /// Backward pass from the loss gradient at the output; accumulates

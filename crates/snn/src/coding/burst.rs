@@ -11,7 +11,7 @@
 //! spike-count reduction in Table II.
 
 use serde::{Deserialize, Serialize};
-use t2fsnn_tensor::Tensor;
+use t2fsnn_tensor::{SpikeBatch, Tensor};
 
 use super::Coding;
 
@@ -72,6 +72,10 @@ impl Coding for BurstCoding {
         "burst"
     }
 
+    fn boxed_clone(&self) -> Box<dyn Coding> {
+        Box::new(*self)
+    }
+
     fn encode(&mut self, images: &Tensor, _t: usize) -> (Tensor, u64) {
         // Constant analog current, as in rate coding; bursts arise in the
         // hidden layers where potentials accumulate faster.
@@ -92,6 +96,32 @@ impl Coding for BurstCoding {
             }
         }
         (spikes, count)
+    }
+
+    fn fire_events(
+        &mut self,
+        potential: &mut Tensor,
+        _t: usize,
+        _layer: usize,
+        events: &mut SpikeBatch,
+    ) -> u64 {
+        let feature: usize = potential.dims()[1..].iter().product();
+        let feature_dims = potential.dims()[1..].to_vec();
+        events.begin(&feature_dims);
+        let mut count = 0u64;
+        for image in potential.data_mut().chunks_exact_mut(feature.max(1)) {
+            for (j, u) in image.iter_mut().enumerate() {
+                let n = self.burst_for(*u);
+                if n > 0 {
+                    let v = self.burst_value(n);
+                    *u -= v;
+                    events.push(j as u32, v);
+                    count += n as u64;
+                }
+            }
+            events.end_image();
+        }
+        count
     }
 
     fn bias_scale(&self, _t: usize) -> f32 {

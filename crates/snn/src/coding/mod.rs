@@ -21,7 +21,7 @@ pub use phase::PhaseCoding;
 pub use rate::{RateCoding, RateInput};
 pub use reverse::{ReverseCoding, TdsnnCostModel};
 
-use t2fsnn_tensor::Tensor;
+use t2fsnn_tensor::{SpikeBatch, Tensor};
 
 /// A neural coding scheme for the clock-driven simulator.
 ///
@@ -29,7 +29,10 @@ use t2fsnn_tensor::Tensor;
 /// input drive, then alternates [`propagate → integrate → fire`] through
 /// the layer stack. All state beyond membrane potentials (e.g. phase
 /// counters) lives in the coding object itself.
-pub trait Coding {
+///
+/// `Send` is a supertrait so that [`Coding::boxed_clone`] copies can be
+/// moved into the simulator's batch-chunk worker threads.
+pub trait Coding: Send {
     /// Short name used in reports (e.g. `"rate"`).
     fn name(&self) -> &'static str;
 
@@ -69,6 +72,70 @@ pub trait Coding {
     fn input_period(&self) -> Option<usize> {
         None
     }
+
+    /// Fire phase emitting an event list instead of a dense spike
+    /// tensor: `events` is rebuilt (reusing its allocations) with this
+    /// step's spikes in row-major order, carrying exactly the values the
+    /// dense [`Coding::fire`] tensor would hold. Returns the spike
+    /// count. The default implementation wraps [`Coding::fire`];
+    /// bundled codings override it to skip the dense intermediate, which
+    /// is what makes the simulator's event engine cheap.
+    fn fire_events(
+        &mut self,
+        potential: &mut Tensor,
+        t: usize,
+        layer: usize,
+        events: &mut SpikeBatch,
+    ) -> u64 {
+        let (spikes, count) = self.fire(potential, t, layer);
+        events
+            .refill_bounded(&spikes, usize::MAX)
+            .expect("potentials have a batch axis");
+        count
+    }
+
+    /// A boxed copy of this coding in its current configuration, used by
+    /// the simulator to give each batch chunk its own state when running
+    /// chunks in parallel. The copy is [`Coding::reset`] before use, so
+    /// only configuration (not per-run state) needs to survive the clone.
+    fn boxed_clone(&self) -> Box<dyn Coding>;
+
+    /// Whether simulating disjoint sub-batches independently produces the
+    /// same per-image results as one combined batch. True for codings
+    /// whose `encode`/`fire` treat every element independently (all the
+    /// bundled deterministic codings); `false` for codings with
+    /// batch-order-dependent state such as a shared RNG stream, which the
+    /// simulator then runs on a single thread.
+    fn batch_divisible(&self) -> bool {
+        true
+    }
+}
+
+/// Shared threshold-fire-into-events loop: every element with
+/// `u ≥ threshold` is reset by subtracting `threshold` and emits one
+/// event carrying `spike_value` — exactly the updates and values of the
+/// dense fire loops, minus the dense tensor.
+pub(crate) fn fire_subtract_events(
+    potential: &mut Tensor,
+    threshold: f32,
+    spike_value: f32,
+    events: &mut SpikeBatch,
+) -> u64 {
+    let feature: usize = potential.dims()[1..].iter().product();
+    let feature_dims = potential.dims()[1..].to_vec();
+    events.begin(&feature_dims);
+    let mut count = 0u64;
+    for image in potential.data_mut().chunks_exact_mut(feature.max(1)) {
+        for (j, u) in image.iter_mut().enumerate() {
+            if *u >= threshold {
+                *u -= threshold;
+                events.push(j as u32, spike_value);
+                count += 1;
+            }
+        }
+        events.end_image();
+    }
+    count
 }
 
 #[cfg(test)]

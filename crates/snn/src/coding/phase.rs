@@ -14,7 +14,7 @@
 //! re-transmission: every neuron re-sends its bits every `K` steps.
 
 use serde::{Deserialize, Serialize};
-use t2fsnn_tensor::Tensor;
+use t2fsnn_tensor::{SpikeBatch, Tensor};
 
 use super::Coding;
 
@@ -77,6 +77,10 @@ impl Coding for PhaseCoding {
         "phase"
     }
 
+    fn boxed_clone(&self) -> Box<dyn Coding> {
+        Box::new(*self)
+    }
+
     fn encode(&mut self, images: &Tensor, t: usize) -> (Tensor, u64) {
         let k = t % self.period;
         let weight = self.phase_weight(t);
@@ -101,6 +105,17 @@ impl Coding for PhaseCoding {
             }
         }
         (spikes, count)
+    }
+
+    fn fire_events(
+        &mut self,
+        potential: &mut Tensor,
+        t: usize,
+        _layer: usize,
+        events: &mut SpikeBatch,
+    ) -> u64 {
+        let weight = self.phase_weight(t);
+        super::fire_subtract_events(potential, weight, weight, events)
     }
 
     fn bias_scale(&self, _t: usize) -> f32 {

@@ -13,7 +13,7 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use t2fsnn_tensor::Tensor;
+use t2fsnn_tensor::{SpikeBatch, Tensor};
 
 use super::Coding;
 
@@ -95,6 +95,17 @@ impl Coding for RateCoding {
         "rate"
     }
 
+    fn boxed_clone(&self) -> Box<dyn Coding> {
+        Box::new(self.clone())
+    }
+
+    fn batch_divisible(&self) -> bool {
+        // The Bernoulli input draws one RNG sample per element in batch
+        // order, so splitting the batch would change each image's spike
+        // train; analog input is element-independent.
+        matches!(self.input, RateInput::Analog)
+    }
+
     fn reset(&mut self) {
         self.rng = match self.input {
             RateInput::Analog => None,
@@ -143,6 +154,16 @@ impl Coding for RateCoding {
             }
         }
         (spikes, count)
+    }
+
+    fn fire_events(
+        &mut self,
+        potential: &mut Tensor,
+        _t: usize,
+        _layer: usize,
+        events: &mut SpikeBatch,
+    ) -> u64 {
+        super::fire_subtract_events(potential, self.theta, 1.0, events)
     }
 
     fn bias_scale(&self, _t: usize) -> f32 {

@@ -65,6 +65,10 @@ impl Coding for ReverseCoding {
         "reverse"
     }
 
+    fn boxed_clone(&self) -> Box<dyn Coding> {
+        Box::new(self.clone())
+    }
+
     fn reset(&mut self) {
         self.fired.clear();
     }

@@ -7,13 +7,14 @@
 //! rate coding* on the same dataset. This module implements exactly that
 //! estimator with the paper's parameter pairs.
 
-use serde::Serialize;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// A neuromorphic platform's relative dynamic/static energy split.
 ///
-/// Serialize-only: the platform name is a `&'static str` so the
-/// [`TRUENORTH`]/[`SPINNAKER`] presets can be `const`, which rules out
-/// deserialization (nothing round-trips this type).
+/// The platform name is a `&'static str` so the [`TRUENORTH`]/
+/// [`SPINNAKER`] presets can be `const`; deserialization therefore
+/// cannot be derived and is implemented by hand — see the
+/// [`Deserialize`] impl for the name-resolution rule.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct EnergyModel {
     /// Platform name for reports.
@@ -22,6 +23,43 @@ pub struct EnergyModel {
     pub e_dyn: f32,
     /// Weight of the latency (static) term.
     pub e_sta: f32,
+}
+
+/// Interns a platform name as `&'static str`: preset names resolve to
+/// the consts' own strings, and each distinct custom name is leaked
+/// exactly once (subsequent deserializations reuse the interned copy),
+/// so memory grows with the number of distinct platforms, not records.
+fn intern_name(name: String) -> &'static str {
+    use std::sync::Mutex;
+    if let Some(preset) = [TRUENORTH, SPINNAKER]
+        .iter()
+        .find(|preset| preset.name == name)
+    {
+        return preset.name;
+    }
+    static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut interned = INTERNED.lock().expect("intern table poisoned");
+    if let Some(existing) = interned.iter().find(|s| **s == name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    interned.push(leaked);
+    leaked
+}
+
+/// Manual deserialization for the `&'static str` name, resolved through
+/// [`intern_name`].
+impl Deserialize for EnergyModel {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let name: String = serde::__field(value, "name", "EnergyModel")?;
+        let e_dyn: f32 = serde::__field(value, "e_dyn", "EnergyModel")?;
+        let e_sta: f32 = serde::__field(value, "e_sta", "EnergyModel")?;
+        Ok(EnergyModel {
+            name: intern_name(name),
+            e_dyn,
+            e_sta,
+        })
+    }
 }
 
 /// TrueNorth parameters from the paper: `(E_dyn, E_sta) = (0.4, 0.6)`.
@@ -89,5 +127,39 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_reference_panics() {
         let _ = TRUENORTH.normalized(1.0, 1.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn presets_round_trip_through_json() {
+        for model in [TRUENORTH, SPINNAKER] {
+            let json = serde_json::to_vec(&model).unwrap();
+            let back: EnergyModel = serde_json::from_slice(&json).unwrap();
+            assert_eq!(back, model);
+        }
+    }
+
+    #[test]
+    fn custom_platforms_round_trip() {
+        let custom = EnergyModel {
+            name: "Loihi-2",
+            e_dyn: 0.7,
+            e_sta: 0.3,
+        };
+        let json = serde_json::to_vec(&custom).unwrap();
+        let back: EnergyModel = serde_json::from_slice(&json).unwrap();
+        assert_eq!(back, custom);
+        assert_eq!(back.name, "Loihi-2");
+        // Repeated deserializations reuse one interned allocation.
+        let again: EnergyModel = serde_json::from_slice(&json).unwrap();
+        assert!(std::ptr::eq(back.name.as_ptr(), again.name.as_ptr()));
+    }
+
+    #[test]
+    fn deserialize_rejects_missing_fields() {
+        let r: Result<EnergyModel, _> = serde_json::from_slice(br#"{"name":"x"}"#);
+        assert!(r.is_err());
+        let r: Result<EnergyModel, _> =
+            serde_json::from_slice(br#"{"name":7,"e_dyn":0.5,"e_sta":0.5}"#);
+        assert!(r.is_err());
     }
 }

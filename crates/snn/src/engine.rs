@@ -1,0 +1,398 @@
+//! The execution engine: per-step dense vs event-driven dispatch.
+//!
+//! Spiking workloads spend almost all their time pushing *mostly-zero*
+//! tensors through weighted ops. The engine exploits that with a simple
+//! rule, applied independently at every weighted op of every time step:
+//!
+//! 1. scan the incoming signal into a [`SpikeBatch`] event list, **bailing
+//!    out** as soon as more than `sparsity_threshold × numel` non-zeros
+//!    are seen (so the scan never costs more than a bounded prefix);
+//! 2. if the scan completed, propagate the event list through the
+//!    scatter kernel (work ∝ events); otherwise fall back to the dense
+//!    zero-skipping twin, which walks the signal row-major instead of
+//!    materializing the event list.
+//!
+//! Dispatch can never change a result: every kernel of a pair performs
+//! the same floating-point operations on each output element in the same
+//! order — ascending `(channel, tap)` for convolutions, ascending input
+//! index for linear layers, zeros skipped everywhere — so `SimOutcome`s
+//! are bit-identical between [`SimEngine::Dense`] and any event
+//! threshold (the simulator's test suite asserts this across engines,
+//! codings, and worker counts). Weights are re-laid-out once per run
+//! (linear: `[I, O]`; conv: `[C·KH·KW, O]`) so all paths stream weight
+//! rows contiguously.
+
+use serde::{Deserialize, Serialize};
+use t2fsnn_tensor::ops::sparse;
+use t2fsnn_tensor::{Result, SpikeBatch, Tensor};
+
+use crate::network::SnnOp;
+
+/// Engine selection for clock-driven simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimEngine {
+    /// Always use the dense zero-skipping kernels (the reference path).
+    Dense,
+    /// Use event-list propagation whenever a signal's density is at or
+    /// below the threshold (fraction of non-zero entries in `0..=1`);
+    /// fall back to dense above it. Results are bit-identical to
+    /// [`SimEngine::Dense`] at every threshold.
+    Event {
+        /// Maximum signal density still propagated as events.
+        sparsity_threshold: f32,
+    },
+}
+
+impl SimEngine {
+    /// The default event engine (threshold 0.25: spike tensors denser
+    /// than one non-zero in four are propagated densely).
+    pub fn event() -> Self {
+        SimEngine::Event {
+            sparsity_threshold: 0.25,
+        }
+    }
+
+    /// The dense reference engine.
+    pub fn dense() -> Self {
+        SimEngine::Dense
+    }
+
+    fn threshold(&self) -> f32 {
+        match self {
+            SimEngine::Dense => 0.0,
+            SimEngine::Event { sparsity_threshold } => sparsity_threshold.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Default for SimEngine {
+    /// [`SimEngine::event`].
+    fn default() -> Self {
+        SimEngine::event()
+    }
+}
+
+/// Above this density an event-form convolution signal is densified and
+/// propagated through im2col + blocked GEMM: the vectorized dense kernel
+/// overtakes the sparsity-proportional scatter once roughly one entry in
+/// three is active (measured on the workspace's scaled-VGG shapes).
+const GEMM_DENSITY: f32 = 0.35;
+
+/// Per-run execution state: cached transposed linear weights plus a
+/// reusable event-list scratch buffer.
+///
+/// Create one per simulation run and route every op propagation through
+/// [`OpExecutor::propagate`]; it returns exactly what
+/// [`SnnOp::propagate`] would, faster.
+pub struct OpExecutor {
+    /// `weight.transpose()` for every [`SnnOp::Linear`], else `None`.
+    weight_t: Vec<Option<Tensor>>,
+    /// `[C·KH·KW, O]` filter layout for every [`SnnOp::Conv`], else
+    /// `None` (consumed by the gather kernel).
+    filter_t: Vec<Option<Tensor>>,
+    threshold: f32,
+    scratch: SpikeBatch,
+}
+
+impl OpExecutor {
+    /// Prepares the executor for a fixed op sequence.
+    pub fn new(ops: &[SnnOp], engine: SimEngine) -> Self {
+        let weight_t = ops
+            .iter()
+            .map(|op| match op {
+                SnnOp::Linear { weight, .. } => {
+                    Some(weight.transpose().expect("linear weight is rank 2"))
+                }
+                _ => None,
+            })
+            .collect();
+        let filter_t = ops
+            .iter()
+            .map(|op| match op {
+                SnnOp::Conv { weight, .. } => {
+                    Some(sparse::transpose_filter(weight).expect("conv weight is rank 4"))
+                }
+                _ => None,
+            })
+            .collect();
+        OpExecutor {
+            weight_t,
+            filter_t,
+            threshold: engine.threshold(),
+            scratch: SpikeBatch::empty(),
+        }
+    }
+
+    /// Scans `signal` into the scratch event list; `true` when its
+    /// density is at or below the engine threshold.
+    fn try_events(&mut self, signal: &Tensor) -> Result<bool> {
+        if self.threshold <= 0.0 {
+            return Ok(false);
+        }
+        let cap = (self.threshold as f64 * signal.numel() as f64) as usize;
+        self.scratch.refill_bounded(signal, cap)
+    }
+
+    /// Propagates `signal` through `ops[i]`, dispatching weighted ops to
+    /// the sparse or dense kernel by the engine rule. Returns the
+    /// postsynaptic drive and the synaptic accumulate count — identical,
+    /// bit for bit, to [`SnnOp::propagate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn propagate(&mut self, ops: &[SnnOp], i: usize, signal: &Tensor) -> Result<(Tensor, u64)> {
+        match &ops[i] {
+            SnnOp::Conv { weight, spec, .. } => {
+                let use_events = self.try_events(signal)?;
+                let filter_t = self.filter_t[i]
+                    .as_ref()
+                    .expect("conv op has a transposed filter");
+                let kernel = (weight.dims()[2], weight.dims()[3]);
+                if use_events {
+                    sparse::conv2d_scatter_events(&self.scratch, filter_t, kernel, *spec)
+                } else {
+                    sparse::conv2d_scatter_t(signal, filter_t, kernel, *spec)
+                }
+            }
+            SnnOp::Linear { .. } => {
+                let use_events = self.try_events(signal)?;
+                let weight_t = self.weight_t[i]
+                    .as_ref()
+                    .expect("linear op has a transposed weight");
+                if use_events {
+                    sparse::linear_scatter_events(&self.scratch, weight_t)
+                } else {
+                    sparse::linear_scatter_t(signal, weight_t)
+                }
+            }
+            other => other.propagate(signal),
+        }
+    }
+
+    /// [`OpExecutor::propagate`] for a signal already in event form:
+    /// returns the dense drive and synop count a dense signal with the
+    /// same non-zeros would produce, without the scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or if `ops[i]` is not a
+    /// weighted op.
+    pub fn propagate_events(
+        &mut self,
+        ops: &[SnnOp],
+        i: usize,
+        events: &SpikeBatch,
+    ) -> Result<(Tensor, u64)> {
+        match &ops[i] {
+            SnnOp::Conv { weight, spec, .. } => {
+                let filter_t = self.filter_t[i]
+                    .as_ref()
+                    .expect("conv op has a transposed filter");
+                let kernel = (weight.dims()[2], weight.dims()[3]);
+                sparse::conv2d_scatter_events(events, filter_t, kernel, *spec)
+            }
+            SnnOp::Linear { .. } => {
+                let weight_t = self.weight_t[i]
+                    .as_ref()
+                    .expect("linear op has a transposed weight");
+                sparse::linear_scatter_events(events, weight_t)
+            }
+            _ => Err(t2fsnn_tensor::TensorError::InvalidArgument {
+                op: "OpExecutor::propagate_events",
+                message: format!("op {i} is not a weighted op"),
+            }),
+        }
+    }
+
+    /// Computes a weighted op's full drive — synaptic propagation plus
+    /// `bias · bias_scale` — and integrates it into `potential` in one
+    /// fused pass. Per element the membrane receives exactly the value
+    /// the unfused `propagate` → `inject_bias` → `integrate` sequence
+    /// adds (the position-major accumulator already holds the summed
+    /// drive, so the intermediate tensor was a pure copy), without
+    /// materializing that tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or if `ops[i]` is not a
+    /// weighted op.
+    pub fn accumulate_weighted(
+        &mut self,
+        ops: &[SnnOp],
+        i: usize,
+        signal: &Tensor,
+        bias_scale: f32,
+        potential: &mut Tensor,
+    ) -> Result<u64> {
+        match &ops[i] {
+            SnnOp::Conv {
+                weight, bias, spec, ..
+            } => {
+                let use_events = self.try_events(signal)?;
+                let filter_t = self.filter_t[i]
+                    .as_ref()
+                    .expect("conv op has a transposed filter");
+                let kernel = (weight.dims()[2], weight.dims()[3]);
+                if use_events {
+                    sparse::conv2d_scatter_events_acc(
+                        &self.scratch,
+                        filter_t,
+                        kernel,
+                        *spec,
+                        bias,
+                        bias_scale,
+                        potential,
+                    )
+                } else {
+                    sparse::conv2d_scatter_t_acc(
+                        signal, filter_t, kernel, *spec, bias, bias_scale, potential,
+                    )
+                }
+            }
+            SnnOp::Linear { .. } => {
+                // Linear drives are small ([N, O]); the unfused sequence
+                // keeps its exact summation order.
+                let (mut z, synops) = self.propagate(ops, i, signal)?;
+                ops[i].inject_bias(&mut z, bias_scale)?;
+                potential.add_scaled(&z, 1.0)?;
+                Ok(synops)
+            }
+            _ => Err(t2fsnn_tensor::TensorError::InvalidArgument {
+                op: "OpExecutor::accumulate_weighted",
+                message: format!("op {i} is not a weighted op"),
+            }),
+        }
+    }
+
+    /// [`OpExecutor::accumulate_weighted`] for a signal already in event
+    /// form (e.g. produced by [`crate::coding::Coding::fire_events`]):
+    /// no scan, no dense intermediate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or if `ops[i]` is not a
+    /// weighted op.
+    pub fn accumulate_weighted_events(
+        &mut self,
+        ops: &[SnnOp],
+        i: usize,
+        events: &SpikeBatch,
+        bias_scale: f32,
+        potential: &mut Tensor,
+    ) -> Result<u64> {
+        match &ops[i] {
+            SnnOp::Conv {
+                weight, bias, spec, ..
+            } => {
+                let kernel = (weight.dims()[2], weight.dims()[3]);
+                // Event lists carry their density for free, so very
+                // dense steps (phase/burst coding re-transmissions) can
+                // take the vectorized im2col GEMM instead of the
+                // sparsity-proportional scatter — same f32 results
+                // either way (see t2fsnn_tensor::ops::sparse).
+                if events.density() > GEMM_DENSITY {
+                    let dense = events.to_dense();
+                    let mut z = sparse::conv2d_gemm(&dense, weight, *spec)?;
+                    let synops =
+                        sparse::conv2d_synops_events(events, weight.dims()[0], kernel, *spec)?;
+                    ops[i].inject_bias(&mut z, bias_scale)?;
+                    potential.add_scaled(&z, 1.0)?;
+                    return Ok(synops);
+                }
+                let filter_t = self.filter_t[i]
+                    .as_ref()
+                    .expect("conv op has a transposed filter");
+                sparse::conv2d_scatter_events_acc(
+                    events, filter_t, kernel, *spec, bias, bias_scale, potential,
+                )
+            }
+            SnnOp::Linear { .. } => {
+                let weight_t = self.weight_t[i]
+                    .as_ref()
+                    .expect("linear op has a transposed weight");
+                let (mut z, synops) = sparse::linear_scatter_events(events, weight_t)?;
+                ops[i].inject_bias(&mut z, bias_scale)?;
+                potential.add_scaled(&z, 1.0)?;
+                Ok(synops)
+            }
+            _ => Err(t2fsnn_tensor::TensorError::InvalidArgument {
+                op: "OpExecutor::accumulate_weighted_events",
+                message: format!("op {i} is not a weighted op"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2fsnn_tensor::ops::Conv2dSpec;
+
+    fn ops() -> Vec<SnnOp> {
+        vec![
+            SnnOp::Conv {
+                name: "c".into(),
+                weight: Tensor::from_fn([2, 1, 3, 3], |i| {
+                    ((i[0] * 9 + i[2] * 3 + i[3]) % 5) as f32 * 0.2 - 0.3
+                }),
+                bias: Tensor::zeros([2]),
+                spec: Conv2dSpec::new(1, 1),
+            },
+            SnnOp::AvgPool {
+                window: 2,
+                stride: 2,
+            },
+            SnnOp::Flatten,
+            SnnOp::Linear {
+                name: "l".into(),
+                weight: Tensor::from_fn([3, 8], |i| ((i[0] * 8 + i[1]) % 7) as f32 * 0.1),
+                bias: Tensor::zeros([3]),
+            },
+        ]
+    }
+
+    fn sparse_signal() -> Tensor {
+        let mut t = Tensor::zeros([2, 1, 4, 4]);
+        t.set(&[0, 0, 1, 2], 1.0).unwrap();
+        t.set(&[1, 0, 3, 3], 0.5).unwrap();
+        t
+    }
+
+    #[test]
+    fn executor_matches_reference_propagate_on_every_engine() {
+        let ops = ops();
+        for engine in [
+            SimEngine::Dense,
+            SimEngine::event(),
+            SimEngine::Event {
+                sparsity_threshold: 1.0,
+            },
+        ] {
+            let mut exec = OpExecutor::new(&ops, engine);
+            let mut signal = sparse_signal();
+            for i in 0..ops.len() {
+                let (want, want_synops) = ops[i].propagate(&signal).unwrap();
+                let (got, got_synops) = exec.propagate(&ops, i, &signal).unwrap();
+                assert_eq!(got, want, "op {i} under {engine:?}");
+                assert_eq!(got_synops, want_synops, "op {i} under {engine:?}");
+                signal = got;
+            }
+        }
+    }
+
+    #[test]
+    fn dense_engine_never_builds_events() {
+        let ops = ops();
+        let mut exec = OpExecutor::new(&ops, SimEngine::dense());
+        let (_, synops) = exec.propagate(&ops, 0, &sparse_signal()).unwrap();
+        assert!(synops > 0);
+        assert_eq!(exec.scratch.nnz(), 0, "dense engine skips the scan");
+    }
+
+    #[test]
+    fn default_is_event_engine() {
+        assert_eq!(SimEngine::default(), SimEngine::event());
+        assert_eq!(SimEngine::dense().threshold(), 0.0);
+    }
+}

@@ -58,10 +58,12 @@
 
 pub mod coding;
 pub mod energy;
+pub mod engine;
 mod network;
 mod neuron;
 mod sim;
 
+pub use engine::{OpExecutor, SimEngine};
 pub use network::{SnnNetwork, SnnOp};
 pub use neuron::IfState;
-pub use sim::{simulate, CurvePoint, SimConfig, SimOutcome};
+pub use sim::{simulate, simulate_on, CurvePoint, SimConfig, SimOutcome};

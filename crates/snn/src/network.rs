@@ -239,79 +239,12 @@ impl SnnOp {
 
 /// Sparse scatter convolution: for every non-zero input element, add its
 /// weighted kernel patch into the output. Returns `(output, synops)`.
+///
+/// Delegates to the shared cache-friendly kernel in
+/// [`t2fsnn_tensor::ops::sparse`]; the event-list variant used by the
+/// [`crate::engine`] is bit-identical to it.
 fn conv_scatter(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<(Tensor, u64)> {
-    if input.rank() != 4 || input.dims()[1] != weight.dims()[1] {
-        return Err(TensorError::InvalidArgument {
-            op: "conv_scatter",
-            message: format!(
-                "expected [N, {}, H, W] input, got {}",
-                weight.dims()[1],
-                input.shape()
-            ),
-        });
-    }
-    let (n, c, h, w) = (
-        input.dims()[0],
-        input.dims()[1],
-        input.dims()[2],
-        input.dims()[3],
-    );
-    let (o, _i, kh, kw) = (
-        weight.dims()[0],
-        weight.dims()[1],
-        weight.dims()[2],
-        weight.dims()[3],
-    );
-    let oh = spec.output_dim(h, kh);
-    let ow = spec.output_dim(w, kw);
-    let mut out = Tensor::zeros([n, o, oh, ow]);
-    let od = out.data_mut();
-    let id = input.data();
-    let wd = weight.data();
-    let pad = spec.padding as isize;
-    let stride = spec.stride as isize;
-    let mut synops = 0u64;
-    for ni in 0..n {
-        for ci in 0..c {
-            let ibase = (ni * c + ci) * h * w;
-            for yi in 0..h {
-                for xi in 0..w {
-                    let v = id[ibase + yi * w + xi];
-                    if v == 0.0 {
-                        continue;
-                    }
-                    // Output rows this input pixel reaches: oy*stride + ki - pad = yi
-                    for ki in 0..kh {
-                        let num = yi as isize + pad - ki as isize;
-                        if num < 0 || num % stride != 0 {
-                            continue;
-                        }
-                        let oy = (num / stride) as usize;
-                        if oy >= oh {
-                            continue;
-                        }
-                        for kj in 0..kw {
-                            let num = xi as isize + pad - kj as isize;
-                            if num < 0 || num % stride != 0 {
-                                continue;
-                            }
-                            let ox = (num / stride) as usize;
-                            if ox >= ow {
-                                continue;
-                            }
-                            for oc in 0..o {
-                                let widx = ((oc * c + ci) * kh + ki) * kw + kj;
-                                let oidx = ((ni * o + oc) * oh + oy) * ow + ox;
-                                od[oidx] += wd[widx] * v;
-                            }
-                            synops += o as u64;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    Ok((out, synops))
+    t2fsnn_tensor::ops::sparse::conv2d_scatter(input, weight, spec)
 }
 
 /// Sparse dense-layer propagation: only non-zero inputs touch weights.

@@ -4,11 +4,28 @@
 //! of images, recording everything the paper's evaluation needs: the
 //! accuracy-versus-time curve (Fig. 6), per-layer spike counts (Table I/II),
 //! synaptic operation counts (Table III extension) and latency.
+//!
+//! Execution is organized for speed without changing a single bit of the
+//! results:
+//!
+//! * **Event-driven dispatch** — each step's signal is propagated through
+//!   weighted ops as a sparse event list when its density is below the
+//!   engine threshold (see [`SimEngine`]); the sparse and dense kernels
+//!   are bit-identical by construction.
+//! * **Batch-level parallelism** — images never interact, so the batch is
+//!   split into contiguous chunks simulated on the scoped
+//!   [`ThreadPool`] and merged in chunk order. Accuracy is aggregated
+//!   from integer correct-counts, so the merged outcome is bit-identical
+//!   to a single-threaded run for every worker count. Codings whose
+//!   state is batch-order-dependent (Bernoulli rate input) report
+//!   [`Coding::batch_divisible`]` == false` and run on one thread.
 
 use serde::{Deserialize, Serialize};
-use t2fsnn_tensor::{Result, Tensor, TensorError};
+use t2fsnn_tensor::ops::sparse;
+use t2fsnn_tensor::{Result, SpikeBatch, Tensor, TensorError, ThreadPool};
 
 use crate::coding::Coding;
+use crate::engine::{OpExecutor, SimEngine};
 use crate::network::{SnnNetwork, SnnOp};
 use crate::neuron::IfState;
 
@@ -20,10 +37,14 @@ pub struct SimConfig {
     /// Sample the accuracy curve every this many steps (also the curve's
     /// resolution for latency measurements).
     pub record_every: usize,
+    /// Dense vs event-driven kernel dispatch (not serialized: a runtime
+    /// execution knob with no effect on results).
+    #[serde(skip)]
+    pub engine: SimEngine,
 }
 
 impl SimConfig {
-    /// Creates a config.
+    /// Creates a config with the default (event-driven) engine.
     ///
     /// # Panics
     ///
@@ -36,7 +57,16 @@ impl SimConfig {
         SimConfig {
             max_steps,
             record_every,
+            engine: SimEngine::default(),
         }
+    }
+
+    /// Overrides the execution engine (the result is bit-identical either
+    /// way; [`SimEngine::Dense`] exists as the reference for tests and
+    /// for profiling the dispatch itself).
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -102,7 +132,20 @@ impl SimOutcome {
     }
 }
 
-/// Simulates `net` under `coding` for a batch of images.
+/// Raw per-chunk tallies; accuracies stay integer correct-counts until
+/// the final merge so chunked and single-threaded runs agree bit for bit.
+struct ChunkStats {
+    /// `(step, correct)` per recorded curve point.
+    curve: Vec<(usize, u64)>,
+    /// Spikes per op index (zero for non-weighted ops).
+    spikes_hidden: Vec<u64>,
+    input_spikes: u64,
+    synop_adds: u64,
+    synop_mults: u64,
+}
+
+/// Simulates `net` under `coding` for a batch of images, using the
+/// process-global thread pool for batch-level parallelism.
 ///
 /// `images` is `[N, C, H, W]` with unit-range pixels; `labels` has length
 /// `N`. The final weighted layer never fires — its membrane potential
@@ -119,6 +162,24 @@ pub fn simulate(
     images: &Tensor,
     labels: &[usize],
     config: &SimConfig,
+) -> Result<SimOutcome> {
+    simulate_on(net, coding, images, labels, config, ThreadPool::global())
+}
+
+/// [`simulate`] with an explicit thread pool (the result is bit-identical
+/// for every worker count).
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent or the label count differs
+/// from the image count.
+pub fn simulate_on(
+    net: &SnnNetwork,
+    coding: &mut dyn Coding,
+    images: &Tensor,
+    labels: &[usize],
+    config: &SimConfig,
+    pool: &ThreadPool,
 ) -> Result<SimOutcome> {
     if images.rank() != 4 {
         return Err(TensorError::InvalidArgument {
@@ -142,16 +203,116 @@ pub fn simulate(
                 .to_string(),
         });
     }
+    let ops = net.ops();
+    if !ops.iter().any(SnnOp::is_weighted) {
+        return Err(TensorError::InvalidArgument {
+            op: "simulate",
+            message: "network has no weighted ops".to_string(),
+        });
+    }
+    // Shape-check the whole chain up front so chunk workers can't fail on
+    // anything but numerics.
+    net.output_shapes(&images.dims()[1..])?;
+
+    let ranges = pool.chunk_ranges(n);
+    let stats = if ranges.len() > 1 && coding.batch_divisible() {
+        let feature: usize = images.dims()[1..].iter().product();
+        let mut tasks: Vec<(Box<dyn Coding>, Tensor, &[usize])> = Vec::with_capacity(ranges.len());
+        for range in &ranges {
+            let mut dims = images.dims().to_vec();
+            dims[0] = range.len();
+            let chunk = Tensor::from_vec(
+                dims,
+                images.data()[range.start * feature..range.end * feature].to_vec(),
+            )?;
+            tasks.push((coding.boxed_clone(), chunk, &labels[range.clone()]));
+        }
+        let results = pool.run_tasks(tasks, |(mut chunk_coding, chunk_images, chunk_labels)| {
+            simulate_chunk(
+                net,
+                chunk_coding.as_mut(),
+                &chunk_images,
+                chunk_labels,
+                config,
+            )
+        });
+        merge_chunks(results)?
+    } else {
+        simulate_chunk(net, coding, images, labels, config)?
+    };
+
+    let curve: Vec<CurvePoint> = stats
+        .curve
+        .iter()
+        .map(|&(step, correct)| CurvePoint {
+            step,
+            accuracy: if n == 0 {
+                0.0
+            } else {
+                correct as f32 / n as f32
+            },
+        })
+        .collect();
+    let final_accuracy = curve.last().map(|p| p.accuracy).unwrap_or(0.0);
+    let last_weighted = ops.iter().rposition(SnnOp::is_weighted).expect("checked");
+    let spikes_per_layer = ops
+        .iter()
+        .enumerate()
+        .filter(|(i, op)| op.is_weighted() && *i != last_weighted)
+        .map(|(i, op)| (op.name().unwrap_or("?").to_string(), stats.spikes_hidden[i]))
+        .collect();
+    Ok(SimOutcome {
+        coding: coding.name().to_string(),
+        images: n,
+        steps: config.max_steps,
+        curve,
+        final_accuracy,
+        spikes_per_layer,
+        input_spikes: stats.input_spikes,
+        synop_adds: stats.synop_adds,
+        synop_mults: stats.synop_mults,
+    })
+}
+
+fn merge_chunks(results: Vec<Result<ChunkStats>>) -> Result<ChunkStats> {
+    let mut iter = results.into_iter();
+    let mut acc = iter.next().expect("at least one chunk")?;
+    for result in iter {
+        let stats = result?;
+        debug_assert_eq!(acc.curve.len(), stats.curve.len());
+        for (a, b) in acc.curve.iter_mut().zip(stats.curve) {
+            debug_assert_eq!(a.0, b.0, "chunks record the same steps");
+            a.1 += b.1;
+        }
+        for (a, b) in acc.spikes_hidden.iter_mut().zip(stats.spikes_hidden) {
+            *a += b;
+        }
+        acc.input_spikes += stats.input_spikes;
+        acc.synop_adds += stats.synop_adds;
+        acc.synop_mults += stats.synop_mults;
+    }
+    Ok(acc)
+}
+
+/// Simulates one contiguous sub-batch. All validation happens in
+/// [`simulate_on`]; per-image results are independent of how the batch
+/// was chunked.
+fn simulate_chunk(
+    net: &SnnNetwork,
+    coding: &mut dyn Coding,
+    images: &Tensor,
+    labels: &[usize],
+    config: &SimConfig,
+) -> Result<ChunkStats> {
+    let n = images.dims()[0];
     let input_dims = &images.dims()[1..];
     let shapes = net.output_shapes(input_dims)?;
     let ops = net.ops();
-    let last_weighted =
-        ops.iter()
-            .rposition(SnnOp::is_weighted)
-            .ok_or(TensorError::InvalidArgument {
-                op: "simulate",
-                message: "network has no weighted ops".to_string(),
-            })?;
+    let last_weighted = ops
+        .iter()
+        .rposition(SnnOp::is_weighted)
+        .expect("validated by simulate_on");
+    let mut executor = OpExecutor::new(ops, config.engine);
 
     // Neuron state per weighted op.
     let mut states: Vec<Option<IfState>> = ops
@@ -181,11 +342,27 @@ pub fn simulate(
     let first_weighted = ops
         .iter()
         .position(SnnOp::is_weighted)
-        .expect("checked above");
-    let mut input_cache: Vec<Option<(Tensor, u64, u64)>> = match coding.input_period() {
-        Some(p) if p > 0 => vec![None; p],
+        .expect("validated by simulate_on");
+    struct CachedDrive {
+        /// First-weighted-op output for this input phase.
+        raw: Tensor,
+        /// `raw` with the bias current folded in at `fused_scale`, so
+        /// the per-step work is a single integrate.
+        fused: Tensor,
+        fused_scale: f32,
+        in_spikes: u64,
+        synops: u64,
+    }
+    let mut input_cache: Vec<Option<CachedDrive>> = match coding.input_period() {
+        Some(p) if p > 0 => (0..p).map(|_| None).collect(),
         _ => Vec::new(),
     };
+
+    // Event-mode fire phases emit straight into this reused event list,
+    // skipping the dense spike tensor entirely; the dense reference
+    // engine keeps the tensor path.
+    let use_event_fire = !matches!(config.engine, SimEngine::Dense);
+    let mut fire_events = SpikeBatch::empty();
 
     for t in 0..config.max_steps {
         let cache_key = if input_cache.is_empty() {
@@ -193,23 +370,53 @@ pub fn simulate(
         } else {
             Some(t % input_cache.len())
         };
-        let precomputed = cache_key.and_then(|k| input_cache[k].clone());
-        let (mut signal, skip_until) = if let Some((z, in_spikes, synops)) = precomputed {
-            input_spikes += in_spikes;
-            synop_adds += synops;
-            if needs_mult {
-                synop_mults += synops;
+        let bias_scale = coding.bias_scale(t);
+        // Resolve this step's input-layer drive: borrowed from the
+        // per-phase cache (filled on first use — no per-step clone), or
+        // computed fresh for non-periodic codings. The cached synop
+        // counts are still charged every step: the arithmetic happens on
+        // real hardware, it is just not recomputed here. The cache keeps
+        // the drive with the bias current already folded in, so the
+        // per-step work collapses to one integrate.
+        let mut fresh_drive: Option<Tensor> = None;
+        if let Some(k) = cache_key {
+            if input_cache[k].is_none() {
+                let (raw, in_spikes) = coding.encode(images, t);
+                let mut z = raw;
+                let mut synops_acc = 0u64;
+                for i in 0..=first_weighted {
+                    let (next, synops) = executor.propagate(ops, i, &z)?;
+                    synops_acc += synops;
+                    z = next;
+                }
+                input_cache[k] = Some(CachedDrive {
+                    fused: z.clone(),
+                    raw: z,
+                    fused_scale: f32::NAN, // force the fuse below
+                    in_spikes,
+                    synops: synops_acc,
+                });
             }
-            (z, first_weighted)
+            let entry = input_cache[k].as_mut().expect("filled above");
+            if entry.fused_scale != bias_scale {
+                // Re-fuse for this step's bias scale (bundled codings
+                // use a constant scale, so this runs once per phase).
+                entry.fused = entry.raw.clone();
+                ops[first_weighted].inject_bias(&mut entry.fused, bias_scale)?;
+                entry.fused_scale = bias_scale;
+            }
+            input_spikes += entry.in_spikes;
+            synop_adds += entry.synops;
+            if needs_mult {
+                synop_mults += entry.synops;
+            }
         } else {
             let (raw, in_spikes) = coding.encode(images, t);
             input_spikes += in_spikes;
-            // Propagate through everything up to (and including) the first
-            // weighted op, then cache.
             let mut z = raw;
             let mut synops_acc = 0u64;
-            for op in &ops[..=first_weighted] {
-                let (next, synops) = op.propagate(&z)?;
+            for i in 0..=first_weighted {
+                let (next, synops) = executor.propagate(ops, i, &z)?;
                 synops_acc += synops;
                 z = next;
             }
@@ -217,79 +424,145 @@ pub fn simulate(
             if needs_mult {
                 synop_mults += synops_acc;
             }
-            if let Some(k) = cache_key {
-                input_cache[k] = Some((z.clone(), in_spikes, synops_acc));
-            }
-            (z, first_weighted)
+            ops[first_weighted].inject_bias(&mut z, bias_scale)?;
+            fresh_drive = Some(z);
+        }
+        let drive: &Tensor = match cache_key {
+            Some(k) => &input_cache[k].as_ref().expect("filled above").fused,
+            None => fresh_drive.as_ref().expect("computed above"),
         };
-        let bias_scale = coding.bias_scale(t);
+        let skip_until = first_weighted;
+        let mut signal = Tensor::default();
         let mut hidden_index = 0usize;
+        // Set after a fire phase that emitted nothing: every op until the
+        // next weighted layer maps an all-zero signal to all-zero output
+        // with zero synops, so propagation is skipped outright (deep
+        // layers are silent for many early steps) — only the constant
+        // bias current still reaches the membrane.
+        let mut signal_zero = false;
+        // Whether `fire_events` (not `signal`) holds the live signal.
+        let mut events_active = false;
         for (i, op) in ops.iter().enumerate() {
-            let (mut z, synops) = if i < skip_until {
+            if i < skip_until {
                 continue;
-            } else if i == skip_until {
-                // `signal` already holds this op's output drive.
-                (std::mem::take(&mut signal), 0)
-            } else {
-                let (z, synops) = op.propagate(&signal)?;
-                (z, synops)
-            };
-            synop_adds += synops;
-            if needs_mult {
-                synop_mults += synops;
             }
             if op.is_weighted() {
-                op.inject_bias(&mut z, bias_scale)?;
                 let state = states[i].as_mut().expect("weighted op has state");
-                state.integrate(&z)?;
+                let synops = if i == skip_until {
+                    // `drive` holds this op's output with the bias
+                    // already folded in (synops charged above); one
+                    // integrate finishes the step for this layer.
+                    state.integrate(drive)?;
+                    0
+                } else if signal_zero {
+                    op.inject_bias(state.potential_mut(), bias_scale)?;
+                    0
+                } else if events_active {
+                    executor.accumulate_weighted_events(
+                        ops,
+                        i,
+                        &fire_events,
+                        bias_scale,
+                        state.potential_mut(),
+                    )?
+                } else {
+                    executor.accumulate_weighted(
+                        ops,
+                        i,
+                        &signal,
+                        bias_scale,
+                        state.potential_mut(),
+                    )?
+                };
+                synop_adds += synops;
+                if needs_mult {
+                    synop_mults += synops;
+                }
                 if i == last_weighted {
                     // Output layer: accumulate only.
-                    signal = Tensor::zeros(z.shape().clone());
+                    signal_zero = true;
+                    events_active = false;
+                } else if use_event_fire {
+                    let count = coding.fire_events(
+                        state.potential_mut(),
+                        t,
+                        hidden_index,
+                        &mut fire_events,
+                    );
+                    spikes_hidden[i] += count;
+                    signal_zero = count == 0;
+                    events_active = count > 0;
+                    hidden_index += 1;
                 } else {
                     let (spikes, count) = coding.fire(state.potential_mut(), t, hidden_index);
                     spikes_hidden[i] += count;
                     signal = spikes;
+                    signal_zero = count == 0;
+                    events_active = false;
                     hidden_index += 1;
                 }
+            } else if events_active && !signal_zero {
+                // Pass-through ops on an event signal (synops are zero
+                // for all of them).
+                match op {
+                    SnnOp::AvgPool { window, stride } => {
+                        signal = sparse::avg_pool2d_events(&fire_events, *window, *stride)?;
+                        events_active = false;
+                    }
+                    SnnOp::Flatten => {
+                        let numel = fire_events.feature_numel();
+                        fire_events.reshape_features(&[numel])?;
+                    }
+                    _ => {
+                        // Not reachable with the bundled architectures
+                        // (max pooling is rejected up front); densify and
+                        // take the dense path.
+                        signal = fire_events.to_dense();
+                        events_active = false;
+                        let (z, synops) = executor.propagate(ops, i, &signal)?;
+                        synop_adds += synops;
+                        if needs_mult {
+                            synop_mults += synops;
+                        }
+                        signal = z;
+                    }
+                }
             } else {
+                let (z, synops) = if signal_zero {
+                    let mut dims = vec![n];
+                    dims.extend_from_slice(&shapes[i]);
+                    (Tensor::zeros(dims), 0)
+                } else {
+                    executor.propagate(ops, i, &signal)?
+                };
+                synop_adds += synops;
+                if needs_mult {
+                    synop_mults += synops;
+                }
                 signal = z;
             }
         }
         if (t + 1) % config.record_every == 0 || t + 1 == config.max_steps {
             let output = states[last_weighted].as_ref().expect("output state");
-            let accuracy = batch_accuracy(output.potential(), labels)?;
-            curve.push(CurvePoint {
-                step: t + 1,
-                accuracy,
-            });
+            let correct = batch_correct(output.potential(), labels)?;
+            curve.push((t + 1, correct));
         }
     }
 
-    let final_accuracy = curve.last().map(|p| p.accuracy).unwrap_or(0.0);
-    let spikes_per_layer = ops
-        .iter()
-        .enumerate()
-        .filter(|(i, op)| op.is_weighted() && *i != last_weighted)
-        .map(|(i, op)| (op.name().unwrap_or("?").to_string(), spikes_hidden[i]))
-        .collect();
-    Ok(SimOutcome {
-        coding: coding.name().to_string(),
-        images: n,
-        steps: config.max_steps,
+    Ok(ChunkStats {
         curve,
-        final_accuracy,
-        spikes_per_layer,
+        spikes_hidden,
         input_spikes,
         synop_adds,
         synop_mults,
     })
 }
 
-/// Argmax accuracy of a `[N, classes]` potential tensor.
-fn batch_accuracy(potential: &Tensor, labels: &[usize]) -> Result<f32> {
+/// Argmax correct-count of a `[N, classes]` potential tensor.
+fn batch_correct(potential: &Tensor, labels: &[usize]) -> Result<u64> {
     if potential.rank() != 2 || potential.dims()[0] != labels.len() {
         return Err(TensorError::InvalidArgument {
-            op: "batch_accuracy",
+            op: "batch_correct",
             message: format!(
                 "potential {} vs {} labels — output layer is not [N, classes]",
                 potential.shape(),
@@ -297,11 +570,8 @@ fn batch_accuracy(potential: &Tensor, labels: &[usize]) -> Result<f32> {
             ),
         });
     }
-    if labels.is_empty() {
-        return Ok(0.0);
-    }
-    let (n, c) = (potential.dims()[0], potential.dims()[1]);
-    let mut correct = 0usize;
+    let c = potential.dims()[1];
+    let mut correct = 0u64;
     for (i, &y) in labels.iter().enumerate() {
         let row = &potential.data()[i * c..(i + 1) * c];
         let pred = row
@@ -314,13 +584,13 @@ fn batch_accuracy(potential: &Tensor, labels: &[usize]) -> Result<f32> {
             correct += 1;
         }
     }
-    Ok(correct as f32 / n as f32)
+    Ok(correct)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::coding::{BurstCoding, PhaseCoding, RateCoding};
+    use crate::coding::{BurstCoding, PhaseCoding, RateCoding, ReverseCoding};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use t2fsnn_data::{DatasetSpec, SyntheticConfig};
@@ -445,6 +715,106 @@ mod tests {
             burst.total_spikes(),
             rate.total_spikes()
         );
+    }
+
+    #[test]
+    fn event_engine_is_bit_identical_to_dense_reference() {
+        let (snn, images, labels, _) = fixture();
+        for threshold in [0.05f32, 0.25, 1.0] {
+            let dense = simulate(
+                &snn,
+                &mut PhaseCoding::new(8),
+                &images,
+                &labels,
+                &SimConfig::new(48, 8).with_engine(SimEngine::dense()),
+            )
+            .unwrap();
+            let event = simulate(
+                &snn,
+                &mut PhaseCoding::new(8),
+                &images,
+                &labels,
+                &SimConfig::new(48, 8).with_engine(SimEngine::Event {
+                    sparsity_threshold: threshold,
+                }),
+            )
+            .unwrap();
+            assert_eq!(dense, event, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn chunked_simulation_is_bit_identical_for_every_worker_count() {
+        let (snn, images, labels, _) = fixture();
+        let serial = simulate_on(
+            &snn,
+            &mut BurstCoding::new(5),
+            &images,
+            &labels,
+            &SimConfig::new(32, 8),
+            &ThreadPool::new(1),
+        )
+        .unwrap();
+        for workers in [2usize, 3, 5] {
+            let parallel = simulate_on(
+                &snn,
+                &mut BurstCoding::new(5),
+                &images,
+                &labels,
+                &SimConfig::new(32, 8),
+                &ThreadPool::new(workers),
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+        // Reverse coding carries per-layer refractory state and must
+        // still chunk cleanly.
+        let serial = simulate_on(
+            &snn,
+            &mut ReverseCoding::new(16),
+            &images,
+            &labels,
+            &SimConfig::new(32, 8),
+            &ThreadPool::new(1),
+        )
+        .unwrap();
+        let parallel = simulate_on(
+            &snn,
+            &mut ReverseCoding::new(16),
+            &images,
+            &labels,
+            &SimConfig::new(32, 8),
+            &ThreadPool::new(4),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn bernoulli_rate_input_declines_chunking_but_still_runs() {
+        let (snn, images, labels, _) = fixture();
+        let mut coding = RateCoding::bernoulli(7);
+        assert!(!crate::coding::Coding::batch_divisible(&coding));
+        let a = simulate_on(
+            &snn,
+            &mut coding,
+            &images,
+            &labels,
+            &SimConfig::new(16, 8),
+            &ThreadPool::new(4),
+        )
+        .unwrap();
+        // The multi-worker pool must not change the single RNG stream.
+        let b = simulate_on(
+            &snn,
+            &mut RateCoding::bernoulli(7),
+            &images,
+            &labels,
+            &SimConfig::new(16, 8),
+            &ThreadPool::new(1),
+        )
+        .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -2,10 +2,124 @@
 //! laws, coding invariants, and event-driven propagation equivalence.
 
 use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use t2fsnn_dnn::layers::{Conv2d, Flatten, Linear, Pool, PoolKind, Relu};
+use t2fsnn_dnn::Network;
 use t2fsnn_snn::coding::{BurstCoding, Coding, PhaseCoding, RateCoding, ReverseCoding};
-use t2fsnn_snn::{IfState, SnnOp};
+use t2fsnn_snn::{simulate_on, IfState, SimConfig, SimEngine, SnnNetwork, SnnOp};
 use t2fsnn_tensor::ops::{conv2d, Conv2dSpec};
-use t2fsnn_tensor::Tensor;
+use t2fsnn_tensor::{Tensor, ThreadPool};
+
+/// A small random architecture (untrained weights are fine: the
+/// properties below assert *equivalence between execution paths*, not
+/// accuracy) over 8×8 single-channel inputs.
+fn random_network(arch: usize, width: usize, seed: u64) -> Network {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut net = Network::new();
+    match arch % 3 {
+        0 => {
+            net.push("flatten", Flatten::new());
+            net.push("fc1", Linear::new(&mut rng, 64, 8 + width));
+            net.push("relu1", Relu::new());
+            net.push("fc2", Linear::new(&mut rng, 8 + width, 4));
+        }
+        1 => {
+            let c = 2 + width / 2;
+            net.push(
+                "conv1",
+                Conv2d::new(&mut rng, 1, c, 3, Conv2dSpec::new(1, 1)),
+            );
+            net.push("relu1", Relu::new());
+            net.push("pool1", Pool::down2(PoolKind::Avg));
+            net.push(
+                "conv2",
+                Conv2d::new(&mut rng, c, c * 2, 3, Conv2dSpec::new(1, 1)),
+            );
+            net.push("relu2", Relu::new());
+            net.push("pool2", Pool::down2(PoolKind::Avg));
+            net.push("flatten", Flatten::new());
+            net.push("fc", Linear::new(&mut rng, c * 2 * 4, 4));
+        }
+        _ => {
+            let c = 2 + width;
+            net.push(
+                "conv1",
+                Conv2d::new(&mut rng, 1, c, 3, Conv2dSpec::new(2, 1)),
+            );
+            net.push("relu1", Relu::new());
+            net.push("flatten", Flatten::new());
+            net.push("fc", Linear::new(&mut rng, c * 16, 4));
+        }
+    }
+    net
+}
+
+fn random_batch(seed: u64, n: usize) -> (Tensor, Vec<usize>) {
+    let images = Tensor::from_fn([n, 1, 8, 8], |i| {
+        let key = i[0] * 6151 + i[2] * 67 + i[3] * 11 + seed as usize;
+        ((key % 97) as f32) / 96.0
+    });
+    let labels = (0..n).map(|i| (i + seed as usize) % 4).collect();
+    (images, labels)
+}
+
+/// Every bundled coding in a fresh state.
+fn all_codings() -> Vec<Box<dyn Coding>> {
+    vec![
+        Box::new(RateCoding::new()),
+        Box::new(RateCoding::bernoulli(11)),
+        Box::new(PhaseCoding::new(4)),
+        Box::new(BurstCoding::new(3)),
+        Box::new(ReverseCoding::new(8)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole invariant: for every coding and architecture, the
+    /// event-driven engine's `SimOutcome` — accuracy curve, spike
+    /// counts, synop counts — is identical to the dense reference at
+    /// every sparsity threshold, and independent of the worker count.
+    #[test]
+    fn event_engine_matches_dense_reference(
+        arch in 0usize..3,
+        width in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let dnn = random_network(arch, width, seed);
+        let snn = SnnNetwork::from_dnn(&dnn).unwrap();
+        let (images, labels) = random_batch(seed, 5);
+        let serial = ThreadPool::new(1);
+        for coding in all_codings() {
+            let run = |engine: SimEngine, pool: &ThreadPool| {
+                let mut c = coding.boxed_clone();
+                simulate_on(
+                    &snn,
+                    c.as_mut(),
+                    &images,
+                    &labels,
+                    &SimConfig::new(12, 4).with_engine(engine),
+                    pool,
+                )
+                .unwrap()
+            };
+            let dense = run(SimEngine::dense(), &serial);
+            prop_assert!(dense.steps == 12 && dense.curve.len() == 3);
+            for threshold in [0.05f32, 0.5, 1.0] {
+                let event = run(
+                    SimEngine::Event { sparsity_threshold: threshold },
+                    &serial,
+                );
+                prop_assert_eq!(&dense, &event, "coding {} threshold {}", coding.name(), threshold);
+            }
+            // Worker count must not change a single bit either.
+            let parallel = run(SimEngine::default(), &ThreadPool::new(3));
+            prop_assert_eq!(&dense, &parallel, "coding {} parallel", coding.name());
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -33,11 +33,15 @@
 #![forbid(unsafe_code)]
 
 mod error;
+mod events;
 pub mod init;
 pub mod ops;
+mod parallel;
 mod shape;
 mod tensor;
 
 pub use error::{Result, TensorError};
+pub use events::SpikeBatch;
+pub use parallel::ThreadPool;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, TensorError};
-use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::ops::matmul::{matmul_a_bt, matmul_at_b};
 use crate::tensor::Tensor;
 
 /// Stride and zero-padding configuration for a 2-D convolution.
@@ -73,33 +73,54 @@ pub fn im2col(image: &Tensor, kernel: (usize, usize), spec: Conv2dSpec) -> Resul
     let (kh, kw) = kernel;
     let oh = spec.output_dim(h, kh);
     let ow = spec.output_dim(w, kw);
+    let mut out = Vec::new();
+    im2col_into(image.data(), (c, h, w), kernel, spec, &mut out);
+    Tensor::from_vec([c * kh * kw, oh * ow], out)
+}
+
+/// [`im2col`] on raw data into a reused buffer (resized, every entry
+/// written — callers can recycle the allocation across images without
+/// clearing it).
+pub fn im2col_into(
+    data: &[f32],
+    chw: (usize, usize, usize),
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+    out: &mut Vec<f32>,
+) {
+    let (c, h, w) = chw;
+    let (kh, kw) = kernel;
+    let oh = spec.output_dim(h, kh);
+    let ow = spec.output_dim(w, kw);
     let rows = c * kh * kw;
     let cols = oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
-    let data = image.data();
+    out.resize(rows * cols, 0.0);
     let pad = spec.padding as isize;
     for ci in 0..c {
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ci * kh + ki) * kw + kj;
+                let orow = &mut out[row * cols..(row + 1) * cols];
                 for oi in 0..oh {
                     let ii = (oi * spec.stride) as isize + ki as isize - pad;
+                    let oline = &mut orow[oi * ow..(oi + 1) * ow];
                     if ii < 0 || ii >= h as isize {
+                        oline.fill(0.0);
                         continue;
                     }
-                    for oj in 0..ow {
+                    let iline = &data[(ci * h + ii as usize) * w..(ci * h + ii as usize + 1) * w];
+                    for (oj, slot) in oline.iter_mut().enumerate() {
                         let jj = (oj * spec.stride) as isize + kj as isize - pad;
-                        if jj < 0 || jj >= w as isize {
-                            continue;
-                        }
-                        let src = (ci * h + ii as usize) * w + jj as usize;
-                        out[row * cols + oi * ow + oj] = data[src];
+                        *slot = if jj < 0 || jj >= w as isize {
+                            0.0
+                        } else {
+                            iline[jj as usize]
+                        };
                     }
                 }
             }
         }
     }
-    Tensor::from_vec([rows, cols], out)
 }
 
 /// Folds an im2col matrix back into a `[C, H, W]` image, *summing*
@@ -222,19 +243,41 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) 
     );
     let oh = spec.output_dim(h, kh);
     let ow = spec.output_dim(w, kw);
-    let weight_mat = weight.reshape([o, i * kh * kw])?;
-    let mut out = Vec::with_capacity(n * o * oh * ow);
-    for img in 0..n {
-        let image = input.index_axis0(img)?;
-        let cols_mat = im2col(&image, (kh, kw), spec)?;
-        let res = matmul(&weight_mat, &cols_mat)?; // [O, OH*OW]
-        let rd = res.data();
-        for oc in 0..o {
-            let b = bias.data()[oc];
-            for p in 0..oh * ow {
-                out.push(rd[oc * oh * ow + p] + b);
-            }
+    let c = input.dims()[1];
+    let ckk = i * kh * kw;
+    let in_image = c * h * w;
+    let item_len = o * oh * ow;
+    let mut out = vec![0.0f32; n * item_len];
+    if item_len > 0 {
+        // Weight `[O, I, KH, KW]` is row-major, i.e. already the
+        // `[O, I·KH·KW]` GEMM operand. Images are independent, so the
+        // batch parallelizes with bit-identical results for any worker
+        // count; the im2col buffer is thread-local and reused across
+        // images and calls (every entry is rewritten, so no clearing).
+        thread_local! {
+            static COLS: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
         }
+        let id = input.data();
+        let wd = weight.data();
+        crate::ThreadPool::global().scatter_items(&mut out, item_len, |img, slot| {
+            COLS.with(|cols| {
+                let cols = &mut *cols.borrow_mut();
+                im2col_into(
+                    &id[img * in_image..(img + 1) * in_image],
+                    (c, h, w),
+                    (kh, kw),
+                    spec,
+                    cols,
+                );
+                super::matmul::gemm_accumulate(slot, wd, o, ckk, cols, oh * ow);
+            });
+            for (oc, plane) in slot.chunks_exact_mut(oh * ow).enumerate() {
+                let b = bias.data()[oc];
+                for v in plane.iter_mut() {
+                    *v += b;
+                }
+            }
+        });
     }
     Tensor::from_vec([n, o, oh, ow], out)
 }

@@ -1,14 +1,18 @@
 //! Numeric kernels on [`Tensor`](crate::Tensor): matrix multiplication,
-//! 2-D convolution, pooling, and activations.
+//! 2-D convolution, pooling, activations, and event-driven sparse
+//! propagation.
 //!
-//! All kernels are plain safe Rust tuned for a single CPU core; the
-//! convolution path uses im2col + matmul with a zero-skipping inner loop
-//! that doubles as a sparse path for spike tensors.
+//! All kernels are plain safe Rust. The dense matmul family is
+//! register-blocked and cache-tiled for a single core; `conv2d`
+//! parallelizes across the batch via the crate's scoped
+//! [`ThreadPool`](crate::ThreadPool); the [`sparse`] module provides
+//! event-list kernels that are bit-identical to their dense twins.
 
 mod activation;
 mod conv;
 mod matmul;
 mod pool;
+pub mod sparse;
 
 pub use activation::{accuracy, cross_entropy, relu, relu_backward, softmax, top_k_accuracy};
 pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dSpec};

@@ -123,8 +123,30 @@ pub fn avg_pool2d(input: &Tensor, window: usize, stride: usize) -> Result<Tensor
     let oh = pooled_dim(h, window, stride);
     let ow = pooled_dim(w, window, stride);
     let inv_area = 1.0 / (window * window) as f32;
-    let mut out = Vec::with_capacity(n * c * oh * ow);
     let data = input.data();
+    if window == 2 && stride == 2 && h * w > 0 && oh * ow > 0 {
+        // The down2 pooling every bundled architecture uses: unrolled
+        // pairwise sums with the same left-to-right association as the
+        // generic loop below, so results are identical.
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for (plane, slot) in data
+            .chunks_exact(h * w)
+            .zip(out.chunks_exact_mut((oh * ow).max(1)))
+            .take(n * c)
+        {
+            for oi in 0..oh {
+                let row0 = &plane[2 * oi * w..2 * oi * w + w];
+                let row1 = &plane[(2 * oi + 1) * w..(2 * oi + 1) * w + w];
+                let orow = &mut slot[oi * ow..(oi + 1) * ow];
+                for (oj, o) in orow.iter_mut().enumerate() {
+                    *o = (row0[2 * oj] + row0[2 * oj + 1] + row1[2 * oj] + row1[2 * oj + 1])
+                        * inv_area;
+                }
+            }
+        }
+        return Tensor::from_vec([n, c, oh, ow], out);
+    }
+    let mut out = Vec::with_capacity(n * c * oh * ow);
     for ni in 0..n {
         for ci in 0..c {
             let base = (ni * c + ci) * h * w;
@@ -290,5 +312,12 @@ mod tests {
         let t = Tensor::zeros([1, 1, 2, 2]);
         let out = avg_pool2d(&t, 3, 1).unwrap();
         assert_eq!(out.dims(), &[1, 1, 0, 0]);
+        // Zero-sized spatial inputs must not panic the 2×2 fast path.
+        let empty = Tensor::zeros([1, 1, 0, 4]);
+        let out = avg_pool2d(&empty, 2, 2).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 0, 2]);
+        let tall = Tensor::zeros([1, 1, 1, 4]);
+        let out = avg_pool2d(&tall, 2, 2).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 0, 2]);
     }
 }

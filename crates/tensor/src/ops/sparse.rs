@@ -1,0 +1,1197 @@
+//! Sparse (event-driven) propagation kernels, with dense zero-skipping
+//! twins.
+//!
+//! Both kernels of each pair perform **exactly the same floating-point
+//! operations in the same order**: the dense variant scans the input
+//! row-major and skips zeros, the event variant iterates a
+//! [`SpikeBatch`] whose events are stored in row-major order. Every
+//! output element therefore accumulates its contributions in an
+//! identical sequence, making the two paths bit-identical — the property
+//! the spiking simulator's engine dispatch relies on.
+//!
+//! The convolution kernels accumulate **position-major**: each valid
+//! kernel tap of an event performs one contiguous `value × weight-row`
+//! axpy over all `O` output channels into a `[OH·OW, O]` accumulator
+//! (vectorizable, cache-resident), and the accumulator is transposed
+//! into the `[O, OH, OW]` output once per image. Work is proportional to
+//! `events × taps × O` with the multiply-add SIMD-friendly — the
+//! combination that beats both the scalar scatter (strided plane writes)
+//! and dense im2col GEMM (pays for zeros) on spiking workloads.
+
+use crate::error::{Result, TensorError};
+use crate::events::SpikeBatch;
+use crate::ops::conv::Conv2dSpec;
+use crate::tensor::Tensor;
+
+/// Convolution geometry shared by the kernels.
+struct ConvGeom {
+    c: usize,
+    o: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+    stride: isize,
+    pad: isize,
+}
+
+impl ConvGeom {
+    fn new(
+        input_chw: &[usize],
+        o: usize,
+        ckk: usize,
+        kernel: (usize, usize),
+        spec: Conv2dSpec,
+        op: &'static str,
+    ) -> Result<Self> {
+        let (kh, kw) = kernel;
+        if input_chw.len() != 3 || input_chw[0] * kh * kw != ckk {
+            return Err(TensorError::InvalidArgument {
+                op,
+                message: format!(
+                    "input features {input_chw:?} do not match a [{ckk}, {o}] filter with \
+                     kernel {kh}x{kw}"
+                ),
+            });
+        }
+        let (h, w) = (input_chw[1], input_chw[2]);
+        Ok(ConvGeom {
+            c: input_chw[0],
+            o,
+            h,
+            w,
+            kh,
+            kw,
+            oh: spec.output_dim(h, kh),
+            ow: spec.output_dim(w, kw),
+            stride: spec.stride as isize,
+            pad: spec.padding as isize,
+        })
+    }
+}
+
+/// Transposes a `[O, C, KH, KW]` filter bank into the scatter kernels'
+/// `[C, KH, KW, O]` tap-major layout **with the KW axis reversed**
+/// (`out[((ci·KH + ki)·KW + (KW−1−kj))·O + oc] = w[oc, ci, ki, kj]`).
+/// Reversing KW makes the taps a stride-1 event touches along one kernel
+/// row *contiguous in the same order as the output positions they feed*,
+/// so the whole row collapses into a single long axpy. Done once per run
+/// by the engine; spiking weights never change between steps.
+///
+/// # Errors
+///
+/// Returns an error if `weight` is not rank 4.
+pub fn transpose_filter(weight: &Tensor) -> Result<Tensor> {
+    if weight.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "transpose_filter",
+            message: format!("expected weight [O, I, KH, KW], got {}", weight.shape()),
+        });
+    }
+    let (o, c, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    let ckk = c * kh * kw;
+    let wd = weight.data();
+    let mut out = vec![0.0f32; ckk * o];
+    for oc in 0..o {
+        for ci in 0..c {
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let tap = (ci * kh + ki) * kw + (kw - 1 - kj);
+                    out[tap * o + oc] = wd[((oc * c + ci) * kh + ki) * kw + kj];
+                }
+            }
+        }
+    }
+    Tensor::from_vec([ckk, o], out)
+}
+
+/// Fills `taps` with the `(kernel offset, output coordinate)` pairs a
+/// source coordinate `src` reaches: all `k` with
+/// `out·stride + k − pad = src`, `out < out_limit`.
+#[inline]
+fn valid_taps(
+    taps: &mut Vec<(usize, usize)>,
+    src: usize,
+    kernel: usize,
+    out_limit: usize,
+    stride: isize,
+    pad: isize,
+) {
+    taps.clear();
+    for k in 0..kernel {
+        let num = src as isize + pad - k as isize;
+        if num < 0 {
+            break; // `num` only decreases with k
+        }
+        if num % stride == 0 {
+            let out = (num / stride) as usize;
+            if out < out_limit {
+                taps.push((k, out));
+            }
+        }
+    }
+}
+
+/// Decodes flat `[C, H, W]` event indices into coordinates, using
+/// shift/mask arithmetic when the spatial dims are powers of two (every
+/// bundled architecture) — a hardware division per event is one of the
+/// larger per-event costs otherwise.
+#[derive(Clone, Copy)]
+struct CoordDecoder {
+    plane: usize,
+    w: usize,
+    shifts: Option<(u32, u32)>,
+}
+
+impl CoordDecoder {
+    fn new(h: usize, w: usize) -> Self {
+        let plane = h * w;
+        let shifts = (plane.is_power_of_two() && w.is_power_of_two() && plane > 0)
+            .then(|| (plane.trailing_zeros(), w.trailing_zeros()));
+        CoordDecoder { plane, w, shifts }
+    }
+
+    #[inline]
+    fn decode(&self, flat: usize) -> (usize, usize, usize) {
+        match self.shifts {
+            Some((ps, ws)) => {
+                let ci = flat >> ps;
+                let rem = flat & (self.plane - 1);
+                (ci, rem >> ws, rem & (self.w - 1))
+            }
+            None => {
+                let ci = flat / self.plane;
+                let rem = flat % self.plane;
+                (ci, rem / self.w, rem % self.w)
+            }
+        }
+    }
+}
+
+/// Reused buffers of the position-major scatter: the `[OH·OW, O]`
+/// accumulator and the per-event valid-tap lists.
+struct PmScratch {
+    acc: Vec<f32>,
+    ky: Vec<(usize, usize)>,
+    kx: Vec<(usize, usize)>,
+}
+
+impl PmScratch {
+    fn new(g: &ConvGeom) -> Self {
+        PmScratch {
+            acc: vec![0.0f32; g.oh * g.ow * g.o],
+            ky: Vec::with_capacity(g.kh),
+            kx: Vec::with_capacity(g.kw),
+        }
+    }
+}
+
+/// Scatters one input event into the position-major accumulator.
+/// Returns the synaptic accumulate count charged (`taps × O`).
+///
+/// With stride 1 (every conv in the paper's architectures) the valid
+/// taps of one kernel row are contiguous in the reversed-KW filter
+/// layout *and* feed contiguous output positions, so each kernel row is
+/// one long `value × weight-span` axpy — typically `taps·O` = 24–96
+/// contiguous floats, which vectorizes cleanly.
+#[inline]
+fn scatter_event_pm(
+    s: &mut PmScratch,
+    wt: &[f32],
+    v: f32,
+    ci: usize,
+    yi: usize,
+    xi: usize,
+    g: &ConvGeom,
+) -> u64 {
+    let o = g.o;
+    if g.stride == 1 {
+        // `oy = yi + pad − ki` must land in `0..oh` (same for x).
+        let klo =
+            |src: usize, limit: usize| (src as isize + g.pad + 1 - limit as isize).max(0) as usize;
+        let khi = |src: usize, kernel: usize| (src as isize + g.pad).min(kernel as isize - 1);
+        let (ky_lo, ky_hi) = (klo(yi, g.oh), khi(yi, g.kh));
+        let (kx_lo, kx_hi) = (klo(xi, g.ow), khi(xi, g.kw));
+        if ky_hi < ky_lo as isize || kx_hi < kx_lo as isize {
+            return 0;
+        }
+        let (ky_hi, kx_hi) = (ky_hi as usize, kx_hi as usize);
+        let ox_lo = (xi as isize + g.pad) as usize - kx_hi;
+        let row_len = (kx_hi - kx_lo + 1) * o;
+        for ki in ky_lo..=ky_hi {
+            let oy = (yi as isize + g.pad) as usize - ki;
+            // kj descending kx_hi..=kx_lo ⇔ reversed-KW index ascending —
+            // aligned with output positions ox ascending from ox_lo.
+            let wstart = ((ci * g.kh + ki) * g.kw + (g.kw - 1 - kx_hi)) * o;
+            let astart = (oy * g.ow + ox_lo) * o;
+            let wspan = &wt[wstart..wstart + row_len];
+            let aspan = &mut s.acc[astart..astart + row_len];
+            for (a, &wv) in aspan.iter_mut().zip(wspan) {
+                *a += v * wv;
+            }
+        }
+        return ((ky_hi - ky_lo + 1) * (kx_hi - kx_lo + 1) * o) as u64;
+    }
+    valid_taps(&mut s.ky, yi, g.kh, g.oh, g.stride, g.pad);
+    valid_taps(&mut s.kx, xi, g.kw, g.ow, g.stride, g.pad);
+    if s.ky.is_empty() || s.kx.is_empty() {
+        return 0;
+    }
+    for &(ki, oy) in &s.ky {
+        let wrow_base = (ci * g.kh + ki) * g.kw;
+        let arow_base = oy * g.ow * o;
+        for &(kj, ox) in &s.kx {
+            let wstart = (wrow_base + (g.kw - 1 - kj)) * o;
+            let wrow = &wt[wstart..wstart + o];
+            let arow = &mut s.acc[arow_base + ox * o..arow_base + (ox + 1) * o];
+            for (a, &wv) in arow.iter_mut().zip(wrow) {
+                *a += v * wv;
+            }
+        }
+    }
+    (s.ky.len() * s.kx.len() * g.o) as u64
+}
+
+/// Transposes the `[OH·OW, O]` accumulator into one image's `[O, OH·OW]`
+/// output block — overwriting (`add == false`) or accumulating into a
+/// membrane-potential block (`add == true`). A `(bias, scale)` constant
+/// current is folded in during the same pass: each element receives
+/// `acc + bias·scale` as one value, exactly what the unfused
+/// `inject_bias` + `integrate` sequence adds.
+#[inline]
+fn flush_acc(
+    os: &mut [f32],
+    acc: &[f32],
+    o: usize,
+    plane: usize,
+    add: bool,
+    bias: Option<(&[f32], f32)>,
+) {
+    if plane == 0 {
+        return; // zero-sized output (kernel larger than input)
+    }
+    for (oc, out_plane) in os.chunks_exact_mut(plane).enumerate() {
+        let b = bias.map_or(0.0, |(bias, scale)| bias[oc] * scale);
+        if add {
+            for (p, slot) in out_plane.iter_mut().enumerate() {
+                *slot += acc[p * o + oc] + b;
+            }
+        } else {
+            for (p, slot) in out_plane.iter_mut().enumerate() {
+                *slot = acc[p * o + oc] + b;
+            }
+        }
+    }
+}
+
+/// [`flush_acc`] for an image with no events: the drive is exactly the
+/// bias current (`0 + bias·scale` element-wise), so the accumulator is
+/// neither cleared nor read — a contiguous per-channel add instead of
+/// three passes.
+#[inline]
+fn flush_empty(os: &mut [f32], o: usize, plane: usize, add: bool, bias: Option<(&[f32], f32)>) {
+    if plane == 0 {
+        return; // zero-sized output (kernel larger than input)
+    }
+    match bias {
+        None if add => {}
+        None => os.fill(0.0),
+        Some((bias, scale)) => {
+            for (oc, out_plane) in os.chunks_exact_mut(plane).enumerate().take(o) {
+                let b = bias[oc] * scale;
+                if add {
+                    for slot in out_plane.iter_mut() {
+                        *slot += b;
+                    }
+                } else {
+                    out_plane.fill(b);
+                }
+            }
+        }
+    }
+}
+
+/// Options for the scatter drivers' output stage.
+struct FlushMode<'a> {
+    /// `(bias, scale)` folded into the accumulator before flushing.
+    bias: Option<(&'a [f32], f32)>,
+    /// Accumulate into the target instead of overwriting it.
+    add: bool,
+}
+
+/// Sparse scatter convolution over a **dense** input with a cached
+/// `[C·KH·KW, O]` filter from [`transpose_filter`]: only non-zero
+/// entries do work. Returns `(output, synop count)` where the synop
+/// count charges `O` accumulates per valid kernel tap per non-zero
+/// input, matching the paper's Table III accounting.
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatches.
+pub fn conv2d_scatter_t(
+    input: &Tensor,
+    filter_t: &Tensor,
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+) -> Result<(Tensor, u64)> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_scatter_t",
+            message: format!("expected [N, C, H, W] input, got {}", input.shape()),
+        });
+    }
+    if filter_t.rank() != 2 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_scatter_t",
+            message: format!("expected filter [C·KH·KW, O], got {}", filter_t.shape()),
+        });
+    }
+    let n = input.dims()[0];
+    let (ckk, o) = (filter_t.dims()[0], filter_t.dims()[1]);
+    let g = ConvGeom::new(&input.dims()[1..], o, ckk, kernel, spec, "conv2d_scatter_t")?;
+    let mut out = Tensor::zeros([n, g.o, g.oh, g.ow]);
+    let mode = FlushMode {
+        bias: None,
+        add: false,
+    };
+    let synops = scatter_dense_loop(out.data_mut(), input.data(), filter_t.data(), &g, n, &mode);
+    Ok((out, synops))
+}
+
+/// [`conv2d_scatter_t`] fused with bias injection and membrane
+/// integration: accumulates `conv(input) + bias·bias_scale` straight
+/// into `target` (shape `[N, O, OH, OW]`). The per-element value added
+/// to the membrane is identical — the position-major accumulator already
+/// holds the complete drive, so the unfused path's intermediate drive
+/// tensor was a pure copy.
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatches.
+pub fn conv2d_scatter_t_acc(
+    input: &Tensor,
+    filter_t: &Tensor,
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+    bias: &Tensor,
+    bias_scale: f32,
+    target: &mut Tensor,
+) -> Result<u64> {
+    if input.rank() != 4 || filter_t.rank() != 2 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_scatter_t_acc",
+            message: format!(
+                "expected [N, C, H, W] input and [C·KH·KW, O] filter, got {} and {}",
+                input.shape(),
+                filter_t.shape()
+            ),
+        });
+    }
+    let n = input.dims()[0];
+    let (ckk, o) = (filter_t.dims()[0], filter_t.dims()[1]);
+    let g = ConvGeom::new(
+        &input.dims()[1..],
+        o,
+        ckk,
+        kernel,
+        spec,
+        "conv2d_scatter_t_acc",
+    )?;
+    check_acc_target(&g, n, bias, target, "conv2d_scatter_t_acc")?;
+    let mode = FlushMode {
+        bias: (bias_scale != 0.0).then_some((bias.data(), bias_scale)),
+        add: true,
+    };
+    Ok(scatter_dense_loop(
+        target.data_mut(),
+        input.data(),
+        filter_t.data(),
+        &g,
+        n,
+        &mode,
+    ))
+}
+
+/// Per-batch driver of the dense-walk scatter.
+fn scatter_dense_loop(
+    od: &mut [f32],
+    id: &[f32],
+    wt: &[f32],
+    g: &ConvGeom,
+    n: usize,
+    mode: &FlushMode<'_>,
+) -> u64 {
+    let mut s = PmScratch::new(g);
+    let in_image = g.c * g.h * g.w;
+    let out_image = g.o * g.oh * g.ow;
+    let mut synops = 0u64;
+    for ni in 0..n {
+        let is = &id[ni * in_image..(ni + 1) * in_image];
+        // Clear the accumulator lazily: an image with no events takes
+        // the cheap bias-only flush.
+        let mut dirty = false;
+        let mut idx = 0usize;
+        for ci in 0..g.c {
+            for yi in 0..g.h {
+                for xi in 0..g.w {
+                    let v = is[idx];
+                    idx += 1;
+                    if v == 0.0 {
+                        continue;
+                    }
+                    if !dirty {
+                        s.acc.fill(0.0);
+                        dirty = true;
+                    }
+                    synops += scatter_event_pm(&mut s, wt, v, ci, yi, xi, g);
+                }
+            }
+        }
+        let os = &mut od[ni * out_image..(ni + 1) * out_image];
+        if dirty {
+            flush_acc(os, &s.acc, g.o, g.oh * g.ow, mode.add, mode.bias);
+        } else {
+            flush_empty(os, g.o, g.oh * g.ow, mode.add, mode.bias);
+        }
+    }
+    synops
+}
+
+/// [`conv2d_scatter_t`] for callers holding only the original
+/// `[O, C, KH, KW]` weight: transposes it on the fly. This is the
+/// reference path behind `SnnOp::propagate`; hot loops cache the
+/// transposed filter and call [`conv2d_scatter_t`] directly.
+///
+/// # Errors
+///
+/// Returns an error on rank or channel mismatches.
+pub fn conv2d_scatter(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<(Tensor, u64)> {
+    if weight.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_scatter",
+            message: format!("expected weight [O, I, KH, KW], got {}", weight.shape()),
+        });
+    }
+    if input.rank() == 4 && input.dims()[1] != weight.dims()[1] {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_scatter",
+            message: format!(
+                "expected [N, {}, H, W] input, got {}",
+                weight.dims()[1],
+                input.shape()
+            ),
+        });
+    }
+    let filter_t = transpose_filter(weight)?;
+    conv2d_scatter_t(input, &filter_t, (weight.dims()[2], weight.dims()[3]), spec)
+}
+
+/// Event-list twin of [`conv2d_scatter_t`]: identical results (bit for
+/// bit) without scanning zeros.
+///
+/// # Errors
+///
+/// Returns an error if the event feature shape does not match the
+/// filter.
+pub fn conv2d_scatter_events(
+    events: &SpikeBatch,
+    filter_t: &Tensor,
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+) -> Result<(Tensor, u64)> {
+    if filter_t.rank() != 2 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_scatter_events",
+            message: format!("expected filter [C·KH·KW, O], got {}", filter_t.shape()),
+        });
+    }
+    let n = events.batch();
+    let (ckk, o) = (filter_t.dims()[0], filter_t.dims()[1]);
+    let g = ConvGeom::new(
+        events.feature_dims(),
+        o,
+        ckk,
+        kernel,
+        spec,
+        "conv2d_scatter_events",
+    )?;
+    let mut out = Tensor::zeros([n, g.o, g.oh, g.ow]);
+    let mode = FlushMode {
+        bias: None,
+        add: false,
+    };
+    let synops = scatter_events_loop(out.data_mut(), events, filter_t.data(), &g, &mode);
+    Ok((out, synops))
+}
+
+/// Event-list twin of [`conv2d_scatter_t_acc`].
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatches.
+pub fn conv2d_scatter_events_acc(
+    events: &SpikeBatch,
+    filter_t: &Tensor,
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+    bias: &Tensor,
+    bias_scale: f32,
+    target: &mut Tensor,
+) -> Result<u64> {
+    if filter_t.rank() != 2 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_scatter_events_acc",
+            message: format!("expected filter [C·KH·KW, O], got {}", filter_t.shape()),
+        });
+    }
+    let n = events.batch();
+    let (ckk, o) = (filter_t.dims()[0], filter_t.dims()[1]);
+    let g = ConvGeom::new(
+        events.feature_dims(),
+        o,
+        ckk,
+        kernel,
+        spec,
+        "conv2d_scatter_events_acc",
+    )?;
+    check_acc_target(&g, n, bias, target, "conv2d_scatter_events_acc")?;
+    let mode = FlushMode {
+        bias: (bias_scale != 0.0).then_some((bias.data(), bias_scale)),
+        add: true,
+    };
+    Ok(scatter_events_loop(
+        target.data_mut(),
+        events,
+        filter_t.data(),
+        &g,
+        &mode,
+    ))
+}
+
+fn check_acc_target(
+    g: &ConvGeom,
+    n: usize,
+    bias: &Tensor,
+    target: &Tensor,
+    op: &'static str,
+) -> Result<()> {
+    if bias.rank() != 1 || bias.dims()[0] != g.o {
+        return Err(TensorError::InvalidArgument {
+            op,
+            message: format!("expected bias [{}], got {}", g.o, bias.shape()),
+        });
+    }
+    if target.dims() != [n, g.o, g.oh, g.ow] {
+        return Err(TensorError::InvalidArgument {
+            op,
+            message: format!(
+                "expected target [{n}, {}, {}, {}], got {}",
+                g.o,
+                g.oh,
+                g.ow,
+                target.shape()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Per-batch driver of the event-list scatter.
+fn scatter_events_loop(
+    od: &mut [f32],
+    events: &SpikeBatch,
+    wt: &[f32],
+    g: &ConvGeom,
+    mode: &FlushMode<'_>,
+) -> u64 {
+    let mut s = PmScratch::new(g);
+    let decoder = CoordDecoder::new(g.h, g.w);
+    let out_image = g.o * g.oh * g.ow;
+    let mut synops = 0u64;
+    for ni in 0..events.batch() {
+        let os = &mut od[ni * out_image..(ni + 1) * out_image];
+        let (idx, val) = events.image_events(ni);
+        if idx.is_empty() {
+            flush_empty(os, g.o, g.oh * g.ow, mode.add, mode.bias);
+            continue;
+        }
+        s.acc.fill(0.0);
+        for (&flat, &v) in idx.iter().zip(val) {
+            let (ci, yi, xi) = decoder.decode(flat as usize);
+            synops += scatter_event_pm(&mut s, wt, v, ci, yi, xi, g);
+        }
+        flush_acc(os, &s.acc, g.o, g.oh * g.ow, mode.add, mode.bias);
+    }
+    synops
+}
+
+/// Dense convolution via im2col + blocked GEMM, without bias. One im2col
+/// buffer is reused across the batch (every entry is rewritten per
+/// image, so no clearing is needed) and the GEMM accumulates straight
+/// into the output tensor.
+///
+/// Per output element the accumulation order is ascending
+/// `(channel, tap)` — the same order as the scatter kernels; the only
+/// difference is that the GEMM also adds the zero entries those kernels
+/// skip, which can never change an IEEE sum (beyond the sign of an
+/// all-zero result). Useful as a near-fully-dense alternative and as an
+/// independent oracle; pair with [`conv2d_synops`] for event-driven
+/// operation counts.
+///
+/// # Errors
+///
+/// Returns an error on rank or channel mismatches.
+pub fn conv2d_gemm(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_gemm",
+            message: format!("expected [N, C, H, W] input, got {}", input.shape()),
+        });
+    }
+    if weight.rank() != 4 || input.dims()[1] != weight.dims()[1] {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_gemm",
+            message: format!(
+                "expected weight [O, {}, KH, KW], got {}",
+                input.dims()[1],
+                weight.shape()
+            ),
+        });
+    }
+    let (o, kh, kw) = (weight.dims()[0], weight.dims()[2], weight.dims()[3]);
+    let n = input.dims()[0];
+    let g = ConvGeom::new(
+        &input.dims()[1..],
+        o,
+        weight.dims()[1] * kh * kw,
+        (kh, kw),
+        spec,
+        "conv2d_gemm",
+    )?;
+    let mut out = Tensor::zeros([n, g.o, g.oh, g.ow]);
+    let od = out.data_mut();
+    let in_image = g.c * g.h * g.w;
+    let out_image = g.o * g.oh * g.ow;
+    let ckk = g.c * g.kh * g.kw;
+    // Weight `[O, C, KH, KW]` is row-major, i.e. already the `[O, C·KH·KW]`
+    // GEMM operand — no reshape copy needed.
+    let wd = weight.data();
+    let mut cols = Vec::new();
+    for ni in 0..n {
+        crate::ops::conv::im2col_into(
+            &input.data()[ni * in_image..(ni + 1) * in_image],
+            (g.c, g.h, g.w),
+            (g.kh, g.kw),
+            spec,
+            &mut cols,
+        );
+        super::matmul::gemm_accumulate(
+            &mut od[ni * out_image..(ni + 1) * out_image],
+            wd,
+            g.o,
+            ckk,
+            &cols,
+            g.oh * g.ow,
+        );
+    }
+    Ok(out)
+}
+
+/// Synaptic-operation count of a convolution over a dense input: each
+/// non-zero entry is charged `valid taps × O` accumulates — exactly what
+/// the scatter kernels charge, computed without doing the arithmetic.
+/// Pairs with [`conv2d_gemm`], which performs multiply-adds for zeros
+/// too but must report the event-driven cost the paper's Table III
+/// counts.
+///
+/// # Errors
+///
+/// Returns an error on rank or channel mismatches.
+pub fn conv2d_synops(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<u64> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_synops",
+            message: format!("expected [N, C, H, W] input, got {}", input.shape()),
+        });
+    }
+    if weight.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_synops",
+            message: format!("expected weight [O, I, KH, KW], got {}", weight.shape()),
+        });
+    }
+    let (o, kh, kw) = (weight.dims()[0], weight.dims()[2], weight.dims()[3]);
+    let g = ConvGeom::new(
+        &input.dims()[1..],
+        o,
+        weight.dims()[1] * kh * kw,
+        (kh, kw),
+        spec,
+        "conv2d_synops",
+    )?;
+    // Valid tap counts factor over the two axes: taps(yi, xi) = ty[yi]·tx[xi].
+    let mut scratch = Vec::new();
+    let tap_count = |src: usize, kernel: usize, limit: usize, buf: &mut Vec<(usize, usize)>| {
+        valid_taps(buf, src, kernel, limit, g.stride, g.pad);
+        buf.len() as u64
+    };
+    let ty: Vec<u64> = (0..g.h)
+        .map(|yi| tap_count(yi, g.kh, g.oh, &mut scratch))
+        .collect();
+    let tx: Vec<u64> = (0..g.w)
+        .map(|xi| tap_count(xi, g.kw, g.ow, &mut scratch))
+        .collect();
+    let mut synops = 0u64;
+    for image in input.data().chunks_exact(g.c * g.h * g.w) {
+        for channel in image.chunks_exact(g.h * g.w) {
+            for (row, &t_row) in channel.chunks_exact(g.w).zip(&ty) {
+                for (&v, &t_col) in row.iter().zip(&tx) {
+                    if v != 0.0 {
+                        synops += t_row * t_col;
+                    }
+                }
+            }
+        }
+    }
+    Ok(synops * g.o as u64)
+}
+
+/// Average pooling over an event list: each event adds its raw value to
+/// the window sums covering it (events arrive in row-major order, so
+/// each output's contributions accumulate in the same order as the
+/// dense kernel's window scan), and the sums are scaled by `1/window²`
+/// once at the end — term for term what [`crate::ops::avg_pool2d`]
+/// computes, minus the zero additions. Results are f32-equal to the
+/// dense kernel at any sparsity.
+///
+/// # Errors
+///
+/// Returns an error if the events are not `[C, H, W]`-shaped or the
+/// window/stride is zero.
+pub fn avg_pool2d_events(events: &SpikeBatch, window: usize, stride: usize) -> Result<Tensor> {
+    let dims = events.feature_dims();
+    if dims.len() != 3 {
+        return Err(TensorError::InvalidArgument {
+            op: "avg_pool2d_events",
+            message: format!("expected [C, H, W] event features, got {dims:?}"),
+        });
+    }
+    if window == 0 || stride == 0 {
+        return Err(TensorError::InvalidArgument {
+            op: "avg_pool2d_events",
+            message: "window and stride must be positive".to_string(),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let n = events.batch();
+    let pooled = |d: usize| {
+        if d < window {
+            0
+        } else {
+            (d - window) / stride + 1
+        }
+    };
+    let (oh, ow) = (pooled(h), pooled(w));
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let od = out.data_mut();
+    // Windows covering a source coordinate s: o·stride ≤ s < o·stride+window,
+    // tabulated once per axis so the per-event work is division-free.
+    let cover = |s: usize, limit: usize| {
+        let lo = (s + 1).saturating_sub(window).div_ceil(stride);
+        let hi = (s / stride + 1).min(limit);
+        lo..hi.max(lo)
+    };
+    let ys: Vec<std::ops::Range<usize>> = (0..h).map(|yi| cover(yi, oh)).collect();
+    let xs: Vec<std::ops::Range<usize>> = (0..w).map(|xi| cover(xi, ow)).collect();
+    let decoder = CoordDecoder::new(h, w);
+    let out_image = c * oh * ow;
+    for ni in 0..n {
+        let os = &mut od[ni * out_image..(ni + 1) * out_image];
+        let (idx, val) = events.image_events(ni);
+        for (&flat, &v) in idx.iter().zip(val) {
+            let (ci, yi, xi) = decoder.decode(flat as usize);
+            let obase = ci * oh * ow;
+            for oy in ys[yi].clone() {
+                for ox in xs[xi].clone() {
+                    os[obase + oy * ow + ox] += v;
+                }
+            }
+        }
+    }
+    let inv_area = 1.0 / (window * window) as f32;
+    for v in od.iter_mut() {
+        *v *= inv_area;
+    }
+    Ok(out)
+}
+
+/// Synaptic-operation count of a convolution over an event list:
+/// `valid taps × O` per event, via per-axis tap-count tables — no
+/// arithmetic, no scan.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches.
+pub fn conv2d_synops_events(
+    events: &SpikeBatch,
+    o: usize,
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+) -> Result<u64> {
+    let dims = events.feature_dims().to_vec();
+    let g = ConvGeom::new(
+        &dims,
+        o,
+        dims.first().copied().unwrap_or(0) * kernel.0 * kernel.1,
+        kernel,
+        spec,
+        "conv2d_synops_events",
+    )?;
+    let mut scratch = Vec::new();
+    let tap_count = |src: usize, kernel: usize, limit: usize, buf: &mut Vec<(usize, usize)>| {
+        valid_taps(buf, src, kernel, limit, g.stride, g.pad);
+        buf.len() as u64
+    };
+    let ty: Vec<u64> = (0..g.h)
+        .map(|yi| tap_count(yi, g.kh, g.oh, &mut scratch))
+        .collect();
+    let tx: Vec<u64> = (0..g.w)
+        .map(|xi| tap_count(xi, g.kw, g.ow, &mut scratch))
+        .collect();
+    let decoder = CoordDecoder::new(g.h, g.w);
+    let mut taps = 0u64;
+    for ni in 0..events.batch() {
+        let (idx, _) = events.image_events(ni);
+        for &flat in idx {
+            let (_, yi, xi) = decoder.decode(flat as usize);
+            taps += ty[yi] * tx[xi];
+        }
+    }
+    Ok(taps * o as u64)
+}
+
+fn check_linear_t(input_features: usize, weight_t: &Tensor, op: &'static str) -> Result<usize> {
+    if weight_t.rank() != 2 || weight_t.dims()[0] != input_features {
+        return Err(TensorError::InvalidArgument {
+            op,
+            message: format!(
+                "expected transposed weight [{input_features}, O], got {}",
+                weight_t.shape()
+            ),
+        });
+    }
+    Ok(weight_t.dims()[1])
+}
+
+/// Sparse dense-layer propagation over a **dense** `[N, I]` input with a
+/// *transposed* weight `[I, O]` (row-contiguous per input feature): only
+/// non-zero inputs touch weights. Returns `(output, synop count)`.
+///
+/// Accumulation order per output element is ascending input index —
+/// identical to the untransposed reference loop, so results match it bit
+/// for bit.
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatches.
+pub fn linear_scatter_t(input: &Tensor, weight_t: &Tensor) -> Result<(Tensor, u64)> {
+    if input.rank() != 2 {
+        return Err(TensorError::InvalidArgument {
+            op: "linear_scatter_t",
+            message: format!("expected [N, I] input, got {}", input.shape()),
+        });
+    }
+    let (n, i) = (input.dims()[0], input.dims()[1]);
+    let o = check_linear_t(i, weight_t, "linear_scatter_t")?;
+    let mut out = Tensor::zeros([n, o]);
+    let od = out.data_mut();
+    let id = input.data();
+    let wtd = weight_t.data();
+    let mut synops = 0u64;
+    for ni in 0..n {
+        let orow = &mut od[ni * o..(ni + 1) * o];
+        for (ii, &v) in id[ni * i..(ni + 1) * i].iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let wrow = &wtd[ii * o..(ii + 1) * o];
+            for (ov, &wv) in orow.iter_mut().zip(wrow) {
+                *ov += wv * v;
+            }
+            synops += o as u64;
+        }
+    }
+    Ok((out, synops))
+}
+
+/// Event-list twin of [`linear_scatter_t`]: identical results, bit for
+/// bit, without scanning zeros.
+///
+/// # Errors
+///
+/// Returns an error if the event feature count disagrees with the
+/// transposed weight.
+pub fn linear_scatter_events(events: &SpikeBatch, weight_t: &Tensor) -> Result<(Tensor, u64)> {
+    let i = events.feature_numel();
+    let o = check_linear_t(i, weight_t, "linear_scatter_events")?;
+    let n = events.batch();
+    let mut out = Tensor::zeros([n, o]);
+    let od = out.data_mut();
+    let wtd = weight_t.data();
+    let mut synops = 0u64;
+    for ni in 0..n {
+        let orow = &mut od[ni * o..(ni + 1) * o];
+        let (idx, val) = events.image_events(ni);
+        for (&ii, &v) in idx.iter().zip(val) {
+            let wrow = &wtd[ii as usize * o..(ii as usize + 1) * o];
+            for (ov, &wv) in orow.iter_mut().zip(wrow) {
+                *ov += wv * v;
+            }
+            synops += o as u64;
+        }
+    }
+    Ok((out, synops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{conv2d, matmul_a_bt};
+
+    fn weight(o: usize, c: usize, k: usize) -> Tensor {
+        Tensor::from_fn([o, c, k, k], |i| {
+            ((i[0] * 31 + i[1] * 17 + i[2] * 5 + i[3]) % 13) as f32 * 0.07 - 0.4
+        })
+    }
+
+    fn sparse_input(n: usize, c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::from_fn([n, c, h, w], |i| {
+            let key = i[0] * 1009 + i[1] * 101 + i[2] * 11 + i[3];
+            if key % 5 == 0 {
+                (key % 7) as f32 * 0.3 + 0.1
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn dense_and_event_conv_are_bit_identical() {
+        for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 0), (2, 1), (3, 2)] {
+            let spec = Conv2dSpec::new(stride, padding);
+            let input = sparse_input(2, 3, 7, 6);
+            let w = weight(4, 3, 3);
+            let wt = transpose_filter(&w).unwrap();
+            let (dense, s1) = conv2d_scatter(&input, &w, spec).unwrap();
+            let (dense_t, s1t) = conv2d_scatter_t(&input, &wt, (3, 3), spec).unwrap();
+            let events = SpikeBatch::from_dense(&input).unwrap();
+            let (sparse, s2) = conv2d_scatter_events(&events, &wt, (3, 3), spec).unwrap();
+            assert_eq!(dense, sparse, "stride={stride} padding={padding}");
+            assert_eq!(dense, dense_t);
+            assert_eq!(s1, s2);
+            assert_eq!(s1, s1t);
+        }
+    }
+
+    #[test]
+    fn scatter_matches_im2col_conv_and_gemm() {
+        for &(stride, padding) in &[(1usize, 1usize), (2, 0)] {
+            let spec = Conv2dSpec::new(stride, padding);
+            let input = sparse_input(2, 3, 6, 6);
+            let w = weight(4, 3, 3);
+            let (out, synops) = conv2d_scatter(&input, &w, spec).unwrap();
+            let reference = conv2d(&input, &w, &Tensor::zeros([4]), spec).unwrap();
+            assert!(out.all_close(&reference, 1e-4));
+            assert!(synops > 0);
+            let gemm = conv2d_gemm(&input, &w, spec).unwrap();
+            // GEMM performs the identical term sequence plus `± 0.0`
+            // additions for inactive taps, so it is f32-equal (not merely
+            // close) to the scatter paths.
+            assert_eq!(out, gemm);
+        }
+    }
+
+    #[test]
+    fn synops_count_taps_times_out_channels() {
+        // A single interior event of a 3×3 stride-1 padded conv touches
+        // all 9 taps.
+        let spec = Conv2dSpec::new(1, 1);
+        let mut input = Tensor::zeros([1, 1, 5, 5]);
+        input.set(&[0, 0, 2, 2], 1.0).unwrap();
+        let w = weight(4, 1, 3);
+        let (_, synops) = conv2d_scatter(&input, &w, spec).unwrap();
+        assert_eq!(synops, 9 * 4);
+        // A corner event without padding reaches only 1 tap.
+        let spec = Conv2dSpec::new(1, 0);
+        let mut corner = Tensor::zeros([1, 1, 5, 5]);
+        corner.set(&[0, 0, 0, 0], 1.0).unwrap();
+        let (_, synops) = conv2d_scatter(&corner, &w, spec).unwrap();
+        assert_eq!(synops, 4);
+    }
+
+    #[test]
+    fn synops_scan_matches_scatter_count() {
+        for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 0), (2, 1)] {
+            let spec = Conv2dSpec::new(stride, padding);
+            let input = sparse_input(2, 3, 7, 6);
+            let w = weight(4, 3, 3);
+            let (_, from_scatter) = conv2d_scatter(&input, &w, spec).unwrap();
+            let from_scan = conv2d_synops(&input, &w, spec).unwrap();
+            assert_eq!(from_scan, from_scatter, "stride={stride} padding={padding}");
+        }
+    }
+
+    #[test]
+    fn linear_dense_and_event_paths_agree_with_matmul() {
+        let input =
+            Tensor::from_vec([2, 4], vec![1.0, 0.0, 0.5, 0.0, 0.0, 2.0, 0.0, -1.0]).unwrap();
+        let w = Tensor::from_fn([3, 4], |i| (i[0] * 4 + i[1]) as f32 * 0.1 - 0.2);
+        let wt = w.transpose().unwrap();
+        let (dense, s1) = linear_scatter_t(&input, &wt).unwrap();
+        let events = SpikeBatch::from_dense(&input).unwrap();
+        let (sparse, s2) = linear_scatter_events(&events, &wt).unwrap();
+        assert_eq!(dense, sparse);
+        assert_eq!(s1, s2);
+        assert_eq!(s1, 4 * 3); // 4 non-zeros × 3 outputs
+        let reference = matmul_a_bt(&input, &w).unwrap();
+        assert!(dense.all_close(&reference, 1e-6));
+    }
+
+    #[test]
+    fn kernels_validate_shapes() {
+        let w = weight(2, 3, 3);
+        let wt = transpose_filter(&w).unwrap();
+        assert!(conv2d_scatter(&Tensor::zeros([1, 2, 4, 4]), &w, Conv2dSpec::default()).is_err());
+        assert!(conv2d_scatter(&Tensor::zeros([2, 4, 4]), &w, Conv2dSpec::default()).is_err());
+        assert!(conv2d_scatter_t(
+            &Tensor::zeros([1, 2, 4, 4]),
+            &wt,
+            (3, 3),
+            Conv2dSpec::default()
+        )
+        .is_err());
+        let events = SpikeBatch::from_dense(&Tensor::zeros([1, 2, 4, 4])).unwrap();
+        assert!(conv2d_scatter_events(&events, &wt, (3, 3), Conv2dSpec::default()).is_err());
+        assert!(conv2d_gemm(&Tensor::zeros([1, 2, 4, 4]), &w, Conv2dSpec::default()).is_err());
+        assert!(linear_scatter_t(&Tensor::zeros([1, 3]), &Tensor::zeros([4, 2])).is_err());
+        let events = SpikeBatch::from_dense(&Tensor::zeros([1, 3])).unwrap();
+        assert!(linear_scatter_events(&events, &Tensor::zeros([4, 2])).is_err());
+    }
+
+    #[test]
+    fn fused_accumulate_matches_unfused_sequence() {
+        let spec = Conv2dSpec::new(1, 1);
+        let input = sparse_input(2, 3, 6, 6);
+        let w = weight(4, 3, 3);
+        let wt = transpose_filter(&w).unwrap();
+        let bias = Tensor::from_vec([4], vec![0.1, -0.2, 0.3, 0.0]).unwrap();
+        // Unfused: drive = conv; drive += bias·scale; potential += drive.
+        let (mut drive, synops_ref) = conv2d_scatter_t(&input, &wt, (3, 3), spec).unwrap();
+        let scale = 0.5f32;
+        for (ni, image) in drive.data_mut().chunks_exact_mut(4 * 6 * 6).enumerate() {
+            let _ = ni;
+            for (oc, plane) in image.chunks_exact_mut(36).enumerate() {
+                for v in plane.iter_mut() {
+                    *v += bias.data()[oc] * scale;
+                }
+            }
+        }
+        let mut expected = Tensor::from_fn([2, 4, 6, 6], |i| (i[0] + i[1] + i[2]) as f32 * 0.01);
+        let mut fused = expected.clone();
+        expected.add_scaled(&drive, 1.0).unwrap();
+        // Fused dense walk.
+        let synops =
+            conv2d_scatter_t_acc(&input, &wt, (3, 3), spec, &bias, scale, &mut fused).unwrap();
+        assert_eq!(fused, expected);
+        assert_eq!(synops, synops_ref);
+        // Fused event path.
+        let mut fused_ev = Tensor::from_fn([2, 4, 6, 6], |i| (i[0] + i[1] + i[2]) as f32 * 0.01);
+        let events = SpikeBatch::from_dense(&input).unwrap();
+        let synops_ev =
+            conv2d_scatter_events_acc(&events, &wt, (3, 3), spec, &bias, scale, &mut fused_ev)
+                .unwrap();
+        assert_eq!(fused_ev, expected);
+        assert_eq!(synops_ev, synops_ref);
+        // Shape validation.
+        assert!(conv2d_scatter_t_acc(
+            &input,
+            &wt,
+            (3, 3),
+            spec,
+            &Tensor::zeros([3]),
+            1.0,
+            &mut fused
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn event_avg_pool_is_f32_equal_to_dense() {
+        use crate::ops::avg_pool2d;
+        for &(window, stride) in &[(2usize, 2usize), (2, 1), (3, 2)] {
+            let input = sparse_input(2, 3, 7, 6);
+            let events = SpikeBatch::from_dense(&input).unwrap();
+            let sparse = avg_pool2d_events(&events, window, stride).unwrap();
+            let dense = avg_pool2d(&input, window, stride).unwrap();
+            assert_eq!(sparse, dense, "window={window} stride={stride}");
+        }
+        assert!(avg_pool2d_events(
+            &SpikeBatch::from_dense(&Tensor::zeros([1, 4])).unwrap(),
+            2,
+            2
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn event_synops_match_scatter_count() {
+        for &(stride, padding) in &[(1usize, 1usize), (2, 0)] {
+            let spec = Conv2dSpec::new(stride, padding);
+            let input = sparse_input(2, 3, 7, 6);
+            let w = weight(4, 3, 3);
+            let (_, want) = conv2d_scatter(&input, &w, spec).unwrap();
+            let events = SpikeBatch::from_dense(&input).unwrap();
+            let got = conv2d_synops_events(&events, 4, (3, 3), spec).unwrap();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn kernel_larger_than_input_yields_empty_output() {
+        // oh = ow = 0: the scatter paths must return the empty tensor the
+        // im2col path produces, not panic in the flush.
+        let spec = Conv2dSpec::new(1, 0);
+        let mut input = Tensor::zeros([1, 1, 2, 2]);
+        input.set(&[0, 0, 1, 1], 1.0).unwrap();
+        let w = weight(2, 1, 3);
+        let (out, synops) = conv2d_scatter(&input, &w, spec).unwrap();
+        assert_eq!(out.dims(), &[1, 2, 0, 0]);
+        assert_eq!(synops, 0);
+        let wt = transpose_filter(&w).unwrap();
+        let events = SpikeBatch::from_dense(&input).unwrap();
+        let (out, synops) = conv2d_scatter_events(&events, &wt, (3, 3), spec).unwrap();
+        assert_eq!(out.dims(), &[1, 2, 0, 0]);
+        assert_eq!(synops, 0);
+        let mut target = Tensor::zeros([1, 2, 0, 0]);
+        let bias = Tensor::from_vec([2], vec![1.0, 2.0]).unwrap();
+        let synops =
+            conv2d_scatter_t_acc(&input, &wt, (3, 3), spec, &bias, 1.0, &mut target).unwrap();
+        assert_eq!(synops, 0);
+    }
+
+    #[test]
+    fn zero_input_is_free() {
+        let w = weight(2, 1, 3);
+        let (out, synops) =
+            conv2d_scatter(&Tensor::zeros([1, 1, 4, 4]), &w, Conv2dSpec::new(1, 1)).unwrap();
+        assert_eq!(synops, 0);
+        assert_eq!(out.sum(), 0.0);
+    }
+}

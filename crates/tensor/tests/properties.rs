@@ -17,7 +17,76 @@ fn arbitrary_tensor() -> impl Strategy<Value = Tensor> {
     small_dims().prop_flat_map(tensor_with)
 }
 
+/// Reference triple loop: the oracle for the blocked GEMM family.
+fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    Tensor::from_fn(Shape::from(vec![m, n]), |idx| {
+        (0..k)
+            .map(|p| a.data()[idx[0] * k + p] * b.data()[p * n + idx[1]])
+            .sum()
+    })
+}
+
 proptest! {
+    #[test]
+    fn blocked_matmul_family_matches_naive_oracle(
+        m in 1usize..18,
+        k in 1usize..40,
+        n in 1usize..18,
+        seed in 0u32..1000,
+    ) {
+        // Odd, non-multiple-of-tile shapes exercise every remainder path
+        // of the register-blocked kernels (rows % 4, cols % 2, k % 8).
+        let a = Tensor::from_fn(Shape::from(vec![m, k]), |i| {
+            (((i[0] * 31 + i[1] * 7 + seed as usize) % 19) as f32) * 0.13 - 1.1
+        });
+        let b = Tensor::from_fn(Shape::from(vec![k, n]), |i| {
+            (((i[0] * 13 + i[1] * 5 + seed as usize) % 23) as f32) * 0.09 - 0.9
+        });
+        let want = matmul_naive(&a, &b);
+        prop_assert!(ops::matmul(&a, &b).unwrap().all_close(&want, 1e-5));
+        let at = a.transpose().unwrap();
+        prop_assert!(ops::matmul_at_b(&at, &b).unwrap().all_close(&want, 1e-5));
+        let bt = b.transpose().unwrap();
+        prop_assert!(ops::matmul_a_bt(&a, &bt).unwrap().all_close(&want, 1e-5));
+    }
+
+    #[test]
+    fn sparse_conv_paths_are_bit_identical(
+        c in 1usize..4,
+        h in 3usize..9,
+        w in 3usize..9,
+        o in 1usize..6,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        density in 0.0f64..0.6,
+        seed in 0u32..1000,
+    ) {
+        let spec = ops::Conv2dSpec::new(stride, padding);
+        let input = Tensor::from_fn(Shape::from(vec![2, c, h, w]), |i| {
+            let key = i[0] * 7919 + i[1] * 811 + i[2] * 53 + i[3] * 7 + seed as usize;
+            if ((key % 1000) as f64) < density * 1000.0 {
+                ((key % 9) as f32) * 0.4 - 1.2
+            } else {
+                0.0
+            }
+        });
+        let weight = Tensor::from_fn(Shape::from(vec![o, c, 3, 3]), |i| {
+            (((i[0] * 9 + i[1] * 3 + i[2] + i[3] + seed as usize) % 11) as f32) * 0.1 - 0.5
+        });
+        let filter_t = ops::sparse::transpose_filter(&weight).unwrap();
+        let (dense, s1) = ops::sparse::conv2d_scatter(&input, &weight, spec).unwrap();
+        let events = t2fsnn_tensor::SpikeBatch::from_dense(&input).unwrap();
+        let (sparse, s2) =
+            ops::sparse::conv2d_scatter_events(&events, &filter_t, (3, 3), spec).unwrap();
+        prop_assert_eq!(&dense, &sparse);
+        prop_assert_eq!(s1, s2);
+        // The im2col reference agrees to fp tolerance.
+        let reference = ops::conv2d(&input, &weight, &Tensor::zeros([o]), spec).unwrap();
+        prop_assert!(dense.all_close(&reference, 1e-4));
+    }
+
     #[test]
     fn flat_multi_index_round_trip(dims in small_dims(), seed in 0usize..1000) {
         let shape = Shape::from(dims);

@@ -7,7 +7,15 @@ verify:
     cargo test -q
 
 # Everything CI runs, in CI order.
-ci: fmt-check lint verify bench-check
+ci: fmt-check lint verify pool-test bench-check bench-smoke
+
+# Thread-pool shutdown/deadlock net under a single-threaded harness.
+pool-test:
+    RUST_TEST_THREADS=1 cargo test -p t2fsnn-tensor parallel
+
+# Run the fastest Criterion target under a timeout (CI smoke).
+bench-smoke:
+    timeout 300 cargo bench --bench kernel_lut
 
 # Formatting gate.
 fmt-check:
@@ -32,6 +40,12 @@ bench-check:
 # Run the benches (the criterion shim prints mean/min/max wall-clock).
 bench:
     cargo bench
+
+# Record a bench baseline snapshot (all 7 Criterion targets + a timed
+# repro_fig6) into results/bench_baseline.json. Run once with label=pre
+# before a perf change and once with label=post after it.
+bench-baseline label="post":
+    cargo run --release -p t2fsnn-bench --bin bench_baseline -- --label {{label}}
 
 # Run one paper-reproduction binary, e.g. `just repro table2`.
 repro target:
