@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the position-major event hot path in isolation:
+//! the conv event scatter (axpy rows straight into a membrane tensor)
+//! and the event-form TTFS max pooling, at spiking-realistic densities
+//! on a scaled-VGG-like layer shape (32×32×16 → 16 channels, 3×3).
+//!
+//! These are the kernels the PR 3 tentpole rewrote; `just bench-smoke`
+//! prints their deltas against the committed baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use t2fsnn_tensor::ops::sparse::{
+    conv2d_scatter_events_pm_acc, conv2d_scatter_pm_acc, max_pool2d_events, transpose_filter,
+    PoolScratch,
+};
+use t2fsnn_tensor::ops::Conv2dSpec;
+use t2fsnn_tensor::{SpikeBatch, Tensor};
+
+const N: usize = 4;
+const C: usize = 16;
+const O: usize = 16;
+const HW: usize = 32;
+
+/// A deterministic spike batch at roughly the given density (percent).
+fn spikes_pm(density_pct: usize) -> Tensor {
+    Tensor::from_fn([N, HW, HW, C], |i| {
+        let key = i[0] * 104_729 + i[1] * 1_299_709 + i[2] * 15_485_863 + i[3] * 32_452_843;
+        if key % 100 < density_pct {
+            ((key % 5) as f32) * 0.25 + 0.25
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_event_scatter(c: &mut Criterion) {
+    let weight = Tensor::from_fn([O, C, 3, 3], |i| {
+        ((i[0] * 31 + i[1] * 17 + i[2] * 5 + i[3]) % 13) as f32 * 0.07 - 0.4
+    });
+    let filter_t = transpose_filter(&weight).unwrap();
+    let spec = Conv2dSpec::new(1, 1);
+    let mut group = c.benchmark_group("conv_event_scatter");
+    for density in [2usize, 10, 25] {
+        let dense = spikes_pm(density);
+        let events = SpikeBatch::from_dense(&dense).unwrap();
+        let mut target = Tensor::zeros([N, HW, HW, O]);
+        group.bench_function(format!("events_into_membrane/{density}pct"), |b| {
+            b.iter(|| {
+                conv2d_scatter_events_pm_acc(
+                    black_box(&events),
+                    &filter_t,
+                    (3, 3),
+                    spec,
+                    &mut target,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_function(format!("dense_walk_into_membrane/{density}pct"), |b| {
+            b.iter(|| {
+                conv2d_scatter_pm_acc(black_box(&dense), &filter_t, (3, 3), spec, &mut target)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_max_pool_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_pool2d_events");
+    for density in [2usize, 10, 25] {
+        let dense = spikes_pm(density);
+        let events = SpikeBatch::from_dense(&dense).unwrap();
+        let mut gate = Tensor::zeros([N, HW / 2, HW / 2, C]);
+        let mut out = SpikeBatch::empty();
+        let mut scratch = PoolScratch::new();
+        group.bench_function(format!("first_spike_wins/{density}pct"), |b| {
+            b.iter(|| {
+                // A fresh inference per iteration: clear the gate so the
+                // pooling always does its full first-spike work.
+                gate.map_inplace(|_| 0.0);
+                max_pool2d_events(black_box(&events), 2, 2, &mut gate, &mut out, &mut scratch)
+                    .unwrap();
+                out.nnz()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_scatter, bench_max_pool_events);
+criterion_main!(benches);

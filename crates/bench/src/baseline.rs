@@ -1,0 +1,151 @@
+//! Shared schema of `results/bench_baseline.json`, used by the
+//! `bench_baseline` recorder and the `bench_smoke` CI step so the two
+//! can never drift apart.
+//!
+//! The file carries the machine description, the legacy `pre`/`post`
+//! slots (PR 2's recordings), and a `history` list of labeled snapshots
+//! (`prN-pre` / `prN-post` pairs for later PRs).
+
+use serde::{Deserialize, Serialize};
+
+/// One benchmark's timing, as exported by the criterion shim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Criterion group name (e.g. `conv_event_scatter`).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub bench: String,
+    /// Mean wall-clock per iteration, nanoseconds.
+    pub mean_ns: u64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u64,
+    /// Number of samples taken.
+    pub samples: u64,
+}
+
+/// All records of one bench target binary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetResult {
+    /// Bench target name (e.g. `event_scatter`).
+    pub target: String,
+    /// Every record the target emitted.
+    pub records: Vec<BenchRecord>,
+}
+
+/// One labeled recording session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Unix timestamp of the recording.
+    pub recorded_at_unix: u64,
+    /// Minimum over `repro_fig6_runs_seconds` (noise-robust statistic).
+    pub repro_fig6_seconds: f64,
+    /// Every timed run, for transparency about machine variance.
+    pub repro_fig6_runs_seconds: Vec<f64>,
+    /// Per-bench-target records.
+    pub targets: Vec<TargetResult>,
+}
+
+/// One snapshot recorded under a free-form label (e.g. `pr3-pre`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabeledSnapshot {
+    /// The label the snapshot was recorded under.
+    pub label: String,
+    /// The recorded numbers.
+    pub snapshot: Snapshot,
+}
+
+/// The machine the numbers were recorded on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineInfo {
+    /// Logical core count.
+    pub cores: u64,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+}
+
+/// `results/bench_baseline.json`: machine + the legacy `pre`/`post`
+/// slots + the labeled history of later PRs.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct BaselineFile {
+    /// The recording machine (overwritten on every recording).
+    pub machine: MachineInfo,
+    /// PR 2's pre-optimization snapshot.
+    pub pre: Option<Snapshot>,
+    /// PR 2's post-optimization snapshot.
+    pub post: Option<Snapshot>,
+    /// Labeled snapshots of later PRs, in recording order.
+    pub history: Vec<LabeledSnapshot>,
+}
+
+impl BaselineFile {
+    /// The newest committed snapshot a working tree should be compared
+    /// against: the latest `*-post` history label, then the legacy
+    /// `post` slot; only a file with no post-style snapshot at all falls
+    /// back to the newest `pre`-style one (the returned label says
+    /// which).
+    pub fn reference_snapshot(&self) -> Option<(String, &Snapshot)> {
+        if let Some(entry) = self
+            .history
+            .iter()
+            .rev()
+            .find(|s| s.label.ends_with("-post"))
+        {
+            return Some((entry.label.clone(), &entry.snapshot));
+        }
+        if let Some(post) = self.post.as_ref() {
+            return Some(("post".to_string(), post));
+        }
+        if let Some(entry) = self.history.last() {
+            return Some((entry.label.clone(), &entry.snapshot));
+        }
+        self.pre.as_ref().map(|s| ("pre".to_string(), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at: u64) -> Snapshot {
+        Snapshot {
+            recorded_at_unix: at,
+            repro_fig6_seconds: 1.0,
+            repro_fig6_runs_seconds: vec![1.0],
+            targets: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn reference_prefers_latest_post_then_legacy_post_then_history() {
+        let mut file = BaselineFile {
+            machine: MachineInfo {
+                cores: 1,
+                os: "linux".into(),
+                arch: "x86_64".into(),
+            },
+            pre: Some(snap(1)),
+            post: None,
+            history: Vec::new(),
+        };
+        assert_eq!(file.reference_snapshot().unwrap().0, "pre");
+        file.history.push(LabeledSnapshot {
+            label: "pr3-pre".into(),
+            snapshot: snap(2),
+        });
+        // A lone `-pre` history entry outranks the legacy `pre` slot but
+        // must not masquerade as a post baseline when a legacy post
+        // exists.
+        assert_eq!(file.reference_snapshot().unwrap().0, "pr3-pre");
+        file.post = Some(snap(3));
+        assert_eq!(file.reference_snapshot().unwrap().0, "post");
+        file.history.push(LabeledSnapshot {
+            label: "pr3-post".into(),
+            snapshot: snap(4),
+        });
+        assert_eq!(file.reference_snapshot().unwrap().0, "pr3-post");
+    }
+}

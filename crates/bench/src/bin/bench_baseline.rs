@@ -1,13 +1,18 @@
-//! Records a benchmark baseline: runs all 7 Criterion targets plus a
+//! Records a benchmark baseline: runs all Criterion targets plus a
 //! timed `repro_fig6` and merges the numbers into
-//! `results/bench_baseline.json` under a `pre` or `post` label, so a
-//! performance PR carries its own before/after evidence.
+//! `results/bench_baseline.json` under a label, so a performance PR
+//! carries its own before/after evidence.
 //!
 //! ```sh
-//! cargo run --release -p t2fsnn-bench --bin bench_baseline -- --label pre
+//! cargo run --release -p t2fsnn-bench --bin bench_baseline -- --label pr3-pre
 //! # ... optimize ...
-//! cargo run --release -p t2fsnn-bench --bin bench_baseline -- --label post
+//! cargo run --release -p t2fsnn-bench --bin bench_baseline -- --label pr3-post
 //! ```
+//!
+//! The bare labels `pre`/`post` fill the file's legacy top-level slots
+//! (PR 2's recordings); any other label (e.g. `pr3-pre`) is upserted into
+//! the `history` list, and `<prefix>-pre`/`<prefix>-post` pairs are
+//! summarized against each other when both exist.
 //!
 //! Criterion timings are collected via the shim's `CRITERION_SHIM_JSON`
 //! JSON-lines export (no stdout parsing). The scenario cache should be
@@ -19,12 +24,15 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
+use t2fsnn_bench::baseline::{
+    BaselineFile, BenchRecord, LabeledSnapshot, MachineInfo, Snapshot, TargetResult,
+};
 use t2fsnn_bench::report::results_dir;
 
-/// The 7 Criterion bench targets declared by `crates/bench/Cargo.toml`.
-const BENCH_TARGETS: [&str; 7] = [
+/// The Criterion bench targets declared by `crates/bench/Cargo.toml`.
+const BENCH_TARGETS: [&str; 8] = [
     "kernel_lut",
+    "event_scatter",
     "fig4_losses",
     "fig5_spike_dist",
     "fig6_inference_curve",
@@ -32,50 +40,6 @@ const BENCH_TARGETS: [&str; 7] = [
     "table2_comparison",
     "table3_cost",
 ];
-
-/// One benchmark's timing, as exported by the criterion shim.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct BenchRecord {
-    group: String,
-    bench: String,
-    mean_ns: u64,
-    min_ns: u64,
-    max_ns: u64,
-    samples: u64,
-}
-
-/// All records of one bench target binary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct TargetResult {
-    target: String,
-    records: Vec<BenchRecord>,
-}
-
-/// One labeled recording session (`pre` or `post`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct Snapshot {
-    recorded_at_unix: u64,
-    /// Minimum over `repro_fig6_runs_seconds` (noise-robust statistic).
-    repro_fig6_seconds: f64,
-    /// Every timed run, for transparency about machine variance.
-    repro_fig6_runs_seconds: Vec<f64>,
-    targets: Vec<TargetResult>,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct MachineInfo {
-    cores: u64,
-    os: String,
-    arch: String,
-}
-
-/// `results/bench_baseline.json`: machine + the two labeled snapshots.
-#[derive(Debug, Serialize, Deserialize)]
-struct BaselineFile {
-    machine: MachineInfo,
-    pre: Option<Snapshot>,
-    post: Option<Snapshot>,
-}
 
 fn machine_info() -> MachineInfo {
     MachineInfo {
@@ -95,8 +59,11 @@ fn workspace_root() -> PathBuf {
 }
 
 /// Runs one Criterion target with the shim's JSON export enabled and
-/// returns its parsed records.
-fn run_bench_target(root: &Path, target: &str) -> TargetResult {
+/// returns its parsed records. A target that does not exist in the
+/// checked-out revision (e.g. recording a `pre` snapshot before the PR
+/// that adds the bench) is skipped with a warning instead of aborting
+/// the whole recording.
+fn run_bench_target(root: &Path, target: &str) -> Option<TargetResult> {
     let json_path = std::env::temp_dir().join(format!(
         "t2fsnn-bench-{target}-{}.jsonl",
         std::process::id()
@@ -109,7 +76,11 @@ fn run_bench_target(root: &Path, target: &str) -> TargetResult {
         .env("CRITERION_SHIM_JSON", &json_path)
         .status()
         .expect("failed to spawn cargo bench");
-    assert!(status.success(), "cargo bench --bench {target} failed");
+    if !status.success() {
+        eprintln!("[baseline] WARNING: cargo bench --bench {target} failed; skipping target");
+        let _ = fs::remove_file(&json_path);
+        return None;
+    }
     let mut records = Vec::new();
     if let Ok(text) = fs::read_to_string(&json_path) {
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
@@ -124,10 +95,10 @@ fn run_bench_target(root: &Path, target: &str) -> TargetResult {
         !records.is_empty(),
         "bench target {target} produced no records — criterion shim export broken?"
     );
-    TargetResult {
+    Some(TargetResult {
         target: target.to_string(),
         records,
-    }
+    })
 }
 
 /// Number of timed `repro_fig6` runs; the minimum is recorded. Shared
@@ -186,11 +157,15 @@ fn main() {
         i += 1;
     }
     let label = label.unwrap_or_else(|| {
-        eprintln!("usage: bench_baseline --label <pre|post> [--skip-fig6] [--skip-benches]");
+        eprintln!("usage: bench_baseline --label <label> [--skip-fig6] [--skip-benches]");
         std::process::exit(2);
     });
-    if label != "pre" && label != "post" {
-        eprintln!("label must be `pre` or `post`, got `{label}`");
+    if label.is_empty()
+        || !label
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    {
+        eprintln!("label must be non-empty lowercase [a-z0-9-], got `{label}`");
         std::process::exit(2);
     }
 
@@ -210,7 +185,7 @@ fn main() {
     } else {
         BENCH_TARGETS
             .iter()
-            .map(|t| run_bench_target(&root, t))
+            .filter_map(|t| run_bench_target(&root, t))
             .collect()
     };
     let repro_fig6_runs_seconds = if skip_fig6 {
@@ -239,11 +214,22 @@ fn main() {
         machine: machine_info(),
         pre: None,
         post: None,
+        history: Vec::new(),
     });
     file.machine = machine_info();
     match label.as_str() {
         "pre" => file.pre = Some(snapshot),
-        _ => file.post = Some(snapshot),
+        "post" => file.post = Some(snapshot),
+        other => {
+            if let Some(slot) = file.history.iter_mut().find(|s| s.label == other) {
+                slot.snapshot = snapshot;
+            } else {
+                file.history.push(LabeledSnapshot {
+                    label: other.to_string(),
+                    snapshot,
+                });
+            }
+        }
     }
 
     if let Some(parent) = path.parent() {
@@ -252,14 +238,35 @@ fn main() {
     let bytes = serde_json::to_vec_pretty(&file).expect("serialization failed");
     fs::write(&path, bytes).expect("cannot write baseline file");
     println!("[baseline] wrote {} ({label})", path.display());
-    if let (Some(pre), Some(post)) = (&file.pre, &file.post) {
+    for (tag, pre, post) in snapshot_pairs(&file) {
         if pre.repro_fig6_seconds > 0.0 && post.repro_fig6_seconds > 0.0 {
             println!(
-                "[baseline] repro_fig6: {:.1}s -> {:.1}s ({:.2}x)",
+                "[baseline] {tag} repro_fig6: {:.1}s -> {:.1}s ({:.2}x)",
                 pre.repro_fig6_seconds,
                 post.repro_fig6_seconds,
                 pre.repro_fig6_seconds / post.repro_fig6_seconds
             );
         }
     }
+}
+
+/// Every `pre`→`post` pair the file carries: the legacy top-level slots
+/// (tagged `pr2`) plus each `<prefix>-pre`/`<prefix>-post` history pair.
+fn snapshot_pairs(file: &BaselineFile) -> Vec<(String, &Snapshot, &Snapshot)> {
+    let mut pairs = Vec::new();
+    if let (Some(pre), Some(post)) = (&file.pre, &file.post) {
+        pairs.push(("pr2".to_string(), pre, post));
+    }
+    for entry in &file.history {
+        if let Some(prefix) = entry.label.strip_suffix("-pre") {
+            if let Some(post) = file
+                .history
+                .iter()
+                .find(|s| s.label == format!("{prefix}-post"))
+            {
+                pairs.push((prefix.to_string(), &entry.snapshot, &post.snapshot));
+            }
+        }
+    }
+    pairs
 }

@@ -1,0 +1,118 @@
+//! CI bench smoke: one timed `repro_fig6` plus the `event_scatter`
+//! microbench, with deltas printed against the committed
+//! `results/bench_baseline.json`. **No regression gate** — CI machines
+//! are not the baseline machine, so the numbers are informational; the
+//! run only fails if a benchmark itself fails to run.
+//!
+//! ```sh
+//! just bench-smoke
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Instant;
+
+use t2fsnn_bench::baseline::{BaselineFile, BenchRecord};
+use t2fsnn_bench::report::results_dir;
+
+fn workspace_root() -> PathBuf {
+    results_dir()
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() {
+    let root = workspace_root();
+    let baseline: Option<BaselineFile> = fs::read(results_dir().join("bench_baseline.json"))
+        .ok()
+        .and_then(|bytes| serde_json::from_slice(&bytes).ok());
+    let reference = baseline.as_ref().and_then(BaselineFile::reference_snapshot);
+    match (&baseline, &reference) {
+        (Some(file), Some((label, snapshot))) => println!(
+            "[smoke] baseline `{label}` (machine: {} {}, {} core(s); recorded {}; {} fig6 runs)",
+            file.machine.os,
+            file.machine.arch,
+            file.machine.cores,
+            snapshot.recorded_at_unix,
+            snapshot.repro_fig6_runs_seconds.len(),
+        ),
+        _ => println!("[smoke] no committed baseline found — printing raw numbers only"),
+    }
+
+    // Timed repro_fig6 (warm the cache first so a cold CI cache does not
+    // count training time as simulation time).
+    println!("[smoke] warming scenario cache…");
+    run(&root, &["run", "--release", "--bin", "repro_fig6"], &[]);
+    println!("[smoke] timing repro_fig6…");
+    let start = Instant::now();
+    run(&root, &["run", "--release", "--bin", "repro_fig6"], &[]);
+    let fig6 = start.elapsed().as_secs_f64();
+    match &reference {
+        Some((label, snapshot)) if snapshot.repro_fig6_seconds > 0.0 => {
+            println!(
+                "[smoke] repro_fig6: {fig6:.1}s (baseline `{label}`: {:.1}s, {:+.1}%)",
+                snapshot.repro_fig6_seconds,
+                (fig6 / snapshot.repro_fig6_seconds - 1.0) * 100.0
+            );
+        }
+        _ => println!("[smoke] repro_fig6: {fig6:.1}s"),
+    }
+
+    // The event-scatter microbench, compared record by record.
+    let json_path =
+        std::env::temp_dir().join(format!("t2fsnn-bench-smoke-{}.jsonl", std::process::id()));
+    let _ = fs::remove_file(&json_path);
+    println!("[smoke] cargo bench --bench event_scatter");
+    run(
+        &root,
+        &["bench", "--bench", "event_scatter"],
+        &[("CRITERION_SHIM_JSON", json_path.as_os_str())],
+    );
+    let text = fs::read_to_string(&json_path).unwrap_or_default();
+    let _ = fs::remove_file(&json_path);
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(record) = serde_json::from_str::<BenchRecord>(line) else {
+            continue;
+        };
+        let name = format!("{}/{}", record.group, record.bench);
+        let base = reference.as_ref().and_then(|(_, s)| {
+            s.targets
+                .iter()
+                .filter(|t| t.target == "event_scatter")
+                .flat_map(|t| &t.records)
+                .find(|r| r.group == record.group && r.bench == record.bench)
+        });
+        let spread = format!(
+            "min {:.1} / max {:.1} µs over {} samples",
+            record.min_ns as f64 / 1e3,
+            record.max_ns as f64 / 1e3,
+            record.samples
+        );
+        match base {
+            Some(b) if b.mean_ns > 0 => println!(
+                "[smoke] {name}: {:.1} µs ({spread}; baseline {:.1} µs, {:+.1}%)",
+                record.mean_ns as f64 / 1e3,
+                b.mean_ns as f64 / 1e3,
+                (record.mean_ns as f64 / b.mean_ns as f64 - 1.0) * 100.0
+            ),
+            _ => println!(
+                "[smoke] {name}: {:.1} µs ({spread})",
+                record.mean_ns as f64 / 1e3
+            ),
+        }
+    }
+    println!("[smoke] done (informational only — no regression gate)");
+}
+
+fn run(root: &Path, args: &[&str], envs: &[(&str, &std::ffi::OsStr)]) {
+    let mut cmd = Command::new("cargo");
+    cmd.args(args).current_dir(root);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.stdout(std::process::Stdio::null());
+    let status = cmd.status().expect("failed to spawn cargo");
+    assert!(status.success(), "cargo {args:?} failed");
+}

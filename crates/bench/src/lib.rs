@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod binfmt;
 pub mod report;
 pub mod scenario;

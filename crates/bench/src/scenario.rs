@@ -284,11 +284,11 @@ struct CacheFile {
     params: u64,
     dnn: Network,
     dnn_accuracy: f32,
-    /// The deterministic synthetic dataset (binary caches only — the
-    /// legacy JSON format predates this field, so it is optional on
-    /// read). Caching it saves the few hundred ms of per-pixel noise
-    /// synthesis on every warm run; `dataset_size()` is validated so a
-    /// scenario-definition change invalidates it.
+    /// The deterministic synthetic dataset. Caching it saves the few
+    /// hundred ms of per-pixel noise synthesis on every warm run;
+    /// `dataset_size()` is validated so a scenario-definition change
+    /// invalidates it. (Kept optional on read so a cache written without
+    /// it is treated as a miss rather than a parse error.)
     dataset: Option<Dataset>,
 }
 
@@ -352,9 +352,9 @@ fn cache_path(scenario: Scenario, extension: &str) -> PathBuf {
 /// Panics if training fails — the harness treats that as a fatal setup
 /// error.
 pub fn prepare(scenario: Scenario) -> Prepared {
-    // Cache probe order: current binary format, then the legacy JSON
-    // format (kept readable for one release; it carries no dataset, so
-    // the dataset is regenerated).
+    // Only the binary `T2FB` format is read. The legacy JSON format's
+    // one-release read grace period (PR 2) is over: legacy or corrupt
+    // entries are cache misses and fall back to retraining.
     if let Some(prepared) = load_cache(scenario) {
         return prepared;
     }
@@ -419,65 +419,43 @@ fn write_cache(path: &std::path::Path, cache: &CacheFile) {
     }
 }
 
-/// Attempts to load and validate a cached scenario (binary first, then
-/// legacy JSON). Returns `None` on any miss, mismatch, or parse error —
-/// the caller falls back to retraining.
+/// Attempts to load and validate a cached scenario (binary `T2FB`
+/// format only). Returns `None` on any miss, mismatch, or parse error —
+/// including legacy JSON entries — and the caller falls back to
+/// retraining.
 fn load_cache(scenario: Scenario) -> Option<Prepared> {
-    let candidates = [cache_path(scenario, "bin"), cache_path(scenario, "json")];
-    for path in candidates {
-        let Ok(bytes) = fs::read(&path) else {
-            continue;
-        };
-        let parsed: Option<CacheFile> = if crate::binfmt::is_binary(&bytes) {
-            crate::binfmt::from_bytes(&bytes)
-                .ok()
-                .and_then(|value| serde::Deserialize::from_value(&value).ok())
-        } else {
-            serde_json::from_slice(&bytes).ok()
-        };
-        // An unreadable candidate (corrupt, or a future format version)
-        // falls through to the next one rather than aborting the probe.
-        let Some(mut cache) = parsed else {
-            continue;
-        };
-        if cache.version != CACHE_VERSION
-            || cache.quick != quick_mode()
-            || cache.seed != scenario.seed()
-            || cache.params != cache.dnn.param_count() as u64
-            || cache.params != scenario.param_count()
-        {
-            continue;
-        }
-        // A cached dataset must still match the scenario definition
-        // (size changes invalidate it without a seed change).
-        let data = match cache.dataset {
-            Some(data) if data.len() == scenario.dataset_size() && data.spec == scenario.spec() => {
-                data
-            }
-            Some(_) => continue,
-            None => {
-                // Legacy JSON entry: regenerate the dataset once and
-                // upgrade the cache to the binary format in passing.
-                let data = scenario.dataset();
-                let upgraded = CacheFile {
-                    dataset: Some(data.clone()),
-                    ..cache
-                };
-                write_cache(&cache_path(scenario, "bin"), &upgraded);
-                cache = upgraded;
-                data
-            }
-        };
-        let (train_set, test_set) = data.split(scenario.train_size());
-        return Some(Prepared {
-            scenario,
-            dnn: cache.dnn,
-            train: train_set,
-            test: test_set,
-            dnn_accuracy: cache.dnn_accuracy,
-        });
+    let path = cache_path(scenario, "bin");
+    let bytes = fs::read(&path).ok()?;
+    // Non-binary (legacy JSON) or corrupt entries are plain misses.
+    if !crate::binfmt::is_binary(&bytes) {
+        return None;
     }
-    None
+    let cache: CacheFile = crate::binfmt::from_bytes(&bytes)
+        .ok()
+        .and_then(|value| serde::Deserialize::from_value(&value).ok())?;
+    if cache.version != CACHE_VERSION
+        || cache.quick != quick_mode()
+        || cache.seed != scenario.seed()
+        || cache.params != cache.dnn.param_count() as u64
+        || cache.params != scenario.param_count()
+    {
+        return None;
+    }
+    // A cached dataset must still match the scenario definition (size
+    // changes invalidate it without a seed change); an entry without one
+    // is a miss.
+    let data = match cache.dataset {
+        Some(data) if data.len() == scenario.dataset_size() && data.spec == scenario.spec() => data,
+        _ => return None,
+    };
+    let (train_set, test_set) = data.split(scenario.train_size());
+    Some(Prepared {
+        scenario,
+        dnn: cache.dnn,
+        train: train_set,
+        test: test_set,
+        dnn_accuracy: cache.dnn_accuracy,
+    })
 }
 
 #[cfg(test)]

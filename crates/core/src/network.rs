@@ -72,6 +72,11 @@ pub struct T2fsnnConfig {
     pub record_every: usize,
     /// Optional timing-noise injection (extension; `None` = ideal fabric).
     pub noise: Option<NoiseConfig>,
+    /// Dense vs event-driven kernel dispatch (not serialized: a runtime
+    /// execution knob with no effect on results — the engines are
+    /// bit-identical and the determinism suite asserts it).
+    #[serde(skip)]
+    pub engine: t2fsnn_snn::SimEngine,
 }
 
 impl T2fsnnConfig {
@@ -88,12 +93,21 @@ impl T2fsnnConfig {
             early_start: None,
             record_every: time_window,
             noise: None,
+            engine: t2fsnn_snn::SimEngine::default(),
         }
     }
 
     /// Enables timing-noise injection (see [`NoiseConfig`]).
     pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
         self.noise = Some(noise);
+        self
+    }
+
+    /// Overrides the execution engine (the result is bit-identical either
+    /// way; [`t2fsnn_snn::SimEngine::Dense`] exists as the reference for
+    /// tests and for profiling the dispatch itself).
+    pub fn with_engine(mut self, engine: t2fsnn_snn::SimEngine) -> Self {
+        self.engine = engine;
         self
     }
 

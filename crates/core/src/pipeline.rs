@@ -13,7 +13,6 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use t2fsnn_snn::{CurvePoint, OpExecutor, SimEngine, SnnOp};
-use t2fsnn_tensor::ops::sparse;
 use t2fsnn_tensor::{Result, SpikeBatch, Tensor, TensorError};
 
 use crate::network::{NoiseConfig, T2fsnn};
@@ -136,9 +135,18 @@ fn propagate_segment(
 /// [`propagate_segment`] for a spike signal already in event form (the
 /// core engine's fire phases emit events directly — under TTFS every
 /// neuron spikes at most once per window, so the dense intermediate was
-/// almost entirely zeros). The signal stays in event form through
-/// ungated average pooling and flatten and is densified at the first
-/// gated (max-pool) op, where first-spike latching needs the dense view.
+/// almost entirely zeros). The signal stays in event form through the
+/// whole segment — average pooling via the event-form pooling kernel and
+/// max pooling via the first-spike-wins [`OpExecutor::max_pool_events`]
+/// (no densification between the fire phase and the integrate) — and the
+/// weighted op's axpy rows land **directly in the next layer's membrane
+/// potentials** (`potential`), with no intermediate drive tensor.
+///
+/// With `dense_mode` (the [`SimEngine::Dense`] reference engine) the
+/// events are densified up front and the position-major dense twins run
+/// instead; both modes are bit-identical (the canonical-order
+/// invariant), which the test suite asserts on max-pool networks.
+#[allow(clippy::too_many_arguments)] // one call site; mirrors the dense twin
 fn propagate_segment_events(
     ops: &[SnnOp],
     executor: &mut OpExecutor,
@@ -146,8 +154,14 @@ fn propagate_segment_events(
     events: &mut SpikeBatch,
     gates: &mut [Option<Tensor>],
     synop_adds: &mut u64,
-) -> Result<Tensor> {
-    let mut dense: Option<Tensor> = None;
+    dense_mode: bool,
+    potential: &mut Tensor,
+) -> Result<()> {
+    let mut dense: Option<Tensor> = if dense_mode {
+        Some(events.to_dense())
+    } else {
+        None
+    };
     for &pi in &seg.pre_ops {
         if let Some(signal) = dense.take() {
             let (mut z, s) = executor.propagate(ops, pi, &signal)?;
@@ -157,13 +171,21 @@ fn propagate_segment_events(
         } else {
             match &ops[pi] {
                 SnnOp::AvgPool { window, stride } if gates[pi].is_none() => {
-                    dense = Some(sparse::avg_pool2d_events(events, *window, *stride)?);
+                    executor.avg_pool_events(events, *window, *stride)?;
+                }
+                SnnOp::MaxPool { window, stride } => {
+                    let gate = gates[pi]
+                        .as_mut()
+                        .expect("max-pool ops carry a first-spike gate");
+                    executor.max_pool_events(events, *window, *stride, gate)?;
                 }
                 SnnOp::Flatten if gates[pi].is_none() => {
                     let numel = events.feature_numel();
                     events.reshape_features(&[numel])?;
                 }
                 _ => {
+                    // Unreachable with the bundled architectures; keep a
+                    // correct dense fallback for exotic op/gate combos.
                     let signal = events.to_dense();
                     let (mut z, s) = executor.propagate(ops, pi, &signal)?;
                     *synop_adds += s;
@@ -173,12 +195,11 @@ fn propagate_segment_events(
             }
         }
     }
-    let (z, s) = match dense {
-        Some(signal) => executor.propagate(ops, seg.weighted, &signal)?,
-        None => executor.propagate_events(ops, seg.weighted, events)?,
+    *synop_adds += match dense {
+        Some(signal) => executor.accumulate_weighted(ops, seg.weighted, &signal, 0.0, potential)?,
+        None => executor.accumulate_weighted_events(ops, seg.weighted, events, 0.0, potential)?,
     };
-    *synop_adds += s;
-    Ok(z)
+    Ok(())
 }
 
 /// First-spike gating at a max-pool op: a window forwards exactly its
@@ -248,17 +269,19 @@ impl T2fsnn {
         let segments = build_segments(ops);
         let l_count = segments.len();
         let shapes = self.network().output_shapes(&images.dims()[1..])?;
-        let mut executor = OpExecutor::new(ops, SimEngine::default());
+        let dense_mode = matches!(config.engine, SimEngine::Dense);
+        let mut executor = OpExecutor::new(ops, config.engine, &images.dims()[1..])?;
 
         // Membrane potentials (initialized with the bias: one constant
-        // current injection per inference) and refractory masks.
+        // current injection per inference) and refractory masks, in the
+        // engine's native position-major layout.
         let mut potentials: Vec<Tensor> = Vec::with_capacity(l_count);
         let mut fired: Vec<Tensor> = Vec::with_capacity(l_count);
         for seg in &segments {
             let mut dims = vec![n];
-            dims.extend_from_slice(&shapes[seg.weighted]);
+            dims.extend_from_slice(executor.state_dims(seg.weighted));
             let mut p = Tensor::zeros(dims.clone());
-            ops[seg.weighted].inject_bias(&mut p, 1.0)?;
+            executor.inject_bias(ops, seg.weighted, &mut p, 1.0)?;
             potentials.push(p);
             fired.push(Tensor::zeros(dims));
         }
@@ -270,6 +293,29 @@ impl T2fsnn {
             .iter()
             .map(|&x| input_encoder.encode(x, theta0))
             .collect();
+        // When the network opens with a bare conv (every bundled conv
+        // architecture), build the per-step input drive directly in the
+        // engine's position-major layout: the spike times are permuted
+        // once here, erasing a full tensor transpose per input step.
+        let pm_input = segments[0].pre_ops.is_empty()
+            && matches!(ops[segments[0].weighted], SnnOp::Conv { .. });
+        let (enc_scan, drive_dims): (Vec<Option<usize>>, Vec<usize>) = if pm_input {
+            let d = images.dims();
+            let (c, h, w) = (d[1], d[2], d[3]);
+            let mut scan = Vec::with_capacity(enc_times.len());
+            for ni in 0..n {
+                for yi in 0..h {
+                    for xi in 0..w {
+                        for ci in 0..c {
+                            scan.push(enc_times[((ni * c + ci) * h + yi) * w + xi]);
+                        }
+                    }
+                }
+            }
+            (scan, vec![n, h, w, c])
+        } else {
+            (enc_times, images.dims().to_vec())
+        };
 
         let total_steps = self.total_steps();
         let mut input_histogram = vec![0u64; t_window];
@@ -281,14 +327,21 @@ impl T2fsnn {
         let mut synop_mults = 0u64;
         let mut curve = Vec::new();
 
-        // First-spike gates for max-pool ops (one latch per pool window).
+        // First-spike gates for max-pool ops (one latch per pool window),
+        // position-major like the membranes downstream of the first
+        // weighted op, channel-major in the image domain before it.
+        let first_weighted = executor.first_weighted();
         let mut gates: Vec<Option<Tensor>> = ops
             .iter()
-            .zip(&shapes)
-            .map(|(op, shape)| {
+            .enumerate()
+            .map(|(i, op)| {
                 matches!(op, SnnOp::MaxPool { .. }).then(|| {
                     let mut dims = vec![n];
-                    dims.extend_from_slice(shape);
+                    if i > first_weighted {
+                        dims.extend_from_slice(executor.state_dims(i));
+                    } else {
+                        dims.extend_from_slice(&shapes[i]);
+                    }
                     Tensor::zeros(dims)
                 })
             })
@@ -315,8 +368,8 @@ impl T2fsnn {
             if t < t_window {
                 let mut any = 0u64;
                 let drive = Tensor::from_vec(
-                    images.shape().clone(),
-                    enc_times
+                    drive_dims.clone(),
+                    enc_scan
                         .iter()
                         .map(|&et| {
                             if et == Some(t) {
@@ -338,14 +391,21 @@ impl T2fsnn {
                     input_spikes += any;
                     input_histogram[t] += any;
                     synop_mults += any; // one kernel multiply per spike
-                    let z = propagate_segment(
-                        ops,
-                        &mut executor,
-                        &segments[0],
-                        drive,
-                        &mut gates,
-                        &mut synop_adds,
-                    )?;
+                    let z = if pm_input {
+                        let (z, s) =
+                            executor.propagate_input_pm(ops, segments[0].weighted, &drive)?;
+                        synop_adds += s;
+                        z
+                    } else {
+                        propagate_segment(
+                            ops,
+                            &mut executor,
+                            &segments[0],
+                            drive,
+                            &mut gates,
+                            &mut synop_adds,
+                        )?
+                    };
                     potentials[0].add_scaled(&z, 1.0)?;
                 }
             }
@@ -398,15 +458,16 @@ impl T2fsnn {
                 if count > 0 {
                     layer_hists[i][local] += count;
                     synop_mults += count;
-                    let z = propagate_segment_events(
+                    propagate_segment_events(
                         ops,
                         &mut executor,
                         &segments[i + 1],
                         &mut fire_ev,
                         &mut gates,
                         &mut synop_adds,
+                        dense_mode,
+                        &mut potentials[i + 1],
                     )?;
-                    potentials[i + 1].add_scaled(&z, 1.0)?;
                 }
             }
 

@@ -1,9 +1,80 @@
 //! Property-based tests for the TTFS kernel machinery — the encode/decode
-//! invariants the paper's analysis depends on.
+//! invariants the paper's analysis depends on — plus the clock engine's
+//! dense/event execution identity.
 
 use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use t2fsnn::kernel::{ExpKernel, KernelParams};
 use t2fsnn::optimize::kernel_losses;
+use t2fsnn::{T2fsnn, T2fsnnConfig};
+use t2fsnn_dnn::layers::{Conv2d, Flatten, Linear, Pool, PoolKind, Relu};
+use t2fsnn_dnn::Network;
+use t2fsnn_snn::SimEngine;
+use t2fsnn_tensor::ops::Conv2dSpec;
+use t2fsnn_tensor::Tensor;
+
+/// A small random CNN over 8×8 single-channel inputs, optionally with
+/// max pooling (the op only the TTFS engine supports).
+fn random_cnn(kind: PoolKind, width: usize, seed: u64) -> Network {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let c = 2 + width;
+    let mut net = Network::new();
+    net.push(
+        "conv1",
+        Conv2d::new(&mut rng, 1, c, 3, Conv2dSpec::new(1, 1)),
+    );
+    net.push("relu1", Relu::new());
+    net.push("pool1", Pool::down2(kind));
+    net.push(
+        "conv2",
+        Conv2d::new(&mut rng, c, c * 2, 3, Conv2dSpec::new(1, 1)),
+    );
+    net.push("relu2", Relu::new());
+    net.push("pool2", Pool::down2(kind));
+    net.push("flatten", Flatten::new());
+    net.push("fc", Linear::new(&mut rng, c * 2 * 4, 4));
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The clock engine's execution identity on the position-major
+    /// pipeline: the dense reference engine and the event engine produce
+    /// bit-identical `TtfsRun`s — accuracy curves, spike histograms and
+    /// synop counts — on random architectures including max-pool
+    /// networks (first-spike-wins pooling over events vs the densified
+    /// gated pool), with and without early firing.
+    #[test]
+    fn ttfs_dense_and_event_engines_are_bit_identical(
+        max_pool in prop::bool::ANY,
+        width in 0usize..3,
+        early in prop::bool::ANY,
+        seed in 0u64..500,
+    ) {
+        let kind = if max_pool { PoolKind::Max } else { PoolKind::Avg };
+        let dnn = random_cnn(kind, width, seed);
+        let images = Tensor::from_fn([3, 1, 8, 8], |i| {
+            let key = i[0] * 6151 + i[2] * 67 + i[3] * 11 + seed as usize;
+            ((key % 97) as f32) / 96.0
+        });
+        let labels = vec![0usize, 1, 2];
+        let run_with = |engine: SimEngine| {
+            let mut config = T2fsnnConfig::new(8).with_engine(engine);
+            if early {
+                config = config.with_early_firing();
+            }
+            let model = T2fsnn::from_dnn(&dnn, config, KernelParams::new(4.0, 0.0)).unwrap();
+            model.run(&images, &labels).unwrap()
+        };
+        let dense = run_with(SimEngine::dense());
+        for threshold in [0.05f32, 0.5, 1.0] {
+            let event = run_with(SimEngine::Event { sparsity_threshold: threshold });
+            prop_assert_eq!(&dense, &event, "max_pool={} threshold={}", max_pool, threshold);
+        }
+    }
+}
 
 fn params() -> impl Strategy<Value = (KernelParams, usize)> {
     (0.5f32..40.0, 0.0f32..8.0, 8usize..128)

@@ -96,6 +96,12 @@ impl BatchNorm2d {
     /// Forward pass. In training mode uses batch statistics and updates
     /// the running averages; in eval mode uses the running statistics.
     ///
+    /// The per-channel reductions run sequentially in a fixed order (a
+    /// deterministic f32 sum must pick *one* order; this is the cheap
+    /// pass), and the normalization writes are parallelized over the
+    /// batch on the scoped [`t2fsnn_tensor::ThreadPool`] into disjoint
+    /// per-image slices — bit-identical for every worker count.
+    ///
     /// # Errors
     ///
     /// Returns an error for inputs that are not `[N, C, H, W]` with the
@@ -103,17 +109,19 @@ impl BatchNorm2d {
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         let (n, c, h, w) = self.check_input(input)?;
         let per_channel = (n * h * w) as f32;
+        let plane = h * w;
         let id = input.data();
-        let mut out = vec![0.0f32; id.len()];
-        let mut x_hat = vec![0.0f32; id.len()];
+        // Sequential per-channel statistics (the reduction order is part
+        // of the deterministic contract).
+        let mut means = vec![0.0f32; c];
         let mut inv_stds = vec![0.0f32; c];
-        for (ci, inv_std_slot) in inv_stds.iter_mut().enumerate() {
+        for ci in 0..c {
             let (mean, var) = if train {
                 let mut sum = 0.0f32;
                 let mut sq = 0.0f32;
                 for ni in 0..n {
-                    let base = (ni * c + ci) * h * w;
-                    for &v in &id[base..base + h * w] {
+                    let base = (ni * c + ci) * plane;
+                    for &v in &id[base..base + plane] {
                         sum += v;
                         sq += v * v;
                     }
@@ -129,23 +137,67 @@ impl BatchNorm2d {
             } else {
                 (self.running_mean.data()[ci], self.running_var.data()[ci])
             };
-            let inv_std = 1.0 / (var + self.eps).sqrt();
-            *inv_std_slot = inv_std;
-            let g = self.gamma.data()[ci];
-            let b = self.beta.data()[ci];
-            for ni in 0..n {
-                let base = (ni * c + ci) * h * w;
-                for j in base..base + h * w {
-                    let xh = (id[j] - mean) * inv_std;
-                    x_hat[j] = xh;
-                    out[j] = g * xh + b;
-                }
+            means[ci] = mean;
+            inv_stds[ci] = 1.0 / (var + self.eps).sqrt();
+        }
+        // Batch-parallel normalization into disjoint per-image slices.
+        let gamma = self.gamma.data();
+        let beta = self.beta.data();
+        let pool = t2fsnn_tensor::ThreadPool::global();
+        let mut out = vec![0.0f32; id.len()];
+        if id.is_empty() {
+            // Zero-sized spatial input: nothing to normalize.
+            if train {
+                self.cache = Some(BnCache {
+                    x_hat: Tensor::from_vec(input.shape().clone(), Vec::new())?,
+                    inv_std: inv_stds,
+                });
             }
+            return Tensor::from_vec(input.shape().clone(), out);
         }
         if train {
+            let mut x_hat = vec![0.0f32; id.len()];
+            pool.scatter_items(&mut x_hat, c * plane, |ni, slot| {
+                for ci in 0..c {
+                    let (mean, inv_std) = (means[ci], inv_stds[ci]);
+                    let base = (ni * c + ci) * plane;
+                    for (xh, &v) in slot[ci * plane..(ci + 1) * plane]
+                        .iter_mut()
+                        .zip(&id[base..base + plane])
+                    {
+                        *xh = (v - mean) * inv_std;
+                    }
+                }
+            });
+            pool.scatter_items(&mut out, c * plane, |ni, slot| {
+                let img = &x_hat[ni * c * plane..(ni + 1) * c * plane];
+                for ci in 0..c {
+                    let (g, b) = (gamma[ci], beta[ci]);
+                    for (o, &xh) in slot[ci * plane..(ci + 1) * plane]
+                        .iter_mut()
+                        .zip(&img[ci * plane..(ci + 1) * plane])
+                    {
+                        *o = g * xh + b;
+                    }
+                }
+            });
             self.cache = Some(BnCache {
                 x_hat: Tensor::from_vec(input.shape().clone(), x_hat)?,
                 inv_std: inv_stds,
+            });
+        } else {
+            pool.scatter_items(&mut out, c * plane, |ni, slot| {
+                for ci in 0..c {
+                    let (mean, inv_std) = (means[ci], inv_stds[ci]);
+                    let (g, b) = (gamma[ci], beta[ci]);
+                    let base = (ni * c + ci) * plane;
+                    for (o, &v) in slot[ci * plane..(ci + 1) * plane]
+                        .iter_mut()
+                        .zip(&id[base..base + plane])
+                    {
+                        *o = g * ((v - mean) * inv_std) + b;
+                    }
+                }
             });
         }
         Tensor::from_vec(input.shape().clone(), out)
@@ -164,33 +216,53 @@ impl BatchNorm2d {
         })?;
         let (n, c, h, w) = self.check_input(grad_out)?;
         let per_channel = (n * h * w) as f32;
+        let plane = h * w;
         let gd = grad_out.data();
         let xh = cache.x_hat.data();
         let mut grad_in = vec![0.0f32; gd.len()];
         let mut ggamma = vec![0.0f32; c];
         let mut gbeta = vec![0.0f32; c];
+        // Sequential per-channel reductions (fixed deterministic order),
+        // then batch-parallel input-gradient writes into disjoint
+        // per-image slices — bit-identical for every worker count.
+        let mut mean_dy = vec![0.0f32; c];
+        let mut mean_dy_xh = vec![0.0f32; c];
         for ci in 0..c {
             let mut sum_dy = 0.0f32;
             let mut sum_dy_xh = 0.0f32;
             for ni in 0..n {
-                let base = (ni * c + ci) * h * w;
-                for j in base..base + h * w {
+                let base = (ni * c + ci) * plane;
+                for j in base..base + plane {
                     sum_dy += gd[j];
                     sum_dy_xh += gd[j] * xh[j];
                 }
             }
             ggamma[ci] = sum_dy_xh;
             gbeta[ci] = sum_dy;
-            let g = self.gamma.data()[ci];
-            let inv_std = cache.inv_std[ci];
-            let mean_dy = sum_dy / per_channel;
-            let mean_dy_xh = sum_dy_xh / per_channel;
-            for ni in 0..n {
-                let base = (ni * c + ci) * h * w;
-                for j in base..base + h * w {
-                    grad_in[j] = g * inv_std * (gd[j] - mean_dy - xh[j] * mean_dy_xh);
-                }
-            }
+            mean_dy[ci] = sum_dy / per_channel;
+            mean_dy_xh[ci] = sum_dy_xh / per_channel;
+        }
+        let gamma = self.gamma.data();
+        let inv_std = &cache.inv_std;
+        if !grad_in.is_empty() {
+            t2fsnn_tensor::ThreadPool::global().scatter_items(
+                &mut grad_in,
+                c * plane,
+                |ni, slot| {
+                    for ci in 0..c {
+                        let scale = gamma[ci] * inv_std[ci];
+                        let (m_dy, m_dy_xh) = (mean_dy[ci], mean_dy_xh[ci]);
+                        let base = (ni * c + ci) * plane;
+                        for ((o, &g), &x) in slot[ci * plane..(ci + 1) * plane]
+                            .iter_mut()
+                            .zip(&gd[base..base + plane])
+                            .zip(&xh[base..base + plane])
+                        {
+                            *o = scale * (g - m_dy - x * m_dy_xh);
+                        }
+                    }
+                },
+            );
         }
         let ggamma = Tensor::from_vec([c], ggamma)?;
         let gbeta = Tensor::from_vec([c], gbeta)?;

@@ -1,30 +1,39 @@
-//! The execution engine: per-step dense vs event-driven dispatch.
+//! The execution engine: per-step dense vs event-driven dispatch over
+//! **position-major** membrane state.
 //!
 //! Spiking workloads spend almost all their time pushing *mostly-zero*
-//! tensors through weighted ops. The engine exploits that with a simple
+//! signals through weighted ops. The engine exploits that with a simple
 //! rule, applied independently at every weighted op of every time step:
 //!
 //! 1. scan the incoming signal into a [`SpikeBatch`] event list, **bailing
 //!    out** as soon as more than `sparsity_threshold × numel` non-zeros
 //!    are seen (so the scan never costs more than a bounded prefix);
-//! 2. if the scan completed, propagate the event list through the
-//!    scatter kernel (work ∝ events); otherwise fall back to the dense
-//!    zero-skipping twin, which walks the signal row-major instead of
-//!    materializing the event list.
+//! 2. if the scan completed, scatter the event list straight into the
+//!    target membrane potentials (work ∝ events); otherwise fall back to
+//!    the dense zero-skipping twin, which walks the signal row-major
+//!    instead of materializing the event list.
+//!
+//! All feature maps downstream of the first weighted op live in the
+//! **position-major** `[N, H, W, C]` layout: membrane potentials, spike
+//! flags and pooling gates alike. Fire phases therefore emit events with
+//! a contiguous scan whose order — ascending `(y, x, c)` — is the
+//! canonical accumulation order every kernel follows, and the conv
+//! scatter's axpy rows land directly in the next layer's membrane tensor
+//! with no intermediate accumulator to clear or flush. Weights are
+//! re-laid-out once per run (linear: `[I, O]`, row-permuted to the
+//! position-major feature order after a flatten; conv: `[C·KH·KW, O]`
+//! reversed-KW plus a tap-major `[KH·KW·C, O]` GEMM operand).
 //!
 //! Dispatch can never change a result: every kernel of a pair performs
 //! the same floating-point operations on each output element in the same
-//! order — ascending `(channel, tap)` for convolutions, ascending input
-//! index for linear layers, zeros skipped everywhere — so `SimOutcome`s
-//! are bit-identical between [`SimEngine::Dense`] and any event
-//! threshold (the simulator's test suite asserts this across engines,
-//! codings, and worker counts). Weights are re-laid-out once per run
-//! (linear: `[I, O]`; conv: `[C·KH·KW, O]`) so all paths stream weight
-//! rows contiguously.
+//! canonical order, so `SimOutcome`s are bit-identical between
+//! [`SimEngine::Dense`] and any event threshold (the simulator's test
+//! suite asserts this across engines, codings, and worker counts).
 
 use serde::{Deserialize, Serialize};
-use t2fsnn_tensor::ops::sparse;
-use t2fsnn_tensor::{Result, SpikeBatch, Tensor};
+use t2fsnn_tensor::ops::sparse::{self, PoolScratch};
+use t2fsnn_tensor::ops::{avg_pool2d_pm, max_pool2d_pm};
+use t2fsnn_tensor::{Result, SpikeBatch, Tensor, TensorError};
 
 use crate::network::SnnOp;
 
@@ -73,54 +82,138 @@ impl Default for SimEngine {
 }
 
 /// Above this density an event-form convolution signal is densified and
-/// propagated through im2col + blocked GEMM: the vectorized dense kernel
-/// overtakes the sparsity-proportional scatter once roughly one entry in
-/// three is active (measured on the workspace's scaled-VGG shapes).
-const GEMM_DENSITY: f32 = 0.35;
+/// propagated through position-major im2col + blocked GEMM straight into
+/// the membrane: with the fill/flush gone the direct scatter stays ahead
+/// of the vectorized GEMM until roughly every second entry is active
+/// (measured on the workspace's scaled-VGG shapes; PR 2's accumulator
+/// scatter lost to the GEMM already at ~1/3).
+const GEMM_DENSITY: f32 = 0.5;
 
-/// Per-run execution state: cached transposed linear weights plus a
-/// reusable event-list scratch buffer.
+/// The per-image state dims of a feature shape in the simulator's native
+/// layout: 3-D channel-major `[C, H, W]` shapes become position-major
+/// `[H, W, C]`; everything else (dense-layer `[O]` vectors) is unchanged.
+pub fn position_major_dims(dims: &[usize]) -> Vec<usize> {
+    match dims {
+        [c, h, w] => vec![*h, *w, *c],
+        other => other.to_vec(),
+    }
+}
+
+/// Per-run execution state: cached re-laid-out weights plus reusable
+/// event-list and pooling scratch buffers.
 ///
 /// Create one per simulation run and route every op propagation through
-/// [`OpExecutor::propagate`]; it returns exactly what
-/// [`SnnOp::propagate`] would, faster.
+/// it; all paths are bit-identical to each other (the canonical-order
+/// invariant) and the membrane-accumulating entry points are the fast
+/// ones.
 pub struct OpExecutor {
-    /// `weight.transpose()` for every [`SnnOp::Linear`], else `None`.
+    /// `[I, O]` transposed weight for every [`SnnOp::Linear`] — rows
+    /// permuted to the position-major feature order when the layer
+    /// consumes flattened conv features — else `None`.
     weight_t: Vec<Option<Tensor>>,
-    /// `[C·KH·KW, O]` filter layout for every [`SnnOp::Conv`], else
-    /// `None` (consumed by the gather kernel).
+    /// `[C·KH·KW, O]` reversed-KW filter for every [`SnnOp::Conv`]
+    /// (consumed by the scatter kernels), else `None`.
     filter_t: Vec<Option<Tensor>>,
+    /// `[KH·KW·C, O]` tap-major filter for every [`SnnOp::Conv`]
+    /// (consumed by the GEMM fallback), else `None`.
+    filter_r: Vec<Option<Tensor>>,
+    /// Position-major per-image output dims for every op.
+    pm_shapes: Vec<Vec<usize>>,
+    /// Index of the first weighted op: everything before it runs in the
+    /// channel-major image domain, everything after in position-major.
+    first_weighted: usize,
     threshold: f32,
     scratch: SpikeBatch,
+    pool_out: SpikeBatch,
+    pool_scratch: PoolScratch,
 }
 
 impl OpExecutor {
-    /// Prepares the executor for a fixed op sequence.
-    pub fn new(ops: &[SnnOp], engine: SimEngine) -> Self {
-        let weight_t = ops
-            .iter()
-            .map(|op| match op {
-                SnnOp::Linear { weight, .. } => {
-                    Some(weight.transpose().expect("linear weight is rank 2"))
-                }
-                _ => None,
-            })
-            .collect();
-        let filter_t = ops
-            .iter()
-            .map(|op| match op {
+    /// Prepares the executor for a fixed op sequence over `[C, H, W]`
+    /// inputs (`input_dims` excludes the batch axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the op shapes do not chain over `input_dims`
+    /// or the network has no weighted op.
+    pub fn new(ops: &[SnnOp], engine: SimEngine, input_dims: &[usize]) -> Result<Self> {
+        let first_weighted =
+            ops.iter()
+                .position(SnnOp::is_weighted)
+                .ok_or(TensorError::InvalidArgument {
+                    op: "OpExecutor::new",
+                    message: "network has no weighted ops".to_string(),
+                })?;
+        let mut shapes: Vec<Vec<usize>> = Vec::with_capacity(ops.len());
+        let mut cur = input_dims.to_vec();
+        for op in ops {
+            cur = op.output_shape(&cur)?;
+            shapes.push(cur.clone());
+        }
+        let mut weight_t: Vec<Option<Tensor>> = Vec::with_capacity(ops.len());
+        let mut filter_t: Vec<Option<Tensor>> = Vec::with_capacity(ops.len());
+        let mut filter_r: Vec<Option<Tensor>> = Vec::with_capacity(ops.len());
+        // `[C, H, W]` dims recorded at a position-major flatten: the next
+        // linear layer's weight rows are permuted to match the flattened
+        // (y, x, c) feature order.
+        let mut pm_flatten_src: Option<[usize; 3]> = None;
+        let mut prev_dims = input_dims.to_vec();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
                 SnnOp::Conv { weight, .. } => {
-                    Some(sparse::transpose_filter(weight).expect("conv weight is rank 4"))
+                    filter_t.push(Some(sparse::transpose_filter(weight)?));
+                    filter_r.push(Some(sparse::reorder_filter_taps(weight)?));
+                    weight_t.push(None);
                 }
-                _ => None,
-            })
-            .collect();
-        OpExecutor {
+                SnnOp::Linear { weight, .. } => {
+                    let wt = match pm_flatten_src.take() {
+                        Some([c, h, w]) => permuted_weight_t(weight, c, h * w)?,
+                        None => weight.transpose()?,
+                    };
+                    weight_t.push(Some(wt));
+                    filter_t.push(None);
+                    filter_r.push(None);
+                }
+                SnnOp::Flatten => {
+                    if i > first_weighted && prev_dims.len() == 3 {
+                        pm_flatten_src = Some([prev_dims[0], prev_dims[1], prev_dims[2]]);
+                    }
+                    weight_t.push(None);
+                    filter_t.push(None);
+                    filter_r.push(None);
+                }
+                _ => {
+                    weight_t.push(None);
+                    filter_t.push(None);
+                    filter_r.push(None);
+                }
+            }
+            prev_dims = shapes[i].clone();
+        }
+        let pm_shapes = shapes.iter().map(|s| position_major_dims(s)).collect();
+        Ok(OpExecutor {
             weight_t,
             filter_t,
+            filter_r,
+            pm_shapes,
+            first_weighted,
             threshold: engine.threshold(),
             scratch: SpikeBatch::empty(),
-        }
+            pool_out: SpikeBatch::empty(),
+            pool_scratch: PoolScratch::new(),
+        })
+    }
+
+    /// Index of the first weighted op (the boundary between the
+    /// channel-major input domain and the position-major layer domain).
+    pub fn first_weighted(&self) -> usize {
+        self.first_weighted
+    }
+
+    /// Position-major per-image output dims of op `i` — the shape of its
+    /// membrane state (minus the batch axis).
+    pub fn state_dims(&self, i: usize) -> &[usize] {
+        &self.pm_shapes[i]
     }
 
     /// Scans `signal` into the scratch event list; `true` when its
@@ -134,9 +227,11 @@ impl OpExecutor {
     }
 
     /// Propagates `signal` through `ops[i]`, dispatching weighted ops to
-    /// the sparse or dense kernel by the engine rule. Returns the
-    /// postsynaptic drive and the synaptic accumulate count — identical,
-    /// bit for bit, to [`SnnOp::propagate`].
+    /// the sparse or dense kernel by the engine rule. Signals before the
+    /// first weighted op are channel-major (the image domain); the first
+    /// weighted conv transposes once and everything downstream — input
+    /// and output — is position-major. Returns the postsynaptic drive
+    /// and the synaptic accumulate count.
     ///
     /// # Errors
     ///
@@ -144,15 +239,13 @@ impl OpExecutor {
     pub fn propagate(&mut self, ops: &[SnnOp], i: usize, signal: &Tensor) -> Result<(Tensor, u64)> {
         match &ops[i] {
             SnnOp::Conv { weight, spec, .. } => {
-                let use_events = self.try_events(signal)?;
-                let filter_t = self.filter_t[i]
-                    .as_ref()
-                    .expect("conv op has a transposed filter");
                 let kernel = (weight.dims()[2], weight.dims()[3]);
-                if use_events {
-                    sparse::conv2d_scatter_events(&self.scratch, filter_t, kernel, *spec)
+                let spec = *spec;
+                if i == self.first_weighted {
+                    let pm_signal = signal.to_position_major()?;
+                    self.conv_dispatch(i, kernel, spec, &pm_signal)
                 } else {
-                    sparse::conv2d_scatter_t(signal, filter_t, kernel, *spec)
+                    self.conv_dispatch(i, kernel, spec, signal)
                 }
             }
             SnnOp::Linear { .. } => {
@@ -166,52 +259,66 @@ impl OpExecutor {
                     sparse::linear_scatter_t(signal, weight_t)
                 }
             }
-            other => other.propagate(signal),
+            op if i < self.first_weighted => op.propagate(signal),
+            SnnOp::AvgPool { window, stride } => Ok((avg_pool2d_pm(signal, *window, *stride)?, 0)),
+            SnnOp::MaxPool { window, stride } => Ok((max_pool2d_pm(signal, *window, *stride)?, 0)),
+            SnnOp::Flatten => {
+                let n = signal.dims()[0];
+                let rest: usize = signal.dims()[1..].iter().product();
+                Ok((signal.reshape([n, rest])?, 0))
+            }
         }
     }
 
-    /// [`OpExecutor::propagate`] for a signal already in event form:
-    /// returns the dense drive and synop count a dense signal with the
-    /// same non-zeros would produce, without the scan.
+    /// [`OpExecutor::propagate`] for a signal **already in position-major
+    /// layout** at the first weighted conv (e.g. the TTFS input drive,
+    /// built position-major at encode time): skips the per-step
+    /// transpose. Identical to [`OpExecutor::propagate`] for every other
+    /// op.
     ///
     /// # Errors
     ///
-    /// Returns an error on shape mismatch or if `ops[i]` is not a
-    /// weighted op.
-    pub fn propagate_events(
+    /// Returns an error on shape mismatch.
+    pub fn propagate_input_pm(
         &mut self,
         ops: &[SnnOp],
         i: usize,
-        events: &SpikeBatch,
+        signal: &Tensor,
     ) -> Result<(Tensor, u64)> {
         match &ops[i] {
-            SnnOp::Conv { weight, spec, .. } => {
-                let filter_t = self.filter_t[i]
-                    .as_ref()
-                    .expect("conv op has a transposed filter");
+            SnnOp::Conv { weight, spec, .. } if i == self.first_weighted => {
                 let kernel = (weight.dims()[2], weight.dims()[3]);
-                sparse::conv2d_scatter_events(events, filter_t, kernel, *spec)
+                self.conv_dispatch(i, kernel, *spec, signal)
             }
-            SnnOp::Linear { .. } => {
-                let weight_t = self.weight_t[i]
-                    .as_ref()
-                    .expect("linear op has a transposed weight");
-                sparse::linear_scatter_events(events, weight_t)
-            }
-            _ => Err(t2fsnn_tensor::TensorError::InvalidArgument {
-                op: "OpExecutor::propagate_events",
-                message: format!("op {i} is not a weighted op"),
-            }),
+            _ => self.propagate(ops, i, signal),
         }
     }
 
-    /// Computes a weighted op's full drive — synaptic propagation plus
-    /// `bias · bias_scale` — and integrates it into `potential` in one
-    /// fused pass. Per element the membrane receives exactly the value
-    /// the unfused `propagate` → `inject_bias` → `integrate` sequence
-    /// adds (the position-major accumulator already holds the summed
-    /// drive, so the intermediate tensor was a pure copy), without
-    /// materializing that tensor.
+    /// Event-or-dense dispatch of a position-major conv signal.
+    fn conv_dispatch(
+        &mut self,
+        i: usize,
+        kernel: (usize, usize),
+        spec: t2fsnn_tensor::ops::Conv2dSpec,
+        pm_signal: &Tensor,
+    ) -> Result<(Tensor, u64)> {
+        let use_events = self.try_events(pm_signal)?;
+        let filter_t = self.filter_t[i]
+            .as_ref()
+            .expect("conv op has a transposed filter");
+        if use_events {
+            sparse::conv2d_scatter_events_pm(&self.scratch, filter_t, kernel, spec)
+        } else {
+            sparse::conv2d_scatter_pm(pm_signal, filter_t, kernel, spec)
+        }
+    }
+
+    /// Computes a weighted op's synaptic drive and integrates it — plus
+    /// `bias · bias_scale` — **straight into `potential`**: the membrane
+    /// tensor is the accumulator, so there is no intermediate drive
+    /// tensor, no per-step clear, and no flush. The signal must be
+    /// position-major (i.e. `ops[i]` is downstream of the first weighted
+    /// op).
     ///
     /// # Errors
     ///
@@ -225,49 +332,53 @@ impl OpExecutor {
         bias_scale: f32,
         potential: &mut Tensor,
     ) -> Result<u64> {
-        match &ops[i] {
-            SnnOp::Conv {
-                weight, bias, spec, ..
-            } => {
+        let synops = match &ops[i] {
+            SnnOp::Conv { weight, spec, .. } => {
+                let kernel = (weight.dims()[2], weight.dims()[3]);
                 let use_events = self.try_events(signal)?;
                 let filter_t = self.filter_t[i]
                     .as_ref()
                     .expect("conv op has a transposed filter");
-                let kernel = (weight.dims()[2], weight.dims()[3]);
                 if use_events {
-                    sparse::conv2d_scatter_events_acc(
+                    sparse::conv2d_scatter_events_pm_acc(
                         &self.scratch,
                         filter_t,
                         kernel,
                         *spec,
-                        bias,
-                        bias_scale,
                         potential,
-                    )
+                    )?
                 } else {
-                    sparse::conv2d_scatter_t_acc(
-                        signal, filter_t, kernel, *spec, bias, bias_scale, potential,
-                    )
+                    sparse::conv2d_scatter_pm_acc(signal, filter_t, kernel, *spec, potential)?
                 }
             }
             SnnOp::Linear { .. } => {
-                // Linear drives are small ([N, O]); the unfused sequence
-                // keeps its exact summation order.
-                let (mut z, synops) = self.propagate(ops, i, signal)?;
-                ops[i].inject_bias(&mut z, bias_scale)?;
-                potential.add_scaled(&z, 1.0)?;
-                Ok(synops)
+                let use_events = self.try_events(signal)?;
+                let weight_t = self.weight_t[i]
+                    .as_ref()
+                    .expect("linear op has a transposed weight");
+                if use_events {
+                    sparse::linear_scatter_events_acc(&self.scratch, weight_t, potential)?
+                } else {
+                    sparse::linear_scatter_t_acc(signal, weight_t, potential)?
+                }
             }
-            _ => Err(t2fsnn_tensor::TensorError::InvalidArgument {
-                op: "OpExecutor::accumulate_weighted",
-                message: format!("op {i} is not a weighted op"),
-            }),
-        }
+            _ => {
+                return Err(TensorError::InvalidArgument {
+                    op: "OpExecutor::accumulate_weighted",
+                    message: format!("op {i} is not a weighted op"),
+                })
+            }
+        };
+        self.inject_bias(ops, i, potential, bias_scale)?;
+        Ok(synops)
     }
 
     /// [`OpExecutor::accumulate_weighted`] for a signal already in event
     /// form (e.g. produced by [`crate::coding::Coding::fire_events`]):
-    /// no scan, no dense intermediate.
+    /// no scan, no dense intermediate. Very dense steps (phase/burst
+    /// re-transmissions) take the position-major im2col GEMM, which
+    /// accumulates into the membrane in the same canonical order as the
+    /// scatter — same results either way.
     ///
     /// # Errors
     ///
@@ -281,47 +392,162 @@ impl OpExecutor {
         bias_scale: f32,
         potential: &mut Tensor,
     ) -> Result<u64> {
-        match &ops[i] {
-            SnnOp::Conv {
-                weight, bias, spec, ..
-            } => {
+        let synops = match &ops[i] {
+            SnnOp::Conv { weight, spec, .. } => {
                 let kernel = (weight.dims()[2], weight.dims()[3]);
-                // Event lists carry their density for free, so very
-                // dense steps (phase/burst coding re-transmissions) can
-                // take the vectorized im2col GEMM instead of the
-                // sparsity-proportional scatter — same f32 results
-                // either way (see t2fsnn_tensor::ops::sparse).
                 if events.density() > GEMM_DENSITY {
                     let dense = events.to_dense();
-                    let mut z = sparse::conv2d_gemm(&dense, weight, *spec)?;
-                    let synops =
-                        sparse::conv2d_synops_events(events, weight.dims()[0], kernel, *spec)?;
-                    ops[i].inject_bias(&mut z, bias_scale)?;
-                    potential.add_scaled(&z, 1.0)?;
-                    return Ok(synops);
+                    let weight_r = self.filter_r[i]
+                        .as_ref()
+                        .expect("conv op has a tap-major filter");
+                    sparse::conv2d_gemm_pm_acc(&dense, weight_r, kernel, *spec, potential)?;
+                    sparse::conv2d_synops_events(events, weight.dims()[0], kernel, *spec)?
+                } else {
+                    let filter_t = self.filter_t[i]
+                        .as_ref()
+                        .expect("conv op has a transposed filter");
+                    sparse::conv2d_scatter_events_pm_acc(
+                        events, filter_t, kernel, *spec, potential,
+                    )?
                 }
-                let filter_t = self.filter_t[i]
-                    .as_ref()
-                    .expect("conv op has a transposed filter");
-                sparse::conv2d_scatter_events_acc(
-                    events, filter_t, kernel, *spec, bias, bias_scale, potential,
-                )
             }
             SnnOp::Linear { .. } => {
                 let weight_t = self.weight_t[i]
                     .as_ref()
                     .expect("linear op has a transposed weight");
-                let (mut z, synops) = sparse::linear_scatter_events(events, weight_t)?;
-                ops[i].inject_bias(&mut z, bias_scale)?;
-                potential.add_scaled(&z, 1.0)?;
-                Ok(synops)
+                sparse::linear_scatter_events_acc(events, weight_t, potential)?
             }
-            _ => Err(t2fsnn_tensor::TensorError::InvalidArgument {
-                op: "OpExecutor::accumulate_weighted_events",
-                message: format!("op {i} is not a weighted op"),
-            }),
+            _ => {
+                return Err(TensorError::InvalidArgument {
+                    op: "OpExecutor::accumulate_weighted_events",
+                    message: format!("op {i} is not a weighted op"),
+                })
+            }
+        };
+        self.inject_bias(ops, i, potential, bias_scale)?;
+        Ok(synops)
+    }
+
+    /// Adds `scale × bias` to a position-major drive or membrane tensor
+    /// (`[N, OH, OW, C]` for convolutions — each position's channel row
+    /// gets the bias vector — or `[N, O]` for dense layers). No-op for
+    /// unbiased ops or `scale == 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `drive`'s shape is incompatible.
+    pub fn inject_bias(
+        &self,
+        ops: &[SnnOp],
+        i: usize,
+        drive: &mut Tensor,
+        scale: f32,
+    ) -> Result<()> {
+        let bias = match ops[i].bias() {
+            Some(b) => b,
+            None => return Ok(()),
+        };
+        if scale == 0.0 {
+            return Ok(());
+        }
+        let c = bias.dims()[0];
+        let ok = match &ops[i] {
+            SnnOp::Conv { .. } => drive.rank() == 4 && drive.dims()[3] == c,
+            SnnOp::Linear { .. } => drive.rank() == 2 && drive.dims()[1] == c,
+            _ => unreachable!("bias() is Some only for weighted ops"),
+        };
+        if !ok {
+            return Err(TensorError::InvalidArgument {
+                op: "OpExecutor::inject_bias",
+                message: format!(
+                    "drive {} does not match bias [{c}] for op {i}",
+                    drive.shape()
+                ),
+            });
+        }
+        let bd = bias.data();
+        for row in drive.data_mut().chunks_exact_mut(c) {
+            for (v, &b) in row.iter_mut().zip(bd) {
+                *v += b * scale;
+            }
+        }
+        Ok(())
+    }
+
+    /// Average-pools an event stream in place (position-major `[H, W, C]`
+    /// features), reusing internal buffers: the signal stays in event
+    /// form between a fire phase and the next integrate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on feature-shape mismatches.
+    pub fn avg_pool_events(
+        &mut self,
+        events: &mut SpikeBatch,
+        window: usize,
+        stride: usize,
+    ) -> Result<()> {
+        sparse::avg_pool2d_events(
+            events,
+            window,
+            stride,
+            &mut self.pool_out,
+            &mut self.pool_scratch,
+        )?;
+        std::mem::swap(events, &mut self.pool_out);
+        Ok(())
+    }
+
+    /// Max-pools an event stream in place under the TTFS first-spike
+    /// rule, latching `gate` (position-major pooled shape) — max-pool
+    /// networks never densify between fire and integrate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on feature/gate shape mismatches.
+    pub fn max_pool_events(
+        &mut self,
+        events: &mut SpikeBatch,
+        window: usize,
+        stride: usize,
+        gate: &mut Tensor,
+    ) -> Result<()> {
+        sparse::max_pool2d_events(
+            events,
+            window,
+            stride,
+            gate,
+            &mut self.pool_out,
+            &mut self.pool_scratch,
+        )?;
+        std::mem::swap(events, &mut self.pool_out);
+        Ok(())
+    }
+}
+
+/// Builds the `[I, O]` transposed weight of a linear layer with rows
+/// permuted from the channel-major flatten order (`c·HW + p`) to the
+/// position-major order (`p·C + c`) its flattened input arrives in.
+fn permuted_weight_t(weight: &Tensor, c: usize, hw: usize) -> Result<Tensor> {
+    let (o, i) = (weight.dims()[0], weight.dims()[1]);
+    if c * hw != i {
+        return Err(TensorError::InvalidArgument {
+            op: "permuted_weight_t",
+            message: format!("flatten of [{c}, {hw}] features does not match weight [{o}, {i}]"),
+        });
+    }
+    let wd = weight.data();
+    let mut out = vec![0.0f32; i * o];
+    for p in 0..hw {
+        for ci in 0..c {
+            let row = p * c + ci;
+            let src = ci * hw + p;
+            for (oc, slot) in out[row * o..(row + 1) * o].iter_mut().enumerate() {
+                *slot = wd[oc * i + src];
+            }
         }
     }
+    Tensor::from_vec([i, o], out)
 }
 
 #[cfg(test)]
@@ -359,35 +585,128 @@ mod tests {
         t
     }
 
-    #[test]
-    fn executor_matches_reference_propagate_on_every_engine() {
+    /// Chains the full op list through the executor, returning the final
+    /// signal and total synops.
+    fn run_chain(engine: SimEngine) -> (Tensor, u64) {
         let ops = ops();
+        let mut exec = OpExecutor::new(&ops, engine, &[1, 4, 4]).unwrap();
+        let mut signal = sparse_signal();
+        let mut synops = 0u64;
+        for i in 0..ops.len() {
+            let (next, s) = exec.propagate(&ops, i, &signal).unwrap();
+            synops += s;
+            signal = next;
+        }
+        (signal, synops)
+    }
+
+    #[test]
+    fn engines_are_bit_identical_across_the_chain() {
+        let (dense, s_dense) = run_chain(SimEngine::Dense);
         for engine in [
-            SimEngine::Dense,
             SimEngine::event(),
             SimEngine::Event {
                 sparsity_threshold: 1.0,
             },
         ] {
-            let mut exec = OpExecutor::new(&ops, engine);
-            let mut signal = sparse_signal();
-            for i in 0..ops.len() {
-                let (want, want_synops) = ops[i].propagate(&signal).unwrap();
-                let (got, got_synops) = exec.propagate(&ops, i, &signal).unwrap();
-                assert_eq!(got, want, "op {i} under {engine:?}");
-                assert_eq!(got_synops, want_synops, "op {i} under {engine:?}");
-                signal = got;
-            }
+            let (event, s_event) = run_chain(engine);
+            assert_eq!(dense, event, "{engine:?}");
+            assert_eq!(s_dense, s_event, "{engine:?}");
         }
+    }
+
+    #[test]
+    fn first_conv_matches_reference_modulo_layout() {
+        // The executor's position-major output must carry the same bits
+        // as the channel-major reference kernel, permuted.
+        let ops = ops();
+        let mut exec = OpExecutor::new(&ops, SimEngine::event(), &[1, 4, 4]).unwrap();
+        let signal = sparse_signal();
+        let (got, synops) = exec.propagate(&ops, 0, &signal).unwrap();
+        let (want, want_synops) = ops[0].propagate(&signal).unwrap();
+        assert_eq!(got.to_channel_major().unwrap(), want);
+        assert_eq!(synops, want_synops);
+    }
+
+    #[test]
+    fn accumulate_paths_agree_between_dense_and_event_signals() {
+        let ops = ops();
+        let mut exec = OpExecutor::new(&ops, SimEngine::event(), &[1, 4, 4]).unwrap();
+        // A sparse position-major signal entering the hidden linear op.
+        let signal = Tensor::from_vec(
+            [2, 8],
+            vec![
+                0.0, 1.0, 0.0, 0.0, 0.5, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0,
+            ],
+        )
+        .unwrap();
+        let base = Tensor::from_fn([2, 3], |i| (i[0] + i[1]) as f32 * 0.1);
+        let mut via_dense = base.clone();
+        let s1 = exec
+            .accumulate_weighted(&ops, 3, &signal, 0.5, &mut via_dense)
+            .unwrap();
+        let events = SpikeBatch::from_dense(&signal).unwrap();
+        let mut via_events = base.clone();
+        let s2 = exec
+            .accumulate_weighted_events(&ops, 3, &events, 0.5, &mut via_events)
+            .unwrap();
+        assert_eq!(via_dense, via_events);
+        assert_eq!(s1, s2);
+        // Non-weighted ops are rejected.
+        assert!(exec
+            .accumulate_weighted(&ops, 1, &signal, 0.0, &mut via_dense)
+            .is_err());
+        assert!(exec
+            .accumulate_weighted_events(&ops, 1, &events, 0.0, &mut via_events)
+            .is_err());
     }
 
     #[test]
     fn dense_engine_never_builds_events() {
         let ops = ops();
-        let mut exec = OpExecutor::new(&ops, SimEngine::dense());
+        let mut exec = OpExecutor::new(&ops, SimEngine::dense(), &[1, 4, 4]).unwrap();
         let (_, synops) = exec.propagate(&ops, 0, &sparse_signal()).unwrap();
         assert!(synops > 0);
         assert_eq!(exec.scratch.nnz(), 0, "dense engine skips the scan");
+    }
+
+    #[test]
+    fn state_dims_are_position_major() {
+        let ops = ops();
+        let exec = OpExecutor::new(&ops, SimEngine::event(), &[1, 4, 4]).unwrap();
+        assert_eq!(exec.state_dims(0), &[4, 4, 2]); // conv output [H, W, C]
+        assert_eq!(exec.state_dims(3), &[3]); // linear output
+        assert_eq!(exec.first_weighted(), 0);
+        assert_eq!(position_major_dims(&[2, 4, 4]), vec![4, 4, 2]);
+        assert_eq!(position_major_dims(&[7]), vec![7]);
+    }
+
+    #[test]
+    fn permuted_linear_weights_match_flatten_order() {
+        // Feed a one-hot through pool+flatten on both layouts: the
+        // executor's permuted weight must produce the same logits the
+        // reference channel-major chain produces.
+        let ops = ops();
+        let mut exec = OpExecutor::new(&ops, SimEngine::dense(), &[1, 4, 4]).unwrap();
+        let signal = sparse_signal();
+        // Reference: channel-major propagation all the way.
+        let mut want = signal.clone();
+        for op in &ops {
+            want = op.propagate(&want).unwrap().0;
+        }
+        let (got, _) = run_chain_from(&mut exec, &ops, signal);
+        assert!(got.all_close(&want, 1e-5));
+    }
+
+    fn run_chain_from(exec: &mut OpExecutor, ops: &[SnnOp], mut signal: Tensor) -> (Tensor, u64) {
+        let mut synops = 0u64;
+        for i in 0..ops.len() {
+            let (next, s) = exec.propagate(ops, i, &signal).unwrap();
+            synops += s;
+            signal = next;
+        }
+        (signal, synops)
     }
 
     #[test]

@@ -21,7 +21,6 @@
 //!   [`Coding::batch_divisible`]` == false` and run on one thread.
 
 use serde::{Deserialize, Serialize};
-use t2fsnn_tensor::ops::sparse;
 use t2fsnn_tensor::{Result, SpikeBatch, Tensor, TensorError, ThreadPool};
 
 use crate::coding::Coding;
@@ -306,22 +305,22 @@ fn simulate_chunk(
 ) -> Result<ChunkStats> {
     let n = images.dims()[0];
     let input_dims = &images.dims()[1..];
-    let shapes = net.output_shapes(input_dims)?;
     let ops = net.ops();
     let last_weighted = ops
         .iter()
         .rposition(SnnOp::is_weighted)
         .expect("validated by simulate_on");
-    let mut executor = OpExecutor::new(ops, config.engine);
+    let mut executor = OpExecutor::new(ops, config.engine, input_dims)?;
 
-    // Neuron state per weighted op.
+    // Neuron state per weighted op, in the engine's native position-major
+    // layout (`[N, OH, OW, C]` for conv outputs).
     let mut states: Vec<Option<IfState>> = ops
         .iter()
-        .zip(&shapes)
-        .map(|(op, shape)| {
+        .enumerate()
+        .map(|(i, op)| {
             op.is_weighted().then(|| {
                 let mut dims = vec![n];
-                dims.extend_from_slice(shape);
+                dims.extend_from_slice(executor.state_dims(i));
                 IfState::new(dims)
             })
         })
@@ -402,7 +401,7 @@ fn simulate_chunk(
                 // Re-fuse for this step's bias scale (bundled codings
                 // use a constant scale, so this runs once per phase).
                 entry.fused = entry.raw.clone();
-                ops[first_weighted].inject_bias(&mut entry.fused, bias_scale)?;
+                executor.inject_bias(ops, first_weighted, &mut entry.fused, bias_scale)?;
                 entry.fused_scale = bias_scale;
             }
             input_spikes += entry.in_spikes;
@@ -424,7 +423,7 @@ fn simulate_chunk(
             if needs_mult {
                 synop_mults += synops_acc;
             }
-            ops[first_weighted].inject_bias(&mut z, bias_scale)?;
+            executor.inject_bias(ops, first_weighted, &mut z, bias_scale)?;
             fresh_drive = Some(z);
         }
         let drive: &Tensor = match cache_key {
@@ -455,7 +454,7 @@ fn simulate_chunk(
                     state.integrate(drive)?;
                     0
                 } else if signal_zero {
-                    op.inject_bias(state.potential_mut(), bias_scale)?;
+                    executor.inject_bias(ops, i, state.potential_mut(), bias_scale)?;
                     0
                 } else if events_active {
                     executor.accumulate_weighted_events(
@@ -502,12 +501,12 @@ fn simulate_chunk(
                     hidden_index += 1;
                 }
             } else if events_active && !signal_zero {
-                // Pass-through ops on an event signal (synops are zero
-                // for all of them).
+                // Pass-through ops on an event signal: the signal stays
+                // in event form all the way to the next integrate
+                // (synops are zero for all of them).
                 match op {
                     SnnOp::AvgPool { window, stride } => {
-                        signal = sparse::avg_pool2d_events(&fire_events, *window, *stride)?;
-                        events_active = false;
+                        executor.avg_pool_events(&mut fire_events, *window, *stride)?;
                     }
                     SnnOp::Flatten => {
                         let numel = fire_events.feature_numel();
@@ -530,7 +529,7 @@ fn simulate_chunk(
             } else {
                 let (z, synops) = if signal_zero {
                     let mut dims = vec![n];
-                    dims.extend_from_slice(&shapes[i]);
+                    dims.extend_from_slice(executor.state_dims(i));
                     (Tensor::zeros(dims), 0)
                 } else {
                     executor.propagate(ops, i, &signal)?

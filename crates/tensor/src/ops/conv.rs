@@ -8,7 +8,6 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, TensorError};
-use crate::ops::matmul::{matmul_a_bt, matmul_at_b};
 use crate::tensor::Tensor;
 
 /// Stride and zero-padding configuration for a 2-D convolution.
@@ -145,7 +144,29 @@ pub fn col2im(
         });
     }
     let mut out = vec![0.0f32; channels * h * w];
-    let data = cols_mat.data();
+    col2im_into(cols_mat.data(), channels, image_hw, kernel, spec, &mut out);
+    Tensor::from_vec([channels, h, w], out)
+}
+
+/// [`col2im`] on raw data into a caller-provided `[C·H·W]` slice, which
+/// is zeroed and then accumulated into — so the batch-parallel backward
+/// pass can fold directly into each image's slot of the gradient tensor
+/// without allocating.
+pub fn col2im_into(
+    data: &[f32],
+    channels: usize,
+    image_hw: (usize, usize),
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+    out: &mut [f32],
+) {
+    let (h, w) = image_hw;
+    let (kh, kw) = kernel;
+    let oh = spec.output_dim(h, kh);
+    let ow = spec.output_dim(w, kw);
+    debug_assert_eq!(data.len(), channels * kh * kw * oh * ow);
+    debug_assert_eq!(out.len(), channels * h * w);
+    out.fill(0.0);
     let pad = spec.padding as isize;
     let colw = oh * ow;
     for ci in 0..channels {
@@ -169,7 +190,6 @@ pub fn col2im(
             }
         }
     }
-    Tensor::from_vec([channels, h, w], out)
 }
 
 fn check_conv_args(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Result<()> {
@@ -287,6 +307,14 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) 
 /// Returns `(grad_input, grad_weight, grad_bias)` given the forward `input`,
 /// `weight` and upstream gradient `grad_out: [N, O, OH, OW]`.
 ///
+/// All three per-image GEMMs (`dW += gout·colsᵀ`, `dX = col2im(Wᵀ·gout)`)
+/// run on the register-blocked matmul cores with im2col/col2im buffers
+/// reused across the batch. Images are distributed over the scoped
+/// [`crate::ThreadPool`]; the input gradient is written into disjoint
+/// per-image slices and the parameter gradients are merged **image by
+/// image in batch order**, so the result is bit-identical to a
+/// sequential run for every worker count.
+///
 /// # Errors
 ///
 /// Returns an error if shapes are inconsistent with the forward pass.
@@ -295,6 +323,22 @@ pub fn conv2d_backward(
     weight: &Tensor,
     grad_out: &Tensor,
     spec: Conv2dSpec,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    conv2d_backward_on(input, weight, grad_out, spec, crate::ThreadPool::global())
+}
+
+/// [`conv2d_backward`] with an explicit thread pool (the result is
+/// bit-identical for every worker count — the test suite asserts it).
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent with the forward pass.
+pub fn conv2d_backward_on(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+    pool: &crate::ThreadPool,
 ) -> Result<(Tensor, Tensor, Tensor)> {
     let (n, c, h, w) = (
         input.dims()[0],
@@ -319,31 +363,82 @@ pub fn conv2d_backward(
             ),
         });
     }
-    let weight_mat = weight.reshape([o, i * kh * kw])?;
-    let mut grad_input = Vec::with_capacity(n * c * h * w);
-    let mut grad_weight = Tensor::zeros([o, i * kh * kw]);
-    let mut grad_bias = vec![0.0f32; o];
-    for img in 0..n {
-        let image = input.index_axis0(img)?;
-        let cols_mat = im2col(&image, (kh, kw), spec)?;
-        let gout = grad_out.index_axis0(img)?.reshape([o, oh * ow])?;
-        // dW += gout · colsᵀ
-        let gw = matmul_a_bt(&gout, &cols_mat)?;
-        grad_weight.add_scaled(&gw, 1.0)?;
-        // db += Σ gout
-        for (oc, gb) in grad_bias.iter_mut().enumerate() {
-            *gb += gout.data()[oc * oh * ow..(oc + 1) * oh * ow]
-                .iter()
-                .sum::<f32>();
-        }
-        // dX = col2im(Wᵀ · gout)
-        let gcols = matmul_at_b(&weight_mat, &gout)?;
-        let gimg = col2im(&gcols, c, (h, w), (kh, kw), spec)?;
-        grad_input.extend_from_slice(gimg.data());
+    let ckk = i * kh * kw;
+    let in_image = c * h * w;
+    let out_image = o * oh * ow;
+    let id = input.data();
+    let wd = weight.data(); // `[O, I, KH, KW]` row-major == `[O, I·KH·KW]`
+    let god = grad_out.data();
+
+    /// One image's parameter gradients, returned from its worker.
+    struct ImageGrads {
+        gw: Vec<f32>,
+        gb: Vec<f32>,
     }
+    /// One contiguous batch chunk's outputs.
+    struct ChunkGrads {
+        grad_input: Vec<f32>,
+        per_image: Vec<ImageGrads>,
+    }
+
+    let chunks = pool.run_chunks(n, |range| {
+        let mut grad_input = vec![0.0f32; range.len() * in_image];
+        let mut per_image = Vec::with_capacity(range.len());
+        // im2col / Wᵀ·gout buffers are reused across the chunk's images.
+        let mut cols = Vec::new();
+        let mut gcols = vec![0.0f32; ckk * oh * ow];
+        for (slot, img) in range.enumerate() {
+            let image = &id[img * in_image..(img + 1) * in_image];
+            let gout = &god[img * out_image..(img + 1) * out_image];
+            im2col_into(image, (c, h, w), (kh, kw), spec, &mut cols);
+            // dW_img = gout · colsᵀ  ([O, OH·OW] × [OH·OW, C·KH·KW])
+            let mut gw = vec![0.0f32; o * ckk];
+            super::matmul::a_bt_into(&mut gw, gout, o, oh * ow, &cols, ckk);
+            // db_img = Σ gout per output channel.
+            let mut gb = vec![0.0f32; o];
+            for (oc, acc) in gb.iter_mut().enumerate() {
+                *acc = gout[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+            }
+            // dX_img = col2im(Wᵀ · gout), folded straight into the
+            // image's slice of the gradient tensor.
+            super::matmul::at_b_into(&mut gcols, wd, o, ckk, gout, oh * ow);
+            col2im_into(
+                &gcols,
+                c,
+                (h, w),
+                (kh, kw),
+                spec,
+                &mut grad_input[slot * in_image..(slot + 1) * in_image],
+            );
+            per_image.push(ImageGrads { gw, gb });
+        }
+        ChunkGrads {
+            grad_input,
+            per_image,
+        }
+    });
+
+    // Chunks are contiguous in batch order: concatenating their input
+    // gradients and folding their per-image parameter gradients in order
+    // reproduces the sequential accumulation exactly.
+    let mut grad_input = Vec::with_capacity(n * in_image);
+    let mut grad_weight = vec![0.0f32; o * ckk];
+    let mut grad_bias = vec![0.0f32; o];
+    for chunk in chunks {
+        grad_input.extend_from_slice(&chunk.grad_input);
+        for img in chunk.per_image {
+            for (acc, v) in grad_weight.iter_mut().zip(&img.gw) {
+                *acc += v;
+            }
+            for (acc, v) in grad_bias.iter_mut().zip(&img.gb) {
+                *acc += v;
+            }
+        }
+    }
+    grad_input.resize(n * in_image, 0.0); // n == 0: keep the empty shape
     Ok((
         Tensor::from_vec([n, c, h, w], grad_input)?,
-        grad_weight.reshape([o, i, kh, kw])?,
+        Tensor::from_vec([o, i, kh, kw], grad_weight)?,
         Tensor::from_vec([o], grad_bias)?,
     ))
 }

@@ -160,12 +160,22 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().clone(),
         });
     }
-    if m == 0 || n == 0 {
-        return Tensor::from_vec([m, n], vec![0.0; m * n]);
-    }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
+    at_b_into(&mut out, a.data(), k, m, b.data(), n);
+    Tensor::from_vec([m, n], out)
+}
+
+/// Computes `Aᵀ · B` into a reused buffer (`out` is overwritten) —
+/// the allocation-free core behind [`matmul_at_b`], used by the
+/// batch-parallel convolution backward pass.
+pub(crate) fn at_b_into(out: &mut [f32], ad: &[f32], k: usize, m: usize, bd: &[f32], n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(ad.len(), k * m);
+    debug_assert_eq!(bd.len(), k * n);
+    out.fill(0.0);
+    if m == 0 || n == 0 {
+        return;
+    }
     // Four-deep blocks over the contraction axis: the output matrix is
     // swept once per four `k` rows instead of once per row.
     let mut p = 0;
@@ -196,7 +206,6 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             axpy(&mut out[i * n..(i + 1) * n], av, brow);
         }
     }
-    Tensor::from_vec([m, n], out)
 }
 
 /// Eight-lane dot product of two equal-length slices.
@@ -237,8 +246,17 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
+    a_bt_into(&mut out, a.data(), m, k, b.data(), n);
+    Tensor::from_vec([m, n], out)
+}
+
+/// Computes `A · Bᵀ` into a reused buffer (`out` is overwritten) —
+/// the allocation-free core behind [`matmul_a_bt`], used by the
+/// batch-parallel convolution backward pass.
+pub(crate) fn a_bt_into(out: &mut [f32], ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(ad.len(), m * k);
+    debug_assert_eq!(bd.len(), n * k);
     let chunks = k / 8;
     for i in 0..m {
         let arow = &ad[i * k..(i + 1) * k];
@@ -278,7 +296,6 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             orow[j] = dot(arow, &bd[j * k..(j + 1) * k]);
         }
     }
-    Tensor::from_vec([m, n], out)
 }
 
 /// Computes the matrix-vector product `A · x` for `A: [m, k]`, `x: [k]`.

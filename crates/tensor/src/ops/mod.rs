@@ -15,6 +15,12 @@ mod pool;
 pub mod sparse;
 
 pub use activation::{accuracy, cross_entropy, relu, relu_backward, softmax, top_k_accuracy};
-pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dSpec};
+pub use conv::{
+    col2im, col2im_into, conv2d, conv2d_backward, conv2d_backward_on, im2col, im2col_into,
+    Conv2dSpec,
+};
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b, matvec};
-pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_pm, max_pool2d, max_pool2d_backward, max_pool2d_pm,
+    max_pool2d_pm_gated,
+};

@@ -23,7 +23,7 @@ fn check_pool_input(input: &Tensor, op: &'static str, window: usize, stride: usi
     Ok(())
 }
 
-fn pooled_dim(input: usize, window: usize, stride: usize) -> usize {
+pub(crate) fn pooled_dim(input: usize, window: usize, stride: usize) -> usize {
     if input < window {
         0
     } else {
@@ -217,6 +217,190 @@ pub fn avg_pool2d_backward(
         }
     }
     Ok(grad_input)
+}
+
+fn check_pool_input_pm(
+    input: &Tensor,
+    op: &'static str,
+    window: usize,
+    stride: usize,
+) -> Result<()> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op,
+            message: format!("expected [N, H, W, C], got {}", input.shape()),
+        });
+    }
+    if window == 0 || stride == 0 {
+        return Err(TensorError::InvalidArgument {
+            op,
+            message: "window and stride must be positive".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// The `oy`/`ox` window range covering source coordinate `s`
+/// (`o·stride ≤ s < o·stride + window`, `o < limit`).
+#[inline]
+pub(crate) fn covering_windows(
+    s: usize,
+    window: usize,
+    stride: usize,
+    limit: usize,
+) -> std::ops::Range<usize> {
+    let lo = (s + 1).saturating_sub(window).div_ceil(stride);
+    let hi = (s / stride + 1).min(limit);
+    lo..hi.max(lo)
+}
+
+/// Average pooling over a **position-major** `[N, H, W, C]` batch,
+/// returning `[N, OH, OW, C]`.
+///
+/// The accumulation order is the spiking engine's canonical one: the
+/// input is scanned in storage order (ascending `(y, x, c)`) and each
+/// element is added to every window covering it, with one final
+/// `× 1/window²` pass — term for term and rounding for rounding what
+/// [`crate::ops::sparse::avg_pool2d_events`] computes, so the dense and
+/// event paths are bit-identical.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or a zero window/stride.
+pub fn avg_pool2d_pm(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    check_pool_input_pm(input, "avg_pool2d_pm", window, stride)?;
+    let (n, h, w, c) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oh = pooled_dim(h, window, stride);
+    let ow = pooled_dim(w, window, stride);
+    let mut out = Tensor::zeros([n, oh, ow, c]);
+    let od = out.data_mut();
+    let data = input.data();
+    let ys: Vec<std::ops::Range<usize>> = (0..h)
+        .map(|y| covering_windows(y, window, stride, oh))
+        .collect();
+    let xs: Vec<std::ops::Range<usize>> = (0..w)
+        .map(|x| covering_windows(x, window, stride, ow))
+        .collect();
+    let in_image = h * w * c;
+    let out_image = oh * ow * c;
+    for ni in 0..n {
+        let is = &data[ni * in_image..(ni + 1) * in_image];
+        let os = &mut od[ni * out_image..(ni + 1) * out_image];
+        let mut idx = 0usize;
+        for oys in &ys {
+            for oxs in &xs {
+                for ci in 0..c {
+                    let v = is[idx];
+                    idx += 1;
+                    if v == 0.0 {
+                        continue; // spike signals are mostly zeros
+                    }
+                    for oy in oys.clone() {
+                        for ox in oxs.clone() {
+                            os[(oy * ow + ox) * c + ci] += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let inv_area = 1.0 / (window * window) as f32;
+    for v in od.iter_mut() {
+        *v *= inv_area;
+    }
+    Ok(out)
+}
+
+/// Max pooling over a **position-major** `[N, H, W, C]` batch, values
+/// only (no argmax tracking), returning `[N, OH, OW, C]`.
+///
+/// Window elements are compared in window scan order (`(wy, wx)`
+/// ascending) with `>` — the same comparator sequence the event-form
+/// first-spike pooling uses, so on non-negative spike signals the two
+/// produce bit-identical window maxima.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or a zero window/stride.
+pub fn max_pool2d_pm(input: &Tensor, window: usize, stride: usize) -> Result<Tensor> {
+    check_pool_input_pm(input, "max_pool2d_pm", window, stride)?;
+    let (n, h, w, c) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oh = pooled_dim(h, window, stride);
+    let ow = pooled_dim(w, window, stride);
+    let mut out = Tensor::zeros([n, oh, ow, c]);
+    let od = out.data_mut();
+    let data = input.data();
+    let in_image = h * w * c;
+    let out_image = oh * ow * c;
+    for ni in 0..n {
+        let is = &data[ni * in_image..(ni + 1) * in_image];
+        let os = &mut od[ni * out_image..(ni + 1) * out_image];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ci in 0..c {
+                    let mut best = f32::NEG_INFINITY;
+                    for wy in 0..window {
+                        for wx in 0..window {
+                            let v = is[((oy * stride + wy) * w + (ox * stride + wx)) * c + ci];
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    os[(oy * ow + ox) * c + ci] = best;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// [`max_pool2d_pm`] composed with first-spike gating (the TTFS max-pool
+/// rule): a window whose gate is already set outputs zero; a window that
+/// produces a non-zero maximum latches its gate. `gate` has the output
+/// shape `[N, OH, OW, C]` and persists across time steps.
+///
+/// This is the dense twin of [`crate::ops::sparse::max_pool2d_events`]:
+/// on non-negative spike signals the two are bit-identical.
+///
+/// # Errors
+///
+/// Returns an error on rank/shape mismatches or a zero window/stride.
+pub fn max_pool2d_pm_gated(
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    gate: &mut Tensor,
+) -> Result<Tensor> {
+    let mut out = max_pool2d_pm(input, window, stride)?;
+    if gate.dims() != out.dims() {
+        return Err(TensorError::InvalidArgument {
+            op: "max_pool2d_pm_gated",
+            message: format!(
+                "gate shape {} does not match pooled shape {}",
+                gate.shape(),
+                out.shape()
+            ),
+        });
+    }
+    for (v, g) in out.data_mut().iter_mut().zip(gate.data_mut()) {
+        if *g != 0.0 {
+            *v = 0.0; // window already fired: suppress
+        } else if *v != 0.0 {
+            *g = 1.0; // first spike through this window: latch
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -372,6 +372,83 @@ impl Tensor {
         })
     }
 
+    /// Permutes a channel-major `[N, C, H, W]` batch into the
+    /// position-major `[N, H, W, C]` layout the spiking engine's membrane
+    /// state uses natively (each spatial position's channels contiguous).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the tensor is not rank 4.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use t2fsnn_tensor::Tensor;
+    ///
+    /// # fn main() -> Result<(), t2fsnn_tensor::TensorError> {
+    /// let nchw = Tensor::from_fn([1, 2, 2, 3], |i| (i[1] * 100 + i[2] * 10 + i[3]) as f32);
+    /// let nhwc = nchw.to_position_major()?;
+    /// assert_eq!(nhwc.dims(), &[1, 2, 3, 2]);
+    /// assert_eq!(nhwc.get(&[0, 1, 2, 1]), nchw.get(&[0, 1, 1, 2]));
+    /// assert_eq!(nhwc.to_channel_major()?, nchw);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_position_major(&self) -> Result<Self> {
+        let [n, c, h, w] = self.layout_dims("to_position_major")?;
+        let mut data = vec![0.0f32; self.data.len()];
+        let plane = h * w;
+        for ni in 0..n {
+            let src_img = &self.data[ni * c * plane..(ni + 1) * c * plane];
+            let dst_img = &mut data[ni * c * plane..(ni + 1) * c * plane];
+            for (ci, src_plane) in src_img.chunks_exact(plane.max(1)).enumerate().take(c) {
+                for (p, &v) in src_plane.iter().enumerate() {
+                    dst_img[p * c + ci] = v;
+                }
+            }
+        }
+        Ok(Tensor {
+            shape: Shape::new(&[n, h, w, c]),
+            data,
+        })
+    }
+
+    /// Inverse of [`Tensor::to_position_major`]: permutes `[N, H, W, C]`
+    /// back into `[N, C, H, W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the tensor is not rank 4.
+    pub fn to_channel_major(&self) -> Result<Self> {
+        let [n, h, w, c] = self.layout_dims("to_channel_major")?;
+        let mut data = vec![0.0f32; self.data.len()];
+        let plane = h * w;
+        for ni in 0..n {
+            let src_img = &self.data[ni * c * plane..(ni + 1) * c * plane];
+            let dst_img = &mut data[ni * c * plane..(ni + 1) * c * plane];
+            for (ci, dst_plane) in dst_img.chunks_exact_mut(plane.max(1)).enumerate().take(c) {
+                for (p, slot) in dst_plane.iter_mut().enumerate() {
+                    *slot = src_img[p * c + ci];
+                }
+            }
+        }
+        Ok(Tensor {
+            shape: Shape::new(&[n, c, h, w]),
+            data,
+        })
+    }
+
+    fn layout_dims(&self, op: &'static str) -> Result<[usize; 4]> {
+        if self.rank() != 4 {
+            return Err(TensorError::InvalidArgument {
+                op,
+                message: format!("expected a rank-4 batch, got shape {}", self.shape),
+            });
+        }
+        let d = self.shape.dims();
+        Ok([d[0], d[1], d[2], d[3]])
+    }
+
     /// Copies the sub-tensor `self[index, ...]` along the first axis.
     ///
     /// For a shape `[N, ...rest]` tensor this returns a `[...rest]` tensor.

@@ -17,6 +17,60 @@ fn arbitrary_tensor() -> impl Strategy<Value = Tensor> {
     small_dims().prop_flat_map(tensor_with)
 }
 
+/// Naive quadruple-loop convolution backward: the oracle for the blocked
+/// GEMM backward pass. Returns `(grad_input, grad_weight, grad_bias)`.
+fn conv2d_backward_naive(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ops::Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (o, _, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    let (oh, ow) = (spec.output_dim(h, kh), spec.output_dim(w, kw));
+    let mut gi = Tensor::zeros(input.shape().clone());
+    let mut gw = Tensor::zeros(weight.shape().clone());
+    let mut gb = Tensor::zeros([o]);
+    for ni in 0..n {
+        for oc in 0..o {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let g = grad_out[&[ni, oc, oi, oj][..]];
+                    gb.data_mut()[oc] += g;
+                    for ci in 0..c {
+                        for ki in 0..kh {
+                            for kj in 0..kw {
+                                let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                                let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                if ii < 0 || jj < 0 || ii >= h as isize || jj >= w as isize {
+                                    continue;
+                                }
+                                let x = input[&[ni, ci, ii as usize, jj as usize][..]];
+                                let wv = weight[&[oc, ci, ki, kj][..]];
+                                let widx = ((oc * c + ci) * kh + ki) * kw + kj;
+                                gw.data_mut()[widx] += g * x;
+                                let iidx = ((ni * c + ci) * h + ii as usize) * w + jj as usize;
+                                gi.data_mut()[iidx] += g * wv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (gi, gw, gb)
+}
+
 /// Reference triple loop: the oracle for the blocked GEMM family.
 fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -76,15 +130,78 @@ proptest! {
             (((i[0] * 9 + i[1] * 3 + i[2] + i[3] + seed as usize) % 11) as f32) * 0.1 - 0.5
         });
         let filter_t = ops::sparse::transpose_filter(&weight).unwrap();
-        let (dense, s1) = ops::sparse::conv2d_scatter(&input, &weight, spec).unwrap();
-        let events = t2fsnn_tensor::SpikeBatch::from_dense(&input).unwrap();
-        let (sparse, s2) =
-            ops::sparse::conv2d_scatter_events(&events, &filter_t, (3, 3), spec).unwrap();
-        prop_assert_eq!(&dense, &sparse);
+        // Channel-major reference walk, canonical (y, x, c) order.
+        let (dense_cm, s1) = ops::sparse::conv2d_scatter(&input, &weight, spec).unwrap();
+        // Position-major dense walk and event scatter.
+        let input_pm = input.to_position_major().unwrap();
+        let (dense_pm, s_pm) =
+            ops::sparse::conv2d_scatter_pm(&input_pm, &filter_t, (3, 3), spec).unwrap();
+        let events = t2fsnn_tensor::SpikeBatch::from_dense(&input_pm).unwrap();
+        let (sparse_pm, s2) =
+            ops::sparse::conv2d_scatter_events_pm(&events, &filter_t, (3, 3), spec).unwrap();
+        prop_assert_eq!(&dense_pm, &sparse_pm);
         prop_assert_eq!(s1, s2);
+        prop_assert_eq!(s1, s_pm);
+        // Cross-layout identity: same bits in permuted storage.
+        prop_assert_eq!(&dense_pm.to_channel_major().unwrap(), &dense_cm);
         // The im2col reference agrees to fp tolerance.
         let reference = ops::conv2d(&input, &weight, &Tensor::zeros([o]), spec).unwrap();
-        prop_assert!(dense.all_close(&reference, 1e-4));
+        prop_assert!(dense_cm.all_close(&reference, 1e-4));
+    }
+
+    #[test]
+    fn conv_backward_matches_naive_loops_and_is_worker_invariant(
+        n in 1usize..4,
+        c in 1usize..3,
+        h in 3usize..7,
+        w in 3usize..7,
+        o in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u32..500,
+    ) {
+        // Odd, non-tile-aligned shapes exercise the blocked GEMM
+        // remainder paths inside the backward pass.
+        let spec = ops::Conv2dSpec::new(stride, padding);
+        let input = Tensor::from_fn(Shape::from(vec![n, c, h, w]), |i| {
+            (((i[0] * 131 + i[1] * 31 + i[2] * 7 + i[3] + seed as usize) % 17) as f32) * 0.11 - 0.8
+        });
+        let weight = Tensor::from_fn(Shape::from(vec![o, c, 3, 3]), |i| {
+            (((i[0] * 27 + i[1] * 9 + i[2] * 3 + i[3] + seed as usize) % 13) as f32) * 0.1 - 0.6
+        });
+        let oh = spec.output_dim(h, 3);
+        let ow = spec.output_dim(w, 3);
+        prop_assume!(oh > 0 && ow > 0);
+        let gout = Tensor::from_fn(Shape::from(vec![n, o, oh, ow]), |i| {
+            (((i[0] * 53 + i[1] * 11 + i[2] * 3 + i[3] + seed as usize) % 7) as f32) * 0.3 - 0.9
+        });
+        let (gi, gw, gb) = ops::conv2d_backward(&input, &weight, &gout, spec).unwrap();
+        // Naive quadruple-loop oracle for all three gradients.
+        let (ngi, ngw, ngb) = conv2d_backward_naive(&input, &weight, &gout, spec);
+        prop_assert!(gi.all_close(&ngi, 1e-3));
+        prop_assert!(gw.all_close(&ngw, 1e-3));
+        prop_assert!(gb.all_close(&ngb, 1e-3));
+        // The deterministic-parallelism contract: bit-identical gradients
+        // for every worker count (this is what `T2FSNN_THREADS` feeds).
+        let serial =
+            ops::conv2d_backward_on(&input, &weight, &gout, spec, &t2fsnn_tensor::ThreadPool::new(1))
+                .unwrap();
+        for workers in [2usize, 4] {
+            let parallel = ops::conv2d_backward_on(
+                &input,
+                &weight,
+                &gout,
+                spec,
+                &t2fsnn_tensor::ThreadPool::new(workers),
+            )
+            .unwrap();
+            prop_assert_eq!(&serial.0, &parallel.0, "grad_input, workers={}", workers);
+            prop_assert_eq!(&serial.1, &parallel.1, "grad_weight, workers={}", workers);
+            prop_assert_eq!(&serial.2, &parallel.2, "grad_bias, workers={}", workers);
+        }
+        prop_assert_eq!(&gi, &serial.0);
+        prop_assert_eq!(&gw, &serial.1);
+        prop_assert_eq!(&gb, &serial.2);
     }
 
     #[test]

@@ -13,9 +13,11 @@ ci: fmt-check lint verify pool-test bench-check bench-smoke
 pool-test:
     RUST_TEST_THREADS=1 cargo test -p t2fsnn-tensor parallel
 
-# Run the fastest Criterion target under a timeout (CI smoke).
+# Bench smoke: timed repro_fig6 + the event-scatter microbench, with
+# deltas printed against the committed results/bench_baseline.json.
+# Informational only — no regression gate (CI runs it non-blocking).
 bench-smoke:
-    timeout 300 cargo bench --bench kernel_lut
+    timeout 900 cargo run --release -p t2fsnn-bench --bin bench_smoke
 
 # Formatting gate.
 fmt-check:
