@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the dense GEMM microkernel at training-typical
+//! shapes, so GEMM throughput is tracked independently of end-to-end
+//! noise (training forwards, the conv backward pair, and the classifier
+//! matmuls all ride on these cores).
+//!
+//! Shapes mirror the scaled-VGG training path: a conv forward is
+//! `[O, C·KH·KW] · [C·KH·KW, OH·OW]` per image, the backward pass runs
+//! the `A·Bᵀ` / `Aᵀ·B` twins on the same operands, and the classifier
+//! layers use small-batch `A·Bᵀ` products.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use t2fsnn_tensor::ops::{matmul, matmul_a_bt, matmul_at_b};
+use t2fsnn_tensor::Tensor;
+
+fn pattern(shape: [usize; 2], seed: usize) -> Tensor {
+    Tensor::from_fn(shape, |i| {
+        (((i[0] * 7 + i[1] * 13 + seed) % 23) as f32) * 0.11 - 1.2
+    })
+}
+
+/// Conv-forward GEMMs: `[O, CKK] · [CKK, OH·OW]` at early / mid / late
+/// scaled-VGG layer shapes.
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_conv_forward");
+    for (name, o, ckk, cols) in [
+        ("early/16x144x1024", 16usize, 144usize, 1024usize),
+        ("mid/32x288x256", 32, 288, 256),
+        ("late/64x576x64", 64, 576, 64),
+    ] {
+        let a = pattern([o, ckk], 3);
+        let b = pattern([ckk, cols], 5);
+        group.bench_function(name, |bch| {
+            bch.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Conv-backward twins on one mid-layer shape: the weight gradient
+/// (`A·Bᵀ` over `[O, OH·OW]` × `[CKK, OH·OW]`) and the column gradient
+/// (`Aᵀ·B` over `[O, CKK]` × `[O, OH·OW]`).
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_conv_backward");
+    let (o, ckk, cols) = (32usize, 288usize, 256usize);
+    let gout = pattern([o, cols], 7);
+    let im2col = pattern([ckk, cols], 9);
+    let weight = pattern([o, ckk], 11);
+    group.bench_function("grad_weight_a_bt/32x256x288", |bch| {
+        bch.iter(|| matmul_a_bt(black_box(&gout), black_box(&im2col)).unwrap())
+    });
+    group.bench_function("grad_cols_at_b/288x32x256", |bch| {
+        bch.iter(|| matmul_at_b(black_box(&weight), black_box(&gout)).unwrap())
+    });
+    group.finish();
+}
+
+/// Classifier-layer products at mini-batch 16: forward `A·Bᵀ` and the
+/// input-gradient `A·B` against the same weight.
+fn bench_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_linear");
+    let (batch, features, width) = (16usize, 512usize, 128usize);
+    let x = pattern([batch, features], 13);
+    let w = pattern([width, features], 15);
+    let gout = pattern([batch, width], 17);
+    group.bench_function("forward_a_bt/16x128x512", |bch| {
+        bch.iter(|| matmul_a_bt(black_box(&x), black_box(&w)).unwrap())
+    });
+    group.bench_function("grad_input/16x512x128", |bch| {
+        bch.iter(|| matmul(black_box(&gout), black_box(&w)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conv_forward,
+    bench_conv_backward,
+    bench_linear
+);
+criterion_main!(benches);

@@ -30,8 +30,9 @@ use t2fsnn_bench::baseline::{
 use t2fsnn_bench::report::results_dir;
 
 /// The Criterion bench targets declared by `crates/bench/Cargo.toml`.
-const BENCH_TARGETS: [&str; 8] = [
+const BENCH_TARGETS: [&str; 9] = [
     "kernel_lut",
+    "gemm_core",
     "event_scatter",
     "fig4_losses",
     "fig5_spike_dist",

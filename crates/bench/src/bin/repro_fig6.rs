@@ -91,4 +91,7 @@ fn main() {
     println!("\nPaper's Fig. 6 shape to verify: rate coding converges slowest;");
     println!("T2FSNN+GO+EF reaches its final accuracy at the earliest time step;");
     println!("EF variants finish roughly twice as early as their non-EF versions.");
+    // With T2FSNN_PROFILE=1: where the wall-clock went, per phase/op
+    // (written to stderr so harnesses that capture stdout still show it).
+    t2fsnn_tensor::profile::eprint_report("repro_fig6");
 }

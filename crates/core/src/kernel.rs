@@ -122,9 +122,23 @@ impl ExpKernel {
             return None;
         }
         let t_exact = -self.params.tau * (u / theta0).ln() + self.params.t_d;
-        let t = t_exact.ceil().max(0.0) as usize;
+        // Integer ceil of the non-negative clamp: on a baseline x86-64
+        // build `f32::ceil` is a libm call (no SSE4.1 `roundss`), and
+        // this is the encode hot loop — `as usize` truncation plus a
+        // fix-up computes the same ⌈·⌉ with inline ops. Equivalent to
+        // `t_exact.ceil().max(0.0) as usize` for every reachable input
+        // (clamping first changes nothing: ⌈x⌉ ≤ 0 ⇔ x ≤ 0).
+        let clamped = t_exact.max(0.0);
+        if clamped >= self.window as f32 {
+            // Below the minimum representable value — also catches +inf
+            // (subnormal `u` over a huge `theta0`), which the integer
+            // ceil below would otherwise wrap through `usize`.
+            return None;
+        }
+        let floor = clamped as usize;
+        let t = floor + usize::from(floor as f32 != clamped);
         if t >= self.window {
-            return None; // below the minimum representable value
+            return None; // ceil landed exactly on the window edge
         }
         Some(t)
     }
@@ -193,6 +207,16 @@ mod tests {
 
     fn kernel(tau: f32, t_d: f32, window: usize) -> ExpKernel {
         ExpKernel::new(KernelParams::new(tau, t_d), window)
+    }
+
+    #[test]
+    fn encode_rejects_unrepresentably_small_values_without_overflow() {
+        // A subnormal value over a huge theta0 drives the exact spike
+        // time to +inf; the integer ceil must not wrap through usize
+        // and report the earliest (loudest) spike time.
+        let k = kernel(8.0, 0.0, 32);
+        assert_eq!(k.encode(1e-40, 1e10), None);
+        assert_eq!(k.encode(f32::MIN_POSITIVE, f32::MAX), None);
     }
 
     #[test]

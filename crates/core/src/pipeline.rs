@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use t2fsnn_snn::{CurvePoint, OpExecutor, SimEngine, SnnOp};
-use t2fsnn_tensor::{Result, SpikeBatch, Tensor, TensorError};
+use t2fsnn_tensor::{profile, Result, SpikeBatch, Tensor, TensorError};
 
 use crate::network::{NoiseConfig, T2fsnn};
 
@@ -359,13 +359,16 @@ impl T2fsnn {
             .collect();
 
         let mut noise_rng = config.noise.map(|cfg| ChaCha8Rng::seed_from_u64(cfg.seed));
-        // Reused event list for the fire phases.
+        // Reused event list and threshold-scan hit buffer for the fire
+        // phases.
         let mut fire_ev = SpikeBatch::empty();
+        let mut fire_hits: Vec<u32> = Vec::new();
 
         #[allow(clippy::needless_range_loop)] // `t` drives far more than the histogram
         for t in 0..total_steps {
             // Input fire window: [0, T).
             if t < t_window {
+                let _s = profile::span("ttfs/input_window");
                 let mut any = 0u64;
                 let drive = Tensor::from_vec(
                     drive_dims.clone(),
@@ -421,22 +424,28 @@ impl T2fsnn {
                 let threshold = theta0 * eps;
                 let mut count = 0u64;
                 {
+                    let _s = profile::span("ttfs/fire_scan");
                     // Emit spikes straight into the event list (a spike
                     // dropped by noise still counts but delivers no PSP,
-                    // exactly as the dense tensor's 0.0 entry did).
+                    // exactly as the dense tensor's 0.0 entry did). The
+                    // threshold scan runs on the SIMD compare-and-mask
+                    // primitive — candidates come back in ascending
+                    // index order, then the refractory mask filters them
+                    // exactly as the scalar scan did.
                     let feature: usize = potentials[i].dims()[1..].iter().product();
                     let feature_dims = potentials[i].dims()[1..].to_vec();
                     fire_ev.begin(&feature_dims);
                     let pd = potentials[i].data();
                     let fd = fired[i].data_mut();
-                    for (img, (pimg, fimg)) in pd
+                    for (pimg, fimg) in pd
                         .chunks_exact(feature.max(1))
                         .zip(fd.chunks_exact_mut(feature.max(1)))
-                        .enumerate()
                     {
-                        let _ = img;
-                        for (j, (&u, f)) in pimg.iter().zip(fimg.iter_mut()).enumerate() {
-                            if *f == 0.0 && u >= threshold {
+                        fire_hits.clear();
+                        t2fsnn_tensor::simd::collect_ge(pimg, threshold, &mut fire_hits);
+                        for &j in &fire_hits {
+                            let f = &mut fimg[j as usize];
+                            if *f == 0.0 {
                                 *f = 1.0;
                                 // Dendrite-decoded PSP value (ideal: ε·θ0).
                                 let v = delivered_value(
@@ -447,7 +456,7 @@ impl T2fsnn {
                                     &mut noise_rng,
                                 );
                                 if v != 0.0 {
-                                    fire_ev.push(j as u32, v);
+                                    fire_ev.push(j, v);
                                 }
                                 count += 1;
                             }
@@ -456,6 +465,7 @@ impl T2fsnn {
                     }
                 }
                 if count > 0 {
+                    let _s = profile::span("ttfs/segment_propagate");
                     layer_hists[i][local] += count;
                     synop_mults += count;
                     propagate_segment_events(
@@ -472,6 +482,7 @@ impl T2fsnn {
             }
 
             if (t + 1) % config.record_every == 0 || t + 1 == total_steps {
+                let _s = profile::span("ttfs/record");
                 let accuracy = output_accuracy(&potentials[l_count - 1], labels)?;
                 curve.push(CurvePoint {
                     step: t + 1,

@@ -73,6 +73,17 @@ proptest! {
             let event = run_with(SimEngine::Event { sparsity_threshold: threshold });
             prop_assert_eq!(&dense, &event, "max_pool={} threshold={}", max_pool, threshold);
         }
+        // SIMD dispatch identity on the same runs: the AVX2 fire-phase
+        // threshold scan and scatter kernels must reproduce the scalar
+        // fallback's `TtfsRun` bit for bit on both engines.
+        for engine in [SimEngine::dense(), SimEngine::default()] {
+            let prev = t2fsnn_tensor::simd::set_enabled(false);
+            let scalar = run_with(engine);
+            t2fsnn_tensor::simd::set_enabled(true);
+            let vector = run_with(engine);
+            t2fsnn_tensor::simd::set_enabled(prev);
+            prop_assert_eq!(&scalar, &vector, "simd identity, max_pool={}", max_pool);
+        }
     }
 }
 

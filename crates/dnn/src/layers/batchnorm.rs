@@ -159,26 +159,24 @@ impl BatchNorm2d {
             let mut x_hat = vec![0.0f32; id.len()];
             pool.scatter_items(&mut x_hat, c * plane, |ni, slot| {
                 for ci in 0..c {
-                    let (mean, inv_std) = (means[ci], inv_stds[ci]);
                     let base = (ni * c + ci) * plane;
-                    for (xh, &v) in slot[ci * plane..(ci + 1) * plane]
-                        .iter_mut()
-                        .zip(&id[base..base + plane])
-                    {
-                        *xh = (v - mean) * inv_std;
-                    }
+                    t2fsnn_tensor::simd::normalize(
+                        &mut slot[ci * plane..(ci + 1) * plane],
+                        &id[base..base + plane],
+                        means[ci],
+                        inv_stds[ci],
+                    );
                 }
             });
             pool.scatter_items(&mut out, c * plane, |ni, slot| {
                 let img = &x_hat[ni * c * plane..(ni + 1) * c * plane];
                 for ci in 0..c {
-                    let (g, b) = (gamma[ci], beta[ci]);
-                    for (o, &xh) in slot[ci * plane..(ci + 1) * plane]
-                        .iter_mut()
-                        .zip(&img[ci * plane..(ci + 1) * plane])
-                    {
-                        *o = g * xh + b;
-                    }
+                    t2fsnn_tensor::simd::affine(
+                        &mut slot[ci * plane..(ci + 1) * plane],
+                        &img[ci * plane..(ci + 1) * plane],
+                        gamma[ci],
+                        beta[ci],
+                    );
                 }
             });
             self.cache = Some(BnCache {
@@ -188,15 +186,15 @@ impl BatchNorm2d {
         } else {
             pool.scatter_items(&mut out, c * plane, |ni, slot| {
                 for ci in 0..c {
-                    let (mean, inv_std) = (means[ci], inv_stds[ci]);
-                    let (g, b) = (gamma[ci], beta[ci]);
                     let base = (ni * c + ci) * plane;
-                    for (o, &v) in slot[ci * plane..(ci + 1) * plane]
-                        .iter_mut()
-                        .zip(&id[base..base + plane])
-                    {
-                        *o = g * ((v - mean) * inv_std) + b;
-                    }
+                    t2fsnn_tensor::simd::normalize_affine(
+                        &mut slot[ci * plane..(ci + 1) * plane],
+                        &id[base..base + plane],
+                        means[ci],
+                        inv_stds[ci],
+                        gamma[ci],
+                        beta[ci],
+                    );
                 }
             });
         }
@@ -250,16 +248,15 @@ impl BatchNorm2d {
                 c * plane,
                 |ni, slot| {
                     for ci in 0..c {
-                        let scale = gamma[ci] * inv_std[ci];
-                        let (m_dy, m_dy_xh) = (mean_dy[ci], mean_dy_xh[ci]);
                         let base = (ni * c + ci) * plane;
-                        for ((o, &g), &x) in slot[ci * plane..(ci + 1) * plane]
-                            .iter_mut()
-                            .zip(&gd[base..base + plane])
-                            .zip(&xh[base..base + plane])
-                        {
-                            *o = scale * (g - m_dy - x * m_dy_xh);
-                        }
+                        t2fsnn_tensor::simd::bn_input_grad(
+                            &mut slot[ci * plane..(ci + 1) * plane],
+                            &gd[base..base + plane],
+                            &xh[base..base + plane],
+                            gamma[ci] * inv_std[ci],
+                            mean_dy[ci],
+                            mean_dy_xh[ci],
+                        );
                     }
                 },
             );

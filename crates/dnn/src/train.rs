@@ -107,10 +107,19 @@ pub fn train<R: Rng + ?Sized>(
         let mut batches = 0usize;
         for (images, labels) in shuffled.batches(config.batch_size) {
             network.zero_grad();
-            let logits = network.forward(&images, true)?;
+            let logits = {
+                let _s = t2fsnn_tensor::profile::span("train/forward");
+                network.forward(&images, true)?
+            };
             let (loss, grad) = ops::cross_entropy(&logits, &labels)?;
-            network.backward(&grad)?;
-            sgd.step(network);
+            {
+                let _s = t2fsnn_tensor::profile::span("train/backward");
+                network.backward(&grad)?;
+            }
+            {
+                let _s = t2fsnn_tensor::profile::span("train/optim_step");
+                sgd.step(network);
+            }
             loss_sum += loss;
             acc_sum += ops::accuracy(&logits, &labels)?;
             batches += 1;

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use t2fsnn_dnn::layers::{Conv2d, Linear};
+use t2fsnn_dnn::layers::{BatchNorm2d, Conv2d, Linear};
 use t2fsnn_dnn::{normalize_for_snn, Network};
 use t2fsnn_tensor::ops::Conv2dSpec;
 use t2fsnn_tensor::Tensor;
@@ -113,6 +113,61 @@ proptest! {
                 act.max()
             );
         }
+    }
+
+    /// SIMD on-vs-off bit-identity of the batch-norm normalize passes
+    /// (training forward with x̂ caching, eval forward, and the input
+    /// gradient) on random odd plane sizes — the vectorized maps must
+    /// reproduce the scalar fallback exactly, running-statistics
+    /// updates included.
+    #[test]
+    fn simd_batchnorm_passes_are_bit_identical_to_scalar(
+        n in 1usize..4,
+        c in 1usize..4,
+        h in 1usize..6,
+        w in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let x = Tensor::from_fn([n, c, h, w], |i| {
+            (((i[0] * 131 + i[1] * 31 + i[2] * 7 + i[3] + seed as usize) % 17) as f32) * 0.21
+                - 1.1
+        });
+        let gout = Tensor::from_fn([n, c, h, w], |i| {
+            (((i[0] * 53 + i[1] * 11 + i[2] * 3 + i[3] + seed as usize) % 7) as f32) * 0.3 - 0.9
+        });
+        let run = || {
+            let mut bn = BatchNorm2d::new(c);
+            for (i, g) in bn.gamma.data_mut().iter_mut().enumerate() {
+                *g = 0.5 + ((i + seed as usize) % 5) as f32 * 0.3;
+            }
+            for (i, b) in bn.beta.data_mut().iter_mut().enumerate() {
+                *b = ((i + seed as usize) % 3) as f32 * 0.2 - 0.1;
+            }
+            let train_out = bn.forward(&x, true).unwrap();
+            let grad_in = bn.backward(&gout).unwrap();
+            let eval_out = bn.forward(&x, false).unwrap();
+            (
+                train_out,
+                grad_in,
+                eval_out,
+                bn.grad_gamma.clone().unwrap(),
+                bn.grad_beta.clone().unwrap(),
+                bn.running_mean.clone(),
+                bn.running_var.clone(),
+            )
+        };
+        let prev = t2fsnn_tensor::simd::set_enabled(false);
+        let scalar = run();
+        t2fsnn_tensor::simd::set_enabled(true);
+        let vector = run();
+        t2fsnn_tensor::simd::set_enabled(prev);
+        prop_assert_eq!(&scalar.0, &vector.0, "train forward");
+        prop_assert_eq!(&scalar.1, &vector.1, "input gradient");
+        prop_assert_eq!(&scalar.2, &vector.2, "eval forward");
+        prop_assert_eq!(&scalar.3, &vector.3, "grad gamma");
+        prop_assert_eq!(&scalar.4, &vector.4, "grad beta");
+        prop_assert_eq!(&scalar.5, &vector.5, "running mean");
+        prop_assert_eq!(&scalar.6, &vector.6, "running var");
     }
 
     #[test]

@@ -109,15 +109,21 @@ impl Coding for BurstCoding {
         let feature_dims = potential.dims()[1..].to_vec();
         events.begin(&feature_dims);
         let mut count = 0u64;
+        // A burst needs `u ≥ burst_value(1) = θ`, so the SIMD threshold
+        // scan finds exactly the bursting neurons (ascending order);
+        // the per-neuron burst sizing stays scalar.
+        let mut hits: Vec<u32> = Vec::new();
         for image in potential.data_mut().chunks_exact_mut(feature.max(1)) {
-            for (j, u) in image.iter_mut().enumerate() {
+            hits.clear();
+            t2fsnn_tensor::simd::collect_ge(image, self.theta, &mut hits);
+            for &j in &hits {
+                let u = &mut image[j as usize];
                 let n = self.burst_for(*u);
-                if n > 0 {
-                    let v = self.burst_value(n);
-                    *u -= v;
-                    events.push(j as u32, v);
-                    count += n as u64;
-                }
+                debug_assert!(n > 0, "collect_ge hit implies an affordable burst");
+                let v = self.burst_value(n);
+                *u -= v;
+                events.push(j, v);
+                count += n as u64;
             }
             events.end_image();
         }

@@ -114,7 +114,11 @@ pub trait Coding: Send {
 /// Shared threshold-fire-into-events loop: every element with
 /// `u ≥ threshold` is reset by subtracting `threshold` and emits one
 /// event carrying `spike_value` — exactly the updates and values of the
-/// dense fire loops, minus the dense tensor.
+/// dense fire loops, minus the dense tensor. The threshold scan runs on
+/// the SIMD compare-and-mask primitive
+/// ([`t2fsnn_tensor::simd::collect_ge`]): sub-threshold blocks of eight
+/// are skipped with one compare, and the surviving indices come back in
+/// ascending order, so the emitted event sequence is unchanged.
 pub(crate) fn fire_subtract_events(
     potential: &mut Tensor,
     threshold: f32,
@@ -125,14 +129,15 @@ pub(crate) fn fire_subtract_events(
     let feature_dims = potential.dims()[1..].to_vec();
     events.begin(&feature_dims);
     let mut count = 0u64;
+    let mut hits: Vec<u32> = Vec::new();
     for image in potential.data_mut().chunks_exact_mut(feature.max(1)) {
-        for (j, u) in image.iter_mut().enumerate() {
-            if *u >= threshold {
-                *u -= threshold;
-                events.push(j as u32, spike_value);
-                count += 1;
-            }
+        hits.clear();
+        t2fsnn_tensor::simd::collect_ge(image, threshold, &mut hits);
+        for &j in &hits {
+            image[j as usize] -= threshold;
+            events.push(j, spike_value);
         }
+        count += hits.len() as u64;
         events.end_image();
     }
     count

@@ -119,6 +119,56 @@ proptest! {
             prop_assert_eq!(&dense, &parallel, "coding {} parallel", coding.name());
         }
     }
+
+    /// SIMD dispatch (runtime AVX2 vs the `T2FSNN_SIMD=0` scalar
+    /// fallback) must never change a `SimOutcome` bit — across every
+    /// bundled coding, the Dense and Event engines, and worker counts
+    /// 1/2/4. The SIMD kernels vectorize across independent output
+    /// elements only, so each element's canonical accumulation sequence
+    /// is untouched. (Without AVX2 hardware both runs are scalar and the
+    /// comparison is trivially true.)
+    #[test]
+    fn simd_dispatch_never_changes_sim_outcomes(
+        arch in 0usize..3,
+        width in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let dnn = random_network(arch, width, seed);
+        let snn = SnnNetwork::from_dnn(&dnn).unwrap();
+        let (images, labels) = random_batch(seed, 5);
+        for coding in all_codings() {
+            for engine in [SimEngine::dense(), SimEngine::default()] {
+                for workers in [1usize, 2, 4] {
+                    let pool = ThreadPool::new(workers);
+                    let run = || {
+                        let mut c = coding.boxed_clone();
+                        simulate_on(
+                            &snn,
+                            c.as_mut(),
+                            &images,
+                            &labels,
+                            &SimConfig::new(8, 4).with_engine(engine),
+                            &pool,
+                        )
+                        .unwrap()
+                    };
+                    let prev = t2fsnn_tensor::simd::set_enabled(false);
+                    let scalar = run();
+                    t2fsnn_tensor::simd::set_enabled(true);
+                    let vector = run();
+                    t2fsnn_tensor::simd::set_enabled(prev);
+                    prop_assert_eq!(
+                        &scalar,
+                        &vector,
+                        "coding {} engine {:?} workers {}",
+                        coding.name(),
+                        engine,
+                        workers
+                    );
+                }
+            }
+        }
+    }
 }
 
 proptest! {

@@ -15,8 +15,15 @@
 //! Remainders (rows/columns beyond the blocking factor, tail elements
 //! beyond the lane width) fall back to scalar loops that keep the
 //! zero-skipping fast path for sparse operands.
+//!
+//! The inner loops run on the [`crate::simd`] primitives — explicit
+//! AVX2 when the runtime dispatch is on, scalar twins otherwise — and
+//! are bit-identical either way: vectorization is across the output
+//! columns (independent elements), so per output element the
+//! contraction still accumulates in strictly ascending `p` order.
 
 use crate::error::{Result, TensorError};
+use crate::simd;
 use crate::tensor::Tensor;
 
 fn check_2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
@@ -29,15 +36,13 @@ fn check_2d(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     Ok((t.dims()[0], t.dims()[1]))
 }
 
-/// Scalar axpy with zero-skip: `row += a · b_row`.
+/// Axpy with zero-skip: `row += a · b_row`.
 #[inline]
 fn axpy(row: &mut [f32], a: f32, b_row: &[f32]) {
     if a == 0.0 {
         return; // spike matrices are sparse; skip zero rows cheaply
     }
-    for (o, &bv) in row.iter_mut().zip(b_row) {
-        *o += a * bv;
-    }
+    simd::axpy(row, a, b_row);
 }
 
 /// Computes `A · B` for `A: [m, k]`, `B: [k, n]`, returning `[m, n]`.
@@ -114,24 +119,7 @@ pub(crate) fn gemm_accumulate(
         let a1 = &ad[(i + 1) * k..(i + 2) * k];
         let a2 = &ad[(i + 2) * k..(i + 3) * k];
         let a3 = &ad[(i + 3) * k..(i + 4) * k];
-        for p in 0..k {
-            let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
-            if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (((o0, o1), (o2, o3)), &bv) in r0
-                .iter_mut()
-                .zip(r1.iter_mut())
-                .zip(r2.iter_mut().zip(r3.iter_mut()))
-                .zip(brow)
-            {
-                *o0 += v0 * bv;
-                *o1 += v1 * bv;
-                *o2 += v2 * bv;
-                *o3 += v3 * bv;
-            }
-        }
+        simd::gemm_block4(r0, r1, r2, r3, a0, a1, a2, a3, bd, n);
         i += 4;
     }
     for (row, orow) in (i..m).zip(rows) {
@@ -188,15 +176,7 @@ pub(crate) fn at_b_into(out: &mut [f32], ad: &[f32], k: usize, m: usize, bd: &[f
         let b1 = &bd[(p + 1) * n..(p + 2) * n];
         let b2 = &bd[(p + 2) * n..(p + 3) * n];
         let b3 = &bd[(p + 3) * n..(p + 4) * n];
-        for (i, orow) in out.chunks_exact_mut(n).enumerate().take(m) {
-            let (v0, v1, v2, v3) = (a0[i], a1[i], a2[i], a3[i]);
-            if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
-                continue;
-            }
-            for ((((o, &w0), &w1), &w2), &w3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
-                *o += v0 * w0 + v1 * w1 + v2 * w2 + v3 * w3;
-            }
-        }
+        simd::at_b_block4(out, n, a0, a1, a2, a3, b0, b1, b2, b3);
         p += 4;
     }
     for p in p..k {
@@ -208,23 +188,11 @@ pub(crate) fn at_b_into(out: &mut [f32], ad: &[f32], k: usize, m: usize, bd: &[f
     }
 }
 
-/// Eight-lane dot product of two equal-length slices.
+/// Eight-lane dot product of two equal-length slices (the SIMD
+/// primitive keeps the eight-lane-accumulator semantics either way).
 #[inline]
 fn dot(x: &[f32], y: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 8];
-    let chunks = x.len() / 8;
-    for c in 0..chunks {
-        let xs = &x[c * 8..c * 8 + 8];
-        let ys = &y[c * 8..c * 8 + 8];
-        for l in 0..8 {
-            acc[l] += xs[l] * ys[l];
-        }
-    }
-    let mut tail = 0.0f32;
-    for (xv, yv) in x[chunks * 8..].iter().zip(&y[chunks * 8..]) {
-        tail += xv * yv;
-    }
-    acc.iter().sum::<f32>() + tail
+    simd::dot(x, y)
 }
 
 /// Computes `A · Bᵀ` for `A: [m, k]`, `B: [n, k]`, returning `[m, n]`.
@@ -257,7 +225,6 @@ pub(crate) fn a_bt_into(out: &mut [f32], ad: &[f32], m: usize, k: usize, bd: &[f
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(ad.len(), m * k);
     debug_assert_eq!(bd.len(), n * k);
-    let chunks = k / 8;
     for i in 0..m {
         let arow = &ad[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
@@ -267,29 +234,9 @@ pub(crate) fn a_bt_into(out: &mut [f32], ad: &[f32], m: usize, k: usize, bd: &[f
         while j + 2 <= n {
             let b0 = &bd[j * k..(j + 1) * k];
             let b1 = &bd[(j + 1) * k..(j + 2) * k];
-            let mut acc0 = [0.0f32; 8];
-            let mut acc1 = [0.0f32; 8];
-            for c in 0..chunks {
-                let xs = &arow[c * 8..c * 8 + 8];
-                let y0 = &b0[c * 8..c * 8 + 8];
-                let y1 = &b1[c * 8..c * 8 + 8];
-                for l in 0..8 {
-                    acc0[l] += xs[l] * y0[l];
-                    acc1[l] += xs[l] * y1[l];
-                }
-            }
-            let mut t0 = 0.0f32;
-            let mut t1 = 0.0f32;
-            for ((xv, y0v), y1v) in arow[chunks * 8..]
-                .iter()
-                .zip(&b0[chunks * 8..])
-                .zip(&b1[chunks * 8..])
-            {
-                t0 += xv * y0v;
-                t1 += xv * y1v;
-            }
-            orow[j] = acc0.iter().sum::<f32>() + t0;
-            orow[j + 1] = acc1.iter().sum::<f32>() + t1;
+            let (s0, s1) = simd::dot2(arow, b0, b1);
+            orow[j] = s0;
+            orow[j + 1] = s1;
             j += 2;
         }
         if j < n {

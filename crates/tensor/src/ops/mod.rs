@@ -2,9 +2,11 @@
 //! 2-D convolution, pooling, activations, and event-driven sparse
 //! propagation.
 //!
-//! All kernels are plain safe Rust. The dense matmul family is
-//! register-blocked and cache-tiled for a single core; `conv2d`
-//! parallelizes across the batch via the crate's scoped
+//! The dense matmul family is register-blocked and cache-tiled for a
+//! single core, with inner loops running on the runtime-dispatched
+//! [`crate::simd`] primitives (explicit AVX2 when available, scalar
+//! twins otherwise — bit-identical either way); `conv2d` parallelizes
+//! across the batch via the crate's scoped
 //! [`ThreadPool`](crate::ThreadPool); the [`sparse`] module provides
 //! event-list kernels that are bit-identical to their dense twins.
 

@@ -29,6 +29,7 @@ use crate::error::{Result, TensorError};
 use crate::events::SpikeBatch;
 use crate::ops::conv::Conv2dSpec;
 use crate::ops::pool::{covering_windows, pooled_dim};
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Convolution geometry shared by the kernels.
@@ -323,19 +324,27 @@ fn scatter_event_into(
         let (ky_hi, kx_hi) = (ky_hi as usize, kx_hi as usize);
         let ox_lo = (xi as isize + g.pad) as usize - kx_hi;
         let row_len = (kx_hi - kx_lo + 1) * o;
-        for ki in ky_lo..=ky_hi {
-            let oy = (yi as isize + g.pad) as usize - ki;
-            // kj descending kx_hi..=kx_lo ⇔ reversed-KW index ascending —
-            // aligned with output positions ox ascending from ox_lo.
-            let wstart = ((ci * g.kh + ki) * g.kw + (g.kw - 1 - kx_hi)) * o;
-            let ostart = (oy * g.ow + ox_lo) * o;
-            let wspan = &wt[wstart..wstart + row_len];
-            let ospan = &mut out[ostart..ostart + row_len];
-            for (slot, &wv) in ospan.iter_mut().zip(wspan) {
-                *slot += v * wv;
-            }
-        }
-        return ((ky_hi - ky_lo + 1) * (kx_hi - kx_lo + 1) * o) as u64;
+        // kj descending kx_hi..=kx_lo ⇔ reversed-KW index ascending —
+        // aligned with output positions ox ascending from ox_lo. As ki
+        // ascends, the weight row advances by KW·O and the output row
+        // retreats by OW·O; one `scatter_rows` call covers the whole
+        // event (one SIMD dispatch per event, not per kernel row).
+        let rows = ky_hi - ky_lo + 1;
+        let w0 = ((ci * g.kh + ky_lo) * g.kw + (g.kw - 1 - kx_hi)) * o;
+        let oy0 = (yi as isize + g.pad) as usize - ky_lo;
+        let o0 = (oy0 * g.ow + ox_lo) * o;
+        simd::scatter_rows(
+            out,
+            o0,
+            -((g.ow * o) as isize),
+            wt,
+            w0,
+            g.kw * o,
+            rows,
+            row_len,
+            v,
+        );
+        return (rows * (kx_hi - kx_lo + 1) * o) as u64;
     }
     valid_taps(&mut s.ky, yi, g.kh, g.oh, g.stride, g.pad);
     valid_taps(&mut s.kx, xi, g.kw, g.ow, g.stride, g.pad);
@@ -349,9 +358,7 @@ fn scatter_event_into(
             let wstart = (wrow_base + (g.kw - 1 - kj)) * o;
             let wrow = &wt[wstart..wstart + o];
             let orow = &mut out[orow_base + ox * o..orow_base + (ox + 1) * o];
-            for (slot, &wv) in orow.iter_mut().zip(wrow) {
-                *slot += v * wv;
-            }
+            simd::axpy(orow, v, wrow);
         }
     }
     (s.ky.len() * s.kx.len() * g.o) as u64
@@ -1263,9 +1270,7 @@ fn linear_scatter_loop(
                 continue;
             }
             let wrow = &wtd[ii * o..(ii + 1) * o];
-            for (ov, &wv) in orow.iter_mut().zip(wrow) {
-                *ov += wv * v;
-            }
+            simd::axpy(orow, v, wrow);
             synops += o as u64;
         }
     }
@@ -1323,9 +1328,7 @@ fn linear_events_loop(od: &mut [f32], events: &SpikeBatch, wtd: &[f32], o: usize
         let (idx, val) = events.image_events(ni);
         for (&ii, &v) in idx.iter().zip(val) {
             let wrow = &wtd[ii as usize * o..(ii as usize + 1) * o];
-            for (ov, &wv) in orow.iter_mut().zip(wrow) {
-                *ov += wv * v;
-            }
+            simd::axpy(orow, v, wrow);
             synops += o as u64;
         }
     }

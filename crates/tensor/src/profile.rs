@@ -1,0 +1,158 @@
+//! Lightweight opt-in per-phase/per-op wall-clock profiler.
+//!
+//! Enabled by setting `T2FSNN_PROFILE=1` (anything other than unset,
+//! empty, or `0`): monotonic-clock spans are aggregated per key into a
+//! process-global table, which `repro_fig6` and `bench_smoke` report at
+//! exit. When disabled (the default), [`span`] is one relaxed atomic
+//! load and records nothing — cheap enough to leave in per-step hot
+//! paths.
+//!
+//! Keys are free-form `&'static str` labels, by convention
+//! `area/what` (`sim/encode`, `op/conv_scatter_events`,
+//! `train/backward`, …). Spans may **nest** — an `op/…` span usually
+//! runs inside a `sim/…` or `ttfs/…` span — so the report shows
+//! *inclusive* times per key, not a disjoint partition of wall clock.
+//! Spans from worker threads land in the same table (a mutex guards it;
+//! contention only exists in profiling runs).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Aggregated numbers of one span key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The span key (`area/what`).
+    pub key: &'static str,
+    /// How many spans closed under this key.
+    pub calls: u64,
+    /// Total inclusive wall-clock, nanoseconds.
+    pub nanos: u128,
+}
+
+fn table() -> &'static Mutex<HashMap<&'static str, (u64, u128)>> {
+    static TABLE: OnceLock<Mutex<HashMap<&'static str, (u64, u128)>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// 0 = undecided, 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether profiling is active (`T2FSNN_PROFILE` set to something other
+/// than `0`/empty; decided once on first use).
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        0 => {
+            let on = matches!(std::env::var("T2FSNN_PROFILE"),
+                Ok(v) if !v.trim().is_empty() && v.trim() != "0");
+            STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        s => s == 2,
+    }
+}
+
+/// An open span; the elapsed time is recorded under `key` on drop.
+/// Inert (no clock read, nothing recorded) when profiling is disabled.
+#[must_use = "a span records its time when dropped — bind it to a variable"]
+pub struct Span {
+    open: Option<(&'static str, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((key, start)) = self.open.take() {
+            let nanos = start.elapsed().as_nanos();
+            let mut table = table().lock().unwrap_or_else(|e| e.into_inner());
+            let slot = table.entry(key).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += nanos;
+        }
+    }
+}
+
+/// Opens a span under `key`; time accrues until the returned guard
+/// drops. A no-op unless [`enabled`].
+#[inline]
+pub fn span(key: &'static str) -> Span {
+    Span {
+        open: enabled().then(|| (key, Instant::now())),
+    }
+}
+
+/// All recorded entries, sorted by total time descending.
+pub fn entries() -> Vec<Entry> {
+    let table = table().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<Entry> = table
+        .iter()
+        .map(|(&key, &(calls, nanos))| Entry { key, calls, nanos })
+        .collect();
+    out.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(a.key.cmp(b.key)));
+    out
+}
+
+/// Clears the table (spans still open keep their start time and record
+/// into the fresh table when they close).
+pub fn reset() {
+    table().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Prints the aggregated spans to stderr under a header — a no-op when
+/// profiling is disabled or nothing was recorded. Written to stderr so
+/// harnesses that capture stdout (e.g. `bench_smoke` timing child
+/// processes) still surface the breakdown.
+pub fn eprint_report(header: &str) {
+    if !enabled() {
+        return;
+    }
+    let entries = entries();
+    if entries.is_empty() {
+        return;
+    }
+    eprintln!("[profile] {header} (inclusive wall-clock per key; spans nest)");
+    for e in &entries {
+        eprintln!(
+            "[profile]   {:<28} {:>12.3} ms  ({} calls)",
+            e.key,
+            e.nanos as f64 / 1e6,
+            e.calls
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test owns the global state: recording off → spans inert;
+    /// recording on → spans aggregate per key (split tests would race on
+    /// the process-global table under the parallel test harness).
+    #[test]
+    fn spans_are_inert_when_off_and_aggregate_when_on() {
+        let was_on = enabled();
+        STATE.store(1, Ordering::Relaxed);
+        {
+            let _s = span("test/disabled");
+        }
+        assert!(entries().iter().all(|e| e.key != "test/disabled"));
+
+        STATE.store(2, Ordering::Relaxed);
+        reset();
+        {
+            let _a = span("test/a");
+            let _b = span("test/b");
+        }
+        {
+            let _a = span("test/a");
+        }
+        let recorded = entries();
+        let a = recorded.iter().find(|e| e.key == "test/a").unwrap();
+        assert_eq!(a.calls, 2);
+        let b = recorded.iter().find(|e| e.key == "test/b").unwrap();
+        assert_eq!(b.calls, 1);
+        reset();
+        STATE.store(if was_on { 2 } else { 1 }, Ordering::Relaxed);
+    }
+}

@@ -270,9 +270,7 @@ impl Tensor {
                 rhs: other.shape.clone(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        crate::simd::add_scaled(&mut self.data, &other.data, alpha);
         Ok(())
     }
 

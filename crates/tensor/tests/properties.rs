@@ -1,7 +1,23 @@
 //! Property-based tests for the tensor substrate.
 
 use proptest::prelude::*;
-use t2fsnn_tensor::{init, ops, Shape, Tensor};
+use std::sync::Mutex;
+use t2fsnn_tensor::{init, ops, simd, Shape, Tensor};
+
+/// Serializes the tests that toggle the global SIMD dispatch so one
+/// test's forced mode cannot make another's on-vs-off comparison
+/// vacuous (flipping the mode never changes results — that is the
+/// property — but each comparison should genuinely run both paths).
+static SIMD_GATE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with SIMD dispatch forced to `on`, restoring the previous
+/// state afterwards.
+fn with_simd<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    let prev = simd::set_enabled(on);
+    let out = f();
+    simd::set_enabled(prev);
+    out
+}
 
 fn small_dims() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(1usize..5, 1..4)
@@ -202,6 +218,123 @@ proptest! {
         prop_assert_eq!(&gi, &serial.0);
         prop_assert_eq!(&gw, &serial.1);
         prop_assert_eq!(&gb, &serial.2);
+    }
+
+    /// SIMD dispatch must never change a bit: the AVX2 kernels vectorize
+    /// across independent output elements only, so on odd/unaligned
+    /// shapes (every remainder path) the blocked matmul family returns
+    /// exactly the scalar fallback's results. (On hardware without AVX2
+    /// both runs take the scalar path and the comparison is trivially
+    /// true — the CI `T2FSNN_SIMD=0` leg is what keeps the scalar path
+    /// covered on AVX2 machines.)
+    #[test]
+    fn simd_matmul_family_is_bit_identical_to_scalar(
+        m in 1usize..18,
+        k in 1usize..40,
+        n in 1usize..18,
+        seed in 0u32..1000,
+    ) {
+        let _gate = SIMD_GATE.lock().unwrap();
+        let a = Tensor::from_fn(Shape::from(vec![m, k]), |i| {
+            (((i[0] * 7 + i[1] * 13 + seed as usize) % 23) as f32) * 0.11 - 1.2
+        });
+        let b = Tensor::from_fn(Shape::from(vec![k, n]), |i| {
+            (((i[0] * 17 + i[1] * 5 + seed as usize) % 19) as f32) * 0.13 - 1.1
+        });
+        let x = Tensor::from_fn(Shape::from(vec![k]), |i| {
+            (((i[0] * 29 + seed as usize) % 13) as f32) * 0.17 - 1.0
+        });
+        let at = a.transpose().unwrap();
+        let bt = b.transpose().unwrap();
+        let run = || {
+            (
+                ops::matmul(&a, &b).unwrap(),
+                ops::matmul_at_b(&at, &b).unwrap(),
+                ops::matmul_a_bt(&a, &bt).unwrap(),
+                ops::matvec(&a, &x).unwrap(),
+            )
+        };
+        let scalar = with_simd(false, run);
+        let vector = with_simd(true, run);
+        prop_assert_eq!(&scalar.0, &vector.0, "matmul");
+        prop_assert_eq!(&scalar.1, &vector.1, "matmul_at_b");
+        prop_assert_eq!(&scalar.2, &vector.2, "matmul_a_bt");
+        prop_assert_eq!(&scalar.3, &vector.3, "matvec");
+    }
+
+    /// SIMD on-vs-off bit-identity for the event/dense scatter kernels
+    /// (conv + linear, dense walks and event lists) on random sparse
+    /// signals at odd shapes.
+    #[test]
+    fn simd_scatter_kernels_are_bit_identical_to_scalar(
+        c in 1usize..4,
+        h in 3usize..9,
+        w in 3usize..9,
+        o in 1usize..7,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        density in 0.0f64..0.6,
+        seed in 0u32..1000,
+    ) {
+        let _gate = SIMD_GATE.lock().unwrap();
+        let spec = ops::Conv2dSpec::new(stride, padding);
+        let input_pm = Tensor::from_fn(Shape::from(vec![2, h, w, c]), |i| {
+            let key = i[0] * 7919 + i[1] * 811 + i[2] * 53 + i[3] * 7 + seed as usize;
+            if ((key % 1000) as f64) < density * 1000.0 {
+                ((key % 9) as f32) * 0.4 - 1.2
+            } else {
+                0.0
+            }
+        });
+        let weight = Tensor::from_fn(Shape::from(vec![o, c, 3, 3]), |i| {
+            (((i[0] * 9 + i[1] * 3 + i[2] + i[3] + seed as usize) % 11) as f32) * 0.1 - 0.5
+        });
+        let filter_t = ops::sparse::transpose_filter(&weight).unwrap();
+        let events = t2fsnn_tensor::SpikeBatch::from_dense(&input_pm).unwrap();
+        let flat = input_pm.reshape([2, h * w * c]).unwrap();
+        let weight_t = Tensor::from_fn(Shape::from(vec![h * w * c, o]), |i| {
+            (((i[0] * 3 + i[1] * 7 + seed as usize) % 17) as f32) * 0.09 - 0.7
+        });
+        let run = || {
+            (
+                ops::sparse::conv2d_scatter_pm(&input_pm, &filter_t, (3, 3), spec).unwrap(),
+                ops::sparse::conv2d_scatter_events_pm(&events, &filter_t, (3, 3), spec).unwrap(),
+                ops::sparse::linear_scatter_t(&flat, &weight_t).unwrap(),
+                ops::sparse::linear_scatter_events(&events, &weight_t).unwrap(),
+            )
+        };
+        let scalar = with_simd(false, run);
+        let vector = with_simd(true, run);
+        prop_assert_eq!(&scalar.0.0, &vector.0.0, "conv dense walk");
+        prop_assert_eq!(&scalar.1.0, &vector.1.0, "conv event scatter");
+        prop_assert_eq!(&scalar.2.0, &vector.2.0, "linear dense");
+        prop_assert_eq!(&scalar.3.0, &vector.3.0, "linear events");
+    }
+
+    /// SIMD on-vs-off identity of the threshold scan (the fire-phase
+    /// primitive): same hit indices in the same ascending order, for
+    /// thresholds that do and do not exactly equal stored values.
+    #[test]
+    fn simd_threshold_scan_is_identical_to_scalar(
+        len in 0usize..70,
+        threshold_step in 0usize..9,
+        seed in 0u32..1000,
+    ) {
+        let _gate = SIMD_GATE.lock().unwrap();
+        // Values on a coarse grid so `threshold` frequently hits exact
+        // equality (the `>=` edge).
+        let data: Vec<f32> = (0..len)
+            .map(|i| (((i * 7 + seed as usize) % 9) as f32) * 0.25 - 1.0)
+            .collect();
+        let threshold = threshold_step as f32 * 0.25 - 1.0;
+        let scan = || {
+            let mut hits = Vec::new();
+            simd::collect_ge(&data, threshold, &mut hits);
+            hits
+        };
+        let scalar = with_simd(false, scan);
+        let vector = with_simd(true, scan);
+        prop_assert_eq!(scalar, vector);
     }
 
     #[test]
