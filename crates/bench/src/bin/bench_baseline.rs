@@ -30,10 +30,11 @@ use t2fsnn_bench::baseline::{
 use t2fsnn_bench::report::results_dir;
 
 /// The Criterion bench targets declared by `crates/bench/Cargo.toml`.
-const BENCH_TARGETS: [&str; 9] = [
+const BENCH_TARGETS: [&str; 10] = [
     "kernel_lut",
     "gemm_core",
     "event_scatter",
+    "single_image_latency",
     "fig4_losses",
     "fig5_spike_dist",
     "fig6_inference_curve",

@@ -1,0 +1,659 @@
+//! Closed-loop load generator for the `t2fsnn-serve` server.
+//!
+//! Drives `POST /v1/infer` over localhost at a configurable concurrency
+//! (each worker thread runs a keep-alive connection and sends its next
+//! request as soon as the previous answer lands), reports throughput and
+//! latency quantiles, and optionally records them as a `serve` target in
+//! `results/bench_baseline.json`.
+//!
+//! The client speaks the wire protocol with its own struct mirrors —
+//! deliberately not importing the server's types, so the JSON contract
+//! itself is what is exercised.
+//!
+//! ```sh
+//! serve_load --addr 127.0.0.1:7878 --requests 200 --concurrency 4
+//! serve_load --smoke                  # spawn a server, assert the gates
+//! serve_load --smoke --record-label pr5-post
+//! ```
+//!
+//! `--smoke` is the CI correctness gate: it spawns the sibling
+//! `t2fsnn_serve` binary on an ephemeral port, fires a burst, and
+//! asserts ≥99 % 2xx, micro-batches beyond size 1, solo-vs-batched
+//! bit-identical responses, and a clean ctrl-channel shutdown (exit 0).
+//! Timing numbers are informational — never asserted — so the step can
+//! block on correctness without flaking on machine speed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use t2fsnn_bench::baseline::{BaselineFile, BenchRecord, LabeledSnapshot, Snapshot, TargetResult};
+use t2fsnn_bench::report::results_dir;
+use t2fsnn_bench::Scenario;
+
+/// Client-side mirror of the server's `InferRequest`.
+#[derive(Serialize)]
+struct InferRequest {
+    model: Option<String>,
+    image: Vec<f32>,
+    early_exit: Option<bool>,
+}
+
+/// Client-side mirror of the server's `InferResponse` (the fields the
+/// generator checks; unknown fields are ignored by the shim).
+#[derive(Debug, Clone, Deserialize)]
+struct InferResponse {
+    label: usize,
+    decision_step: Option<usize>,
+    steps: usize,
+    top_potential: f32,
+    input_spikes: u64,
+    hidden_spikes: u64,
+    synop_adds: u64,
+    synop_mults: u64,
+    batch_size: usize,
+}
+
+impl InferResponse {
+    /// Byte-level identity of the inference-determined fields.
+    fn same_bits(&self, other: &InferResponse) -> bool {
+        self.label == other.label
+            && self.decision_step == other.decision_step
+            && self.steps == other.steps
+            && self.top_potential.to_bits() == other.top_potential.to_bits()
+            && self.input_spikes == other.input_spikes
+            && self.hidden_spikes == other.hidden_spikes
+            && self.synop_adds == other.synop_adds
+            && self.synop_mults == other.synop_mults
+    }
+}
+
+/// One keep-alive HTTP/1.1 client connection.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(90)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads one `Content-Length`-framed response.
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: load\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        // Head.
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+            })?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        while self.buf.len() < head_end + content_length {
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-body",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.buf[head_end..head_end + content_length].to_vec();
+        self.buf.drain(..head_end + content_length);
+        Ok((status, body))
+    }
+}
+
+struct Args {
+    addr: Option<String>,
+    requests: usize,
+    concurrency: usize,
+    model: String,
+    early_exit: bool,
+    smoke: bool,
+    record_label: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        requests: 120,
+        concurrency: 4,
+        model: "tiny".to_string(),
+        early_exit: true,
+        smoke: false,
+        record_label: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = Some(value(&mut i)),
+            "--requests" => args.requests = value(&mut i).parse().unwrap_or(120),
+            "--concurrency" => args.concurrency = value(&mut i).parse().unwrap_or(4).max(1),
+            "--model" => args.model = value(&mut i),
+            "--early-exit" => args.early_exit = value(&mut i) != "0",
+            "--smoke" => args.smoke = true,
+            "--record-label" => args.record_label = Some(value(&mut i)),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: serve_load [--addr host:port] [--requests N] [--concurrency C] \
+                     [--model NAME] [--early-exit 0|1] [--smoke] [--record-label LABEL]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if args.addr.is_none() && !args.smoke {
+        eprintln!("need --addr (drive a running server) or --smoke (spawn one)");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// The spawned smoke server.
+struct SpawnedServer {
+    child: Child,
+    addr: String,
+}
+
+/// Spawns the sibling `t2fsnn_serve` binary on an ephemeral port and
+/// waits for its readiness line.
+fn spawn_server(model: &str) -> SpawnedServer {
+    let exe = std::env::current_exe().expect("current_exe");
+    let server_bin = exe.with_file_name("t2fsnn_serve");
+    if !server_bin.exists() {
+        eprintln!(
+            "[serve_load] FATAL: {} not found — build it first \
+             (cargo build --release -p t2fsnn-serve)",
+            server_bin.display()
+        );
+        std::process::exit(2);
+    }
+    let mut child = Command::new(&server_bin)
+        .env("T2FSNN_SERVE_ADDR", "127.0.0.1:0")
+        .env("T2FSNN_SERVE_MODELS", model)
+        .env("T2FSNN_SERVE_MAX_BATCH", "8")
+        .env("T2FSNN_SERVE_MAX_DELAY_US", "4000")
+        .env("T2FSNN_SERVE_QUEUE", "256")
+        .env("T2FSNN_SERVE_WORKERS", "8")
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn t2fsnn_serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read server stdout");
+        if n == 0 {
+            let status = child.wait().ok();
+            eprintln!("[serve_load] FATAL: server exited before listening ({status:?})");
+            std::process::exit(2);
+        }
+        print!("[server] {line}");
+        if let Some(rest) = line.trim().strip_prefix("[serve] listening on ") {
+            break rest.to_string();
+        }
+    };
+    // Keep draining the child's stdout so it can never block on a full
+    // pipe.
+    std::thread::spawn(move || {
+        for line in reader.lines().map_while(Result::ok) {
+            println!("[server] {line}");
+        }
+    });
+    SpawnedServer { child, addr }
+}
+
+/// Everything the load run measured.
+struct LoadReport {
+    wall: Duration,
+    statuses: Vec<u16>,
+    latencies_us: Vec<u64>,
+    /// `(request index, parsed 200 response)` pairs — the index keys
+    /// which image the request carried (`index % images.len()`).
+    responses: Vec<(usize, InferResponse)>,
+    transport_errors: u64,
+}
+
+impl LoadReport {
+    fn ok_count(&self) -> usize {
+        self.statuses.iter().filter(|&&s| s == 200).count()
+    }
+
+    fn quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize - 1).min(sorted.len() - 1);
+        sorted[rank]
+    }
+}
+
+/// `(statuses, latencies µs, indexed 200-responses)` shared by the load
+/// workers.
+type LoadSink = Mutex<(Vec<u16>, Vec<u64>, Vec<(usize, InferResponse)>)>;
+
+/// Runs the closed loop: `concurrency` workers, each with its own
+/// keep-alive connection, sending the next request as soon as the
+/// previous one answers.
+fn run_load(
+    addr: &str,
+    images: &[Vec<f32>],
+    requests: usize,
+    concurrency: usize,
+    model: &str,
+    early_exit: bool,
+) -> LoadReport {
+    let next = AtomicU64::new(0);
+    let sink: LoadSink = Mutex::new((Vec::new(), Vec::new(), Vec::new()));
+    let transport_errors = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency {
+            scope.spawn(|| {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        transport_errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if i >= requests {
+                        break;
+                    }
+                    let body = serde_json::to_vec(&InferRequest {
+                        model: Some(model.to_string()),
+                        image: images[i % images.len()].clone(),
+                        early_exit: Some(early_exit),
+                    })
+                    .expect("serialize request");
+                    let sent = Instant::now();
+                    match client.request("POST", "/v1/infer", &body) {
+                        Ok((status, response_body)) => {
+                            let latency_us = sent.elapsed().as_micros() as u64;
+                            let parsed = (status == 200)
+                                .then(|| serde_json::from_slice(&response_body).ok())
+                                .flatten();
+                            let mut sink = sink.lock().unwrap();
+                            sink.0.push(status);
+                            sink.1.push(latency_us);
+                            if let Some(r) = parsed {
+                                sink.2.push((i, r));
+                            }
+                        }
+                        Err(_) => {
+                            transport_errors.fetch_add(1, Ordering::Relaxed);
+                            // Reconnect and keep going.
+                            match Client::connect(addr) {
+                                Ok(c) => client = c,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let (statuses, latencies_us, responses) = sink.into_inner().unwrap();
+    LoadReport {
+        wall,
+        statuses,
+        latencies_us,
+        responses,
+        transport_errors: transport_errors.load(Ordering::Relaxed),
+    }
+}
+
+/// Upserts the measured numbers as a `serve` target of the labeled
+/// baseline snapshot (creating the label if absent).
+fn record_baseline(label: &str, report: &LoadReport, requests: usize, concurrency: usize) {
+    let path = results_dir().join("bench_baseline.json");
+    let mut file: BaselineFile = std::fs::read(&path)
+        .ok()
+        .and_then(|bytes| serde_json::from_slice(&bytes).ok())
+        .unwrap_or_else(|| {
+            eprintln!("[serve_load] no readable baseline file; creating one");
+            BaselineFile {
+                machine: t2fsnn_bench::baseline::MachineInfo {
+                    cores: std::thread::available_parallelism()
+                        .map(|n| n.get() as u64)
+                        .unwrap_or(1),
+                    os: std::env::consts::OS.to_string(),
+                    arch: std::env::consts::ARCH.to_string(),
+                },
+                pre: None,
+                post: None,
+                history: Vec::new(),
+            }
+        });
+    let (mean, min, max) = latency_stats_ns(&report.latencies_us);
+    let samples = report.latencies_us.len() as u64;
+    let mut records = vec![BenchRecord {
+        group: "serve".into(),
+        bench: format!("request_latency/c{concurrency}"),
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        samples,
+    }];
+    for (q, name) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+        let ns = report.quantile_us(q) * 1000;
+        records.push(BenchRecord {
+            group: "serve".into(),
+            bench: format!("request_latency_{name}/c{concurrency}"),
+            mean_ns: ns,
+            min_ns: ns,
+            max_ns: ns,
+            samples,
+        });
+    }
+    let wall_per_request = (report.wall.as_nanos() / requests.max(1) as u128) as u64;
+    records.push(BenchRecord {
+        group: "serve".into(),
+        bench: format!("wall_per_request/c{concurrency}"),
+        mean_ns: wall_per_request,
+        min_ns: wall_per_request,
+        max_ns: wall_per_request,
+        samples: requests as u64,
+    });
+    let target = TargetResult {
+        target: "serve".into(),
+        records,
+    };
+    let entry = match file.history.iter_mut().find(|s| s.label == label) {
+        Some(entry) => entry,
+        None => {
+            file.history.push(LabeledSnapshot {
+                label: label.to_string(),
+                snapshot: Snapshot {
+                    recorded_at_unix: std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_secs())
+                        .unwrap_or(0),
+                    repro_fig6_seconds: 0.0,
+                    repro_fig6_runs_seconds: Vec::new(),
+                    targets: Vec::new(),
+                },
+            });
+            file.history.last_mut().expect("just pushed")
+        }
+    };
+    match entry
+        .snapshot
+        .targets
+        .iter_mut()
+        .find(|t| t.target == "serve")
+    {
+        Some(slot) => *slot = target,
+        None => entry.snapshot.targets.push(target),
+    }
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match serde_json::to_vec_pretty(&file) {
+        Ok(bytes) => match std::fs::write(&path, bytes) {
+            Ok(()) => println!(
+                "[serve_load] recorded `serve` target under `{label}` in {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("[serve_load] cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("[serve_load] serialization failed: {e}"),
+    }
+}
+
+fn latency_stats_ns(latencies_us: &[u64]) -> (u64, u64, u64) {
+    if latencies_us.is_empty() {
+        return (0, 0, 0);
+    }
+    let sum: u64 = latencies_us.iter().sum();
+    let mean = sum / latencies_us.len() as u64;
+    let min = *latencies_us.iter().min().expect("non-empty");
+    let max = *latencies_us.iter().max().expect("non-empty");
+    (mean * 1000, min * 1000, max * 1000)
+}
+
+fn main() {
+    let args = parse_args();
+    let scenario = match args.model.as_str() {
+        "tiny" => Scenario::Tiny,
+        "mnist-like" => Scenario::MnistLike,
+        "cifar10-like" => Scenario::Cifar10Like,
+        "cifar100-like" => Scenario::Cifar100Like,
+        other => {
+            eprintln!("[serve_load] unknown model `{other}`");
+            std::process::exit(2);
+        }
+    };
+    // Request payloads: the scenario's own deterministic dataset
+    // (synthesis only — no training on the client side).
+    let data = scenario.dataset();
+    let feature: usize = data.images.dims()[1..].iter().product();
+    let images: Vec<Vec<f32>> = (0..data.len().min(32))
+        .map(|i| data.images.data()[i * feature..(i + 1) * feature].to_vec())
+        .collect();
+
+    let spawned = args.smoke.then(|| spawn_server(&args.model));
+    let addr = spawned
+        .as_ref()
+        .map(|s| s.addr.clone())
+        .or_else(|| args.addr.clone())
+        .expect("addr resolved");
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // Solo reference before any load: a batch of exactly one.
+    let solo = {
+        let mut client = Client::connect(&addr).expect("connect for solo reference");
+        let body = serde_json::to_vec(&InferRequest {
+            model: Some(args.model.clone()),
+            image: images[0].clone(),
+            early_exit: Some(args.early_exit),
+        })
+        .unwrap();
+        let (status, response) = client
+            .request("POST", "/v1/infer", &body)
+            .expect("solo request");
+        assert_eq!(status, 200, "solo reference request failed: {status}");
+        let parsed: InferResponse = serde_json::from_slice(&response).expect("solo response");
+        println!(
+            "[serve_load] solo reference: label {}, steps {}, decision {:?}, batch {}",
+            parsed.label, parsed.steps, parsed.decision_step, parsed.batch_size
+        );
+        parsed
+    };
+    if solo.batch_size != 1 {
+        failures.push(format!(
+            "solo reference ran in a batch of {}",
+            solo.batch_size
+        ));
+    }
+
+    println!(
+        "[serve_load] closed loop: {} requests, concurrency {}, model `{}`, early_exit {}",
+        args.requests, args.concurrency, args.model, args.early_exit
+    );
+    let report = run_load(
+        &addr,
+        &images,
+        args.requests,
+        args.concurrency,
+        &args.model,
+        args.early_exit,
+    );
+
+    let ok = report.ok_count();
+    let total = report.statuses.len().max(1);
+    let ok_ratio = ok as f64 / total as f64;
+    let rps = ok as f64 / report.wall.as_secs_f64().max(1e-9);
+    let (mean_ns, min_ns, max_ns) = latency_stats_ns(&report.latencies_us);
+    println!(
+        "[serve_load] {} responses in {:.2}s — {:.1} req/s, 2xx {:.1}% ({} transport errors)",
+        report.statuses.len(),
+        report.wall.as_secs_f64(),
+        rps,
+        ok_ratio * 100.0,
+        report.transport_errors,
+    );
+    println!(
+        "[serve_load] latency µs: mean {} min {} max {} p50 {} p95 {} p99 {}",
+        mean_ns / 1000,
+        min_ns / 1000,
+        max_ns / 1000,
+        report.quantile_us(0.5),
+        report.quantile_us(0.95),
+        report.quantile_us(0.99),
+    );
+    let max_batch_seen = report
+        .responses
+        .iter()
+        .map(|(_, r)| r.batch_size)
+        .max()
+        .unwrap_or(0);
+    let batched = report
+        .responses
+        .iter()
+        .filter(|(_, r)| r.batch_size > 1)
+        .count();
+    println!(
+        "[serve_load] batches: {batched}/{} responses ran in batches > 1 (max observed {max_batch_seen})"
+    , report.responses.len());
+
+    // Correctness gates (asserted only in --smoke):
+    if ok_ratio < 0.99 {
+        failures.push(format!("2xx ratio {:.3} < 0.99", ok_ratio));
+    }
+    if report.transport_errors > 0 {
+        failures.push(format!("{} transport errors", report.transport_errors));
+    }
+    if max_batch_seen <= 1 {
+        failures.push("no micro-batch beyond size 1 formed".to_string());
+    }
+    // Bit identity: request `i` carried `images[i % len]`, so every
+    // response whose index is a multiple of `images.len()` repeated the
+    // solo reference image under concurrent load — and must match it
+    // byte for byte.
+    let mut dup_checked = 0;
+    for (i, r) in report
+        .responses
+        .iter()
+        .filter(|(i, _)| i % images.len() == 0)
+    {
+        dup_checked += 1;
+        if !r.same_bits(&solo) {
+            failures.push(format!("response {i} for image[0] differs from solo run"));
+        }
+    }
+    if dup_checked == 0 {
+        failures.push("load run never repeated the reference image".to_string());
+    }
+    println!("[serve_load] bit-identity: {dup_checked} duplicate-image responses matched solo");
+
+    if let Some(label) = &args.record_label {
+        record_baseline(label, &report, args.requests, args.concurrency);
+    }
+
+    // Metrics snapshot (and the batch histogram cross-check).
+    if let Ok(mut client) = Client::connect(&addr) {
+        if let Ok((200, body)) = client.request("GET", "/metrics", b"") {
+            let text = String::from_utf8_lossy(&body);
+            for line in text.lines().filter(|l| {
+                l.starts_with("t2fsnn_serve_batch_size_total")
+                    || l.starts_with("t2fsnn_serve_latency_us{")
+                    || l.starts_with("t2fsnn_serve_responses_total")
+                    || l.starts_with("t2fsnn_serve_queue")
+                    || l.starts_with("t2fsnn_serve_early_exit")
+            }) {
+                println!("[metrics] {line}");
+            }
+        }
+    }
+
+    // Graceful shutdown over the ctrl channel.
+    if let Some(mut spawned) = spawned {
+        match Client::connect(&addr).and_then(|mut c| c.request("POST", "/admin/shutdown", b"")) {
+            Ok((200, _)) => {}
+            other => failures.push(format!("ctrl-channel shutdown failed: {other:?}")),
+        }
+        match spawned.child.wait() {
+            Ok(status) if status.success() => {
+                println!("[serve_load] server shut down cleanly (exit 0)")
+            }
+            Ok(status) => failures.push(format!("server exited with {status}")),
+            Err(e) => failures.push(format!("cannot wait for server: {e}")),
+        }
+    }
+
+    if args.smoke {
+        if failures.is_empty() {
+            println!("[serve_load] SMOKE OK — all correctness gates passed");
+        } else {
+            for f in &failures {
+                eprintln!("[serve_load] GATE FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,709 @@
+//! Per-image (request-scoped) TTFS inference with an anytime early-exit.
+//!
+//! [`T2fsnn::run`] answers the *batch* questions the paper asks
+//! (accuracy curves, spike histograms). An online-serving path needs the
+//! *per-request* answers instead: each image's label, how many steps it
+//! took to decide, and how many spikes/synaptic operations it cost —
+//! independent of whatever other requests happened to share its batch.
+//! [`T2fsnn::infer`] provides exactly that, with two contracts:
+//!
+//! * **Batch invariance** — an image's [`ImageInference`] is
+//!   bit-identical whether it ran solo, inside any batch, or on any
+//!   worker count. Images never interact in the pipeline (every kernel
+//!   processes per-image slices in the canonical order and noise
+//!   injection is rejected here because its RNG stream is
+//!   batch-order-dependent), and the serving test suite asserts the
+//!   invariance over random request streams.
+//! * **Anytime early-exit** — under TTFS the first output spike *is* the
+//!   decision. With [`InferOptions::early_exit`] the output layer is
+//!   given its own fire phase on the standard pipeline schedule
+//!   (starting at `fire_start(L−1)`, i.e. one stride after the last
+//!   hidden layer's): the first step whose decaying threshold
+//!   `θ0·ε(t)` is crossed decides the request, and the request's
+//!   simulation is terminated — its neurons stop firing, which is where
+//!   the spike/synop savings come from. Without early firing the output
+//!   fire phase begins exactly when output integration completes, so a
+//!   decision equals the full-window argmax *by construction*; with
+//!   early firing the fire phase overlaps integration and carries the
+//!   same "non-guaranteed integration" caveat as early firing itself.
+//!   Requests whose potentials never cross the threshold fall back to
+//!   the full-window argmax with [`ImageInference::decision_step`]
+//!   `None`.
+
+use serde::{Deserialize, Serialize};
+use t2fsnn_snn::{OpExecutor, SnnOp};
+use t2fsnn_tensor::{profile, Result, SpikeBatch, Tensor, TensorError, ThreadPool};
+
+use crate::network::T2fsnn;
+use crate::pipeline::{apply_gate, build_segments, Segment};
+
+/// Knobs of a [`T2fsnn::infer`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferOptions {
+    /// Give the output layer its own fire phase and terminate each
+    /// image's simulation at its first output spike (see the module
+    /// docs for the exact semantics). Off by default.
+    pub early_exit: bool,
+}
+
+impl InferOptions {
+    /// Options with the early-exit fire phase enabled.
+    pub fn early_exit() -> Self {
+        InferOptions { early_exit: true }
+    }
+}
+
+/// Everything measured for one image of an [`T2fsnn::infer`] call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageInference {
+    /// Predicted class.
+    pub label: usize,
+    /// Global step (1-based) of the first output spike, when the
+    /// early-exit fire phase decided the image; `None` when early exit
+    /// was off or the output potentials never crossed the threshold.
+    pub decision_step: Option<usize>,
+    /// Steps this image was simulated for (its anytime latency): the
+    /// decision step when early exit fired, the full window otherwise.
+    pub steps: usize,
+    /// Membrane potential of the winning output neuron when the image
+    /// was decided.
+    pub top_potential: f32,
+    /// Spikes emitted by the input encoding of this image.
+    pub input_spikes: u64,
+    /// Spikes emitted by all hidden layers of this image.
+    pub hidden_spikes: u64,
+    /// Synaptic accumulate operations charged to this image.
+    pub synop_adds: u64,
+    /// Kernel multiplies charged to this image (one per spike).
+    pub synop_mults: u64,
+}
+
+impl ImageInference {
+    /// Input plus hidden spikes — every neuron spikes at most once.
+    pub fn total_spikes(&self) -> u64 {
+        self.input_spikes + self.hidden_spikes
+    }
+
+    /// Whether the early-exit fire phase decided this image.
+    pub fn decided(&self) -> bool {
+        self.decision_step.is_some()
+    }
+}
+
+/// Argmax over one output row with exactly [`T2fsnn::run`]'s tie rule
+/// (the last maximal element, matching `Iterator::max_by`).
+fn argmax(row: &[f32]) -> (usize, f32) {
+    row.iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .unwrap_or((0, f32::NEG_INFINITY))
+}
+
+impl T2fsnn {
+    /// Runs per-image TTFS inference over a `[N, C, H, W]` batch on the
+    /// process-global thread pool. See the [module docs](self) for the
+    /// batch-invariance and early-exit contracts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches, when the model carries a
+    /// noise config (its RNG stream is batch-order-dependent, which
+    /// would break the per-request bit-identity contract), or when the
+    /// network uses an op/gate combination outside the bundled
+    /// conv/pool/flatten/linear set.
+    pub fn infer(&self, images: &Tensor, opts: InferOptions) -> Result<Vec<ImageInference>> {
+        self.infer_on(images, opts, ThreadPool::global())
+    }
+
+    /// [`T2fsnn::infer`] with an explicit thread pool; results are
+    /// bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// As [`T2fsnn::infer`].
+    pub fn infer_on(
+        &self,
+        images: &Tensor,
+        opts: InferOptions,
+        pool: &ThreadPool,
+    ) -> Result<Vec<ImageInference>> {
+        if images.rank() != 4 {
+            return Err(TensorError::InvalidArgument {
+                op: "T2fsnn::infer",
+                message: format!("expected [N, C, H, W] images, got {}", images.shape()),
+            });
+        }
+        if self.config().noise.is_some() {
+            return Err(TensorError::InvalidArgument {
+                op: "T2fsnn::infer",
+                message: "noise injection has a batch-order-dependent RNG stream; \
+                          per-request inference requires noise = None"
+                    .to_string(),
+            });
+        }
+        let n = images.dims()[0];
+        let ranges = pool.chunk_ranges(n);
+        if ranges.len() <= 1 {
+            return self.infer_chunk(images, opts);
+        }
+        let feature: usize = images.dims()[1..].iter().product();
+        let mut tasks: Vec<Tensor> = Vec::with_capacity(ranges.len());
+        for range in &ranges {
+            let mut dims = images.dims().to_vec();
+            dims[0] = range.len();
+            tasks.push(Tensor::from_vec(
+                dims,
+                images.data()[range.start * feature..range.end * feature].to_vec(),
+            )?);
+        }
+        let results = pool.run_tasks(tasks, |chunk| self.infer_chunk(&chunk, opts));
+        let mut out = Vec::with_capacity(n);
+        for chunk in results {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+
+    /// One contiguous sub-batch; per-image results are independent of
+    /// the chunking.
+    fn infer_chunk(&self, images: &Tensor, opts: InferOptions) -> Result<Vec<ImageInference>> {
+        let config = self.config();
+        let t_window = config.time_window;
+        let theta0 = config.theta0;
+        let n = images.dims()[0];
+        let ops = self.network().ops();
+        let segments = build_segments(ops);
+        let l_count = segments.len();
+        let shapes = self.network().output_shapes(&images.dims()[1..])?;
+        let mut executor = OpExecutor::new(ops, config.engine, &images.dims()[1..])?;
+
+        // Membrane potentials (bias folded in once) and refractory
+        // masks, position-major as in `run`.
+        let mut potentials: Vec<Tensor> = Vec::with_capacity(l_count);
+        let mut fired: Vec<Tensor> = Vec::with_capacity(l_count);
+        for seg in &segments {
+            let mut dims = vec![n];
+            dims.extend_from_slice(executor.state_dims(seg.weighted));
+            let mut p = Tensor::zeros(dims.clone());
+            executor.inject_bias(ops, seg.weighted, &mut p, 1.0)?;
+            potentials.push(p);
+            fired.push(Tensor::zeros(dims));
+        }
+
+        // Input spike times, pre-permuted to position-major when the
+        // network opens with a bare conv (same fast path as `run`).
+        let input_encoder = self.input_encoder();
+        let enc_times: Vec<Option<usize>> = images
+            .iter()
+            .map(|&x| input_encoder.encode(x, theta0))
+            .collect();
+        let pm_input = segments[0].pre_ops.is_empty()
+            && matches!(ops[segments[0].weighted], SnnOp::Conv { .. });
+        let (enc_scan, drive_dims): (Vec<Option<usize>>, Vec<usize>) = if pm_input {
+            let d = images.dims();
+            let (c, h, w) = (d[1], d[2], d[3]);
+            let mut scan = Vec::with_capacity(enc_times.len());
+            for ni in 0..n {
+                for yi in 0..h {
+                    for xi in 0..w {
+                        for ci in 0..c {
+                            scan.push(enc_times[((ni * c + ci) * h + yi) * w + xi]);
+                        }
+                    }
+                }
+            }
+            (scan, vec![n, h, w, c])
+        } else {
+            (enc_times, images.dims().to_vec())
+        };
+        let drive_feature: usize = drive_dims[1..].iter().product();
+
+        // Fire kernels as LUTs; the output layer's table drives the
+        // early-exit threshold.
+        let fire_tables: Vec<Vec<f32>> = (0..l_count)
+            .map(|i| {
+                let k = self.fire_kernel(i);
+                (0..t_window).map(|t| k.eval(t as f32)).collect()
+            })
+            .collect();
+        let input_table: Vec<f32> = (0..t_window)
+            .map(|t| input_encoder.eval(t as f32))
+            .collect();
+
+        // First-spike gates for max-pool ops, as in `run`.
+        let first_weighted = executor.first_weighted();
+        let mut gates: Vec<Option<Tensor>> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                matches!(op, SnnOp::MaxPool { .. }).then(|| {
+                    let mut dims = vec![n];
+                    if i > first_weighted {
+                        dims.extend_from_slice(executor.state_dims(i));
+                    } else {
+                        dims.extend_from_slice(&shapes[i]);
+                    }
+                    Tensor::zeros(dims)
+                })
+            })
+            .collect();
+
+        let total_steps = self.total_steps();
+        // Early-exit fire phase of the output layer, on the standard
+        // pipeline schedule: without early firing it begins exactly when
+        // output integration completes (= `total_steps`), so a decision
+        // equals the full-window argmax by construction.
+        let ee_start = self.fire_start(l_count - 1);
+        let last_step = if opts.early_exit {
+            total_steps.max(ee_start + t_window)
+        } else {
+            total_steps
+        };
+
+        // Per-image accounting.
+        let mut decided = vec![false; n];
+        let mut undecided = n;
+        let mut results: Vec<ImageInference> = (0..n)
+            .map(|_| ImageInference {
+                label: 0,
+                decision_step: None,
+                steps: last_step,
+                top_potential: f32::NEG_INFINITY,
+                input_spikes: 0,
+                hidden_spikes: 0,
+                synop_adds: 0,
+                synop_mults: 0,
+            })
+            .collect();
+        let mut synop_buf = vec![0u64; n];
+
+        let mut fire_ev = SpikeBatch::empty();
+        let mut fire_hits: Vec<u32> = Vec::new();
+
+        for t in 0..last_step {
+            if opts.early_exit && undecided == 0 {
+                break;
+            }
+            // Input fire window: [0, T). Decided images are terminated —
+            // their pixels stop spiking.
+            if t < t_window {
+                let _s = profile::span("ttfs/input_window");
+                let mut any = 0u64;
+                let mut drive_data = vec![0.0f32; n * drive_feature];
+                for (img, slot) in drive_data.chunks_exact_mut(drive_feature).enumerate() {
+                    if decided[img] {
+                        continue;
+                    }
+                    let scan = &enc_scan[img * drive_feature..(img + 1) * drive_feature];
+                    let mut cnt = 0u64;
+                    for (v, &et) in slot.iter_mut().zip(scan) {
+                        if et == Some(t) {
+                            cnt += 1;
+                            *v = input_table[t] * theta0;
+                        }
+                    }
+                    results[img].input_spikes += cnt;
+                    results[img].synop_mults += cnt;
+                    any += cnt;
+                }
+                if any > 0 {
+                    let drive = Tensor::from_vec(drive_dims.clone(), drive_data)?;
+                    let z = if pm_input {
+                        executor.synops_pm_by_image(
+                            ops,
+                            segments[0].weighted,
+                            &drive,
+                            &mut synop_buf,
+                        )?;
+                        let (z, _) =
+                            executor.propagate_input_pm(ops, segments[0].weighted, &drive)?;
+                        z
+                    } else {
+                        self.propagate_input_segment(
+                            ops,
+                            &mut executor,
+                            &segments[0],
+                            drive,
+                            &mut gates,
+                            &mut synop_buf,
+                        )?
+                    };
+                    for (r, &s) in results.iter_mut().zip(&synop_buf) {
+                        r.synop_adds += s;
+                    }
+                    potentials[0].add_scaled(&z, 1.0)?;
+                }
+            }
+
+            // Hidden fire windows; decided images emit nothing.
+            for i in 0..l_count.saturating_sub(1) {
+                let start = self.fire_start(i);
+                if t < start || t >= start + t_window {
+                    continue;
+                }
+                let local = t - start;
+                let threshold = theta0 * fire_tables[i][local];
+                let value = fire_tables[i][local] * theta0;
+                let mut count = 0u64;
+                {
+                    let _s = profile::span("ttfs/fire_scan");
+                    let feature: usize = potentials[i].dims()[1..].iter().product();
+                    let feature_dims = potentials[i].dims()[1..].to_vec();
+                    fire_ev.begin(&feature_dims);
+                    let pd = potentials[i].data();
+                    let fd = fired[i].data_mut();
+                    for (img, (pimg, fimg)) in pd
+                        .chunks_exact(feature.max(1))
+                        .zip(fd.chunks_exact_mut(feature.max(1)))
+                        .enumerate()
+                    {
+                        if decided[img] {
+                            fire_ev.end_image();
+                            continue;
+                        }
+                        let mut cnt = 0u64;
+                        fire_hits.clear();
+                        t2fsnn_tensor::simd::collect_ge(pimg, threshold, &mut fire_hits);
+                        for &j in &fire_hits {
+                            let f = &mut fimg[j as usize];
+                            if *f == 0.0 {
+                                *f = 1.0;
+                                if value != 0.0 {
+                                    fire_ev.push(j, value);
+                                }
+                                cnt += 1;
+                            }
+                        }
+                        fire_ev.end_image();
+                        results[img].hidden_spikes += cnt;
+                        results[img].synop_mults += cnt;
+                        count += cnt;
+                    }
+                }
+                if count > 0 {
+                    let _s = profile::span("ttfs/segment_propagate");
+                    let seg = &segments[i + 1];
+                    propagate_pre_ops_events(ops, &mut executor, seg, &mut fire_ev, &mut gates)?;
+                    executor.synops_events_by_image(ops, seg.weighted, &fire_ev, &mut synop_buf)?;
+                    for (r, &s) in results.iter_mut().zip(&synop_buf) {
+                        r.synop_adds += s;
+                    }
+                    executor.accumulate_weighted_events(
+                        ops,
+                        seg.weighted,
+                        &fire_ev,
+                        0.0,
+                        &mut potentials[i + 1],
+                    )?;
+                }
+            }
+
+            // Output fire phase (early exit): the first step whose
+            // decaying threshold is crossed decides the image.
+            if opts.early_exit && t >= ee_start && t < ee_start + t_window {
+                let _s = profile::span("ttfs/early_exit");
+                let threshold = theta0 * fire_tables[l_count - 1][t - ee_start];
+                let out = &potentials[l_count - 1];
+                let classes = out.dims()[1];
+                for (img, row) in out.data().chunks_exact(classes.max(1)).enumerate() {
+                    if decided[img] {
+                        continue;
+                    }
+                    let (label, top) = argmax(row);
+                    if top >= threshold {
+                        decided[img] = true;
+                        undecided -= 1;
+                        let r = &mut results[img];
+                        r.label = label;
+                        r.top_potential = top;
+                        r.decision_step = Some(t + 1);
+                        r.steps = t + 1;
+                    }
+                }
+            }
+        }
+
+        // Undecided images (or every image when early exit is off):
+        // full-window argmax.
+        let out = &potentials[l_count - 1];
+        let classes = out.dims()[1];
+        for (img, row) in out.data().chunks_exact(classes.max(1)).enumerate() {
+            if !decided[img] {
+                let (label, top) = argmax(row);
+                let r = &mut results[img];
+                r.label = label;
+                r.top_potential = top;
+            }
+        }
+        Ok(results)
+    }
+
+    /// Input-segment propagation for networks that do not open with a
+    /// bare conv (e.g. MLPs, or pre-pooled inputs): pass-through ops in
+    /// the channel-major image domain, then the weighted op, with
+    /// per-image synop charges written into `synops`.
+    fn propagate_input_segment(
+        &self,
+        ops: &[SnnOp],
+        executor: &mut OpExecutor,
+        seg: &Segment,
+        mut signal: Tensor,
+        gates: &mut [Option<Tensor>],
+        synops: &mut [u64],
+    ) -> Result<Tensor> {
+        for &pi in &seg.pre_ops {
+            let (mut z, _) = executor.propagate(ops, pi, &signal)?;
+            apply_gate(gates[pi].as_mut(), &mut z);
+            signal = z;
+        }
+        // Charge per-image synops on the signal entering the weighted
+        // op: a conv counts on the position-major layout it is executed
+        // in, a linear layer on its flat rows.
+        if matches!(ops[seg.weighted], SnnOp::Conv { .. }) {
+            let pm = signal.to_position_major()?;
+            executor.synops_pm_by_image(ops, seg.weighted, &pm, synops)?;
+        } else {
+            executor.synops_pm_by_image(ops, seg.weighted, &signal, synops)?;
+        }
+        let (z, _) = executor.propagate(ops, seg.weighted, &signal)?;
+        Ok(z)
+    }
+}
+
+/// Event-form pass-through ops ahead of a segment's weighted op: average
+/// pooling, first-spike-gated max pooling and flattens, exactly as
+/// [`T2fsnn::run`] propagates them. Anything else is rejected — the
+/// per-request accounting path supports the bundled op set only.
+fn propagate_pre_ops_events(
+    ops: &[SnnOp],
+    executor: &mut OpExecutor,
+    seg: &Segment,
+    events: &mut SpikeBatch,
+    gates: &mut [Option<Tensor>],
+) -> Result<()> {
+    for &pi in &seg.pre_ops {
+        match &ops[pi] {
+            SnnOp::AvgPool { window, stride } if gates[pi].is_none() => {
+                executor.avg_pool_events(events, *window, *stride)?;
+            }
+            SnnOp::MaxPool { window, stride } => {
+                let gate = gates[pi]
+                    .as_mut()
+                    .expect("max-pool ops carry a first-spike gate");
+                executor.max_pool_events(events, *window, *stride, gate)?;
+            }
+            SnnOp::Flatten if gates[pi].is_none() => {
+                let numel = events.feature_numel();
+                events.reshape_features(&[numel])?;
+            }
+            _ => {
+                return Err(TensorError::InvalidArgument {
+                    op: "T2fsnn::infer",
+                    message: format!(
+                        "op {pi} has no event-form per-request propagation \
+                         (bundled conv/pool/flatten/linear networks only)"
+                    ),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelParams;
+    use crate::network::{NoiseConfig, T2fsnnConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use t2fsnn_data::{Dataset, DatasetSpec, SyntheticConfig};
+    use t2fsnn_dnn::{normalize_for_snn, train, Network, TrainConfig};
+
+    fn fixture() -> (Network, Dataset) {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let data = SyntheticConfig::new(DatasetSpec::tiny(), 9)
+            .with_noise(0.1)
+            .generate(160);
+        let (train_set, test_set) = data.split(128);
+        let mut dnn = t2fsnn_dnn::architectures::mlp_tiny(&mut rng, &data.spec);
+        let config = TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        };
+        train(&mut dnn, &train_set, &config, &mut rng).unwrap();
+        normalize_for_snn(&mut dnn, &train_set.images, 0.999).unwrap();
+        (dnn, test_set)
+    }
+
+    fn cnn_fixture() -> (Network, Dataset) {
+        let mut rng = ChaCha8Rng::seed_from_u64(88);
+        let spec = DatasetSpec::new("infer-cnn", 1, 16, 16, 4);
+        let data = SyntheticConfig::new(spec.clone(), 14).generate(96);
+        let (train_set, test_set) = data.split(72);
+        let mut dnn = t2fsnn_dnn::architectures::cnn_small(
+            &mut rng,
+            &spec,
+            t2fsnn_dnn::layers::PoolKind::Max,
+        );
+        train(&mut dnn, &train_set, &TrainConfig::default(), &mut rng).unwrap();
+        normalize_for_snn(&mut dnn, &train_set.images, 0.999).unwrap();
+        (dnn, test_set)
+    }
+
+    fn model(dnn: &Network, config: T2fsnnConfig) -> T2fsnn {
+        T2fsnn::from_dnn(dnn, config, KernelParams::new(8.0, 0.0)).unwrap()
+    }
+
+    #[test]
+    fn infer_matches_run_accuracy_and_synops() {
+        for (dnn, test_set) in [fixture(), cnn_fixture()] {
+            let m = model(&dnn, T2fsnnConfig::new(32));
+            let run = m.run(&test_set.images, &test_set.labels).unwrap();
+            let inf = m.infer(&test_set.images, InferOptions::default()).unwrap();
+            let correct = inf
+                .iter()
+                .zip(&test_set.labels)
+                .filter(|(r, &y)| r.label == y)
+                .count();
+            let accuracy = correct as f32 / test_set.len() as f32;
+            assert!(
+                (accuracy - run.accuracy).abs() < 1e-6,
+                "infer {} vs run {}",
+                accuracy,
+                run.accuracy
+            );
+            // Per-image charges sum to the batch totals `run` reports.
+            assert_eq!(
+                inf.iter().map(|r| r.synop_adds).sum::<u64>(),
+                run.synop_adds
+            );
+            assert_eq!(
+                inf.iter().map(|r| r.synop_mults).sum::<u64>(),
+                run.synop_mults
+            );
+            assert_eq!(
+                inf.iter().map(|r| r.input_spikes).sum::<u64>(),
+                run.input_spikes
+            );
+            assert_eq!(
+                inf.iter().map(|r| r.hidden_spikes).sum::<u64>(),
+                run.layers.iter().map(|l| l.count).sum::<u64>()
+            );
+            for r in &inf {
+                assert_eq!(r.steps, m.total_steps());
+                assert_eq!(r.decision_step, None);
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_label_equals_full_window_label_when_decided() {
+        // Without early firing the output fire phase begins after its
+        // integration completes, so this equality holds by construction;
+        // the assertion guards the construction.
+        for (dnn, test_set) in [fixture(), cnn_fixture()] {
+            let m = model(&dnn, T2fsnnConfig::new(32));
+            let full = m.infer(&test_set.images, InferOptions::default()).unwrap();
+            let ee = m
+                .infer(&test_set.images, InferOptions::early_exit())
+                .unwrap();
+            let mut fired = 0usize;
+            for (f, e) in full.iter().zip(&ee) {
+                assert_eq!(f.label, e.label, "early-exit changed a label");
+                if let Some(step) = e.decision_step {
+                    fired += 1;
+                    assert_eq!(e.steps, step);
+                    assert!(step > m.total_steps() - m.config().time_window);
+                    // The decision froze the image: it cannot have spent
+                    // more than the full run.
+                    assert!(e.total_spikes() <= f.total_spikes());
+                    assert!(e.synop_adds <= f.synop_adds);
+                } else {
+                    assert_eq!(e.steps, m.total_steps() + m.config().time_window);
+                }
+            }
+            assert!(fired > 0, "no image ever decided early");
+        }
+    }
+
+    #[test]
+    fn solo_and_batched_inference_are_bit_identical() {
+        let (dnn, test_set) = cnn_fixture();
+        let m = model(&dnn, T2fsnnConfig::new(32));
+        let (images, _) = (test_set.images.clone(), &test_set.labels);
+        let batched = m.infer(&images, InferOptions::early_exit()).unwrap();
+        for i in [0usize, 3, 7] {
+            let solo_img = images.index_axis0(i).unwrap();
+            let mut dims = vec![1];
+            dims.extend_from_slice(solo_img.dims());
+            let solo_img = solo_img.reshape(dims).unwrap();
+            let solo = m.infer(&solo_img, InferOptions::early_exit()).unwrap();
+            assert_eq!(solo.len(), 1);
+            assert_eq!(solo[0], batched[i], "image {i} differs solo vs batched");
+            assert_eq!(
+                solo[0].top_potential.to_bits(),
+                batched[i].top_potential.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn worker_counts_are_bit_identical() {
+        let (dnn, test_set) = fixture();
+        let m = model(&dnn, T2fsnnConfig::new(32));
+        let serial = m
+            .infer_on(
+                &test_set.images,
+                InferOptions::early_exit(),
+                &ThreadPool::new(1),
+            )
+            .unwrap();
+        for workers in [2usize, 4] {
+            let parallel = m
+                .infer_on(
+                    &test_set.images,
+                    InferOptions::early_exit(),
+                    &ThreadPool::new(workers),
+                )
+                .unwrap();
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn early_firing_models_still_infer_consistently() {
+        // With early firing the early-exit decision overlaps integration
+        // (non-guaranteed), but the per-image results must still be
+        // batch-invariant and undecided images must match the full run.
+        let (dnn, test_set) = fixture();
+        let m = model(&dnn, T2fsnnConfig::new(32).with_early_firing());
+        let ee = m
+            .infer(&test_set.images, InferOptions::early_exit())
+            .unwrap();
+        let solo_img = test_set.images.index_axis0(2).unwrap();
+        let mut dims = vec![1];
+        dims.extend_from_slice(solo_img.dims());
+        let solo = m
+            .infer(&solo_img.reshape(dims).unwrap(), InferOptions::early_exit())
+            .unwrap();
+        assert_eq!(solo[0], ee[2]);
+    }
+
+    #[test]
+    fn infer_validates_inputs() {
+        let (dnn, test_set) = fixture();
+        let m = model(&dnn, T2fsnnConfig::new(8));
+        assert!(m
+            .infer(&Tensor::zeros([4, 8, 8]), InferOptions::default())
+            .is_err());
+        let noisy = model(
+            &dnn,
+            T2fsnnConfig::new(8).with_noise(NoiseConfig::jitter_only(1, 3)),
+        );
+        assert!(noisy
+            .infer(&test_set.images, InferOptions::default())
+            .is_err());
+    }
+}

@@ -67,11 +67,13 @@
 
 pub mod cost;
 pub mod eval;
+mod infer;
 pub mod kernel;
 mod network;
 pub mod optimize;
 mod pipeline;
 
+pub use infer::{ImageInference, InferOptions};
 pub use kernel::{ExpKernel, KernelParams, KernelTable};
 pub use network::{NoiseConfig, T2fsnn, T2fsnnConfig};
 pub use pipeline::{LayerSpikes, TtfsRun};

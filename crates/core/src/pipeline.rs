@@ -84,12 +84,12 @@ impl TtfsRun {
 }
 
 /// Internal: ops between two weighted layers plus the weighted layer.
-struct Segment {
-    pre_ops: Vec<usize>,
-    weighted: usize,
+pub(crate) struct Segment {
+    pub(crate) pre_ops: Vec<usize>,
+    pub(crate) weighted: usize,
 }
 
-fn build_segments(ops: &[SnnOp]) -> Vec<Segment> {
+pub(crate) fn build_segments(ops: &[SnnOp]) -> Vec<Segment> {
     let mut segments = Vec::new();
     let mut pre = Vec::new();
     for (i, op) in ops.iter().enumerate() {
@@ -205,7 +205,7 @@ fn propagate_segment_events(
 /// First-spike gating at a max-pool op: a window forwards exactly its
 /// first spike and suppresses the rest.
 #[inline]
-fn apply_gate(gate: Option<&mut Tensor>, z: &mut Tensor) {
+pub(crate) fn apply_gate(gate: Option<&mut Tensor>, z: &mut Tensor) {
     if let Some(gate) = gate {
         for (v, g) in z.data_mut().iter_mut().zip(gate.data_mut()) {
             if *g != 0.0 {

@@ -1,0 +1,161 @@
+//! The dynamic micro-batcher: one thread that turns the admission queue
+//! into inference batches.
+//!
+//! Policy: pop the oldest job, then gather company with the same
+//! `(model, early_exit)` key until the batch is full (`max_batch`) or
+//! the deadline — `max_delay` past the first job's *enqueue* time —
+//! expires; a backlogged queue therefore flushes full batches with no
+//! added latency. Jobs for other keys stay queued in order for the next
+//! round.
+//!
+//! Because [`t2fsnn::T2fsnn::infer`] is batch-invariant (bit-identical
+//! per image regardless of batch composition), batching is purely a
+//! throughput/latency trade — it can never change a response.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use t2fsnn::{ImageInference, InferOptions};
+use t2fsnn_snn::energy::TRUENORTH;
+use t2fsnn_tensor::{profile, Tensor};
+
+use crate::metrics::Metrics;
+use crate::queue::Queue;
+use crate::registry::ServeModel;
+
+/// One admitted inference job.
+pub struct InferJob {
+    /// Model to run (resolved at admission).
+    pub model: Arc<ServeModel>,
+    /// Flat `[C·H·W]` image (length validated at admission).
+    pub image: Vec<f32>,
+    /// Resolved early-exit flag (request override or server default).
+    pub early_exit: bool,
+    /// Admission time, for the batching deadline and queue-time metric.
+    pub enqueued: Instant,
+    /// Where the outcome goes; the connection worker blocks on the
+    /// receiving end.
+    pub reply: mpsc::Sender<Result<JobOutcome, String>>,
+}
+
+impl InferJob {
+    /// Batch compatibility key: same model instance, same early-exit
+    /// mode.
+    fn key(&self) -> (*const ServeModel, bool) {
+        (Arc::as_ptr(&self.model), self.early_exit)
+    }
+}
+
+/// What the batcher hands back per job.
+pub struct JobOutcome {
+    /// The per-image inference result.
+    pub result: ImageInference,
+    /// Size of the batch the job executed in.
+    pub batch_size: usize,
+    /// Microseconds the job waited before its batch started.
+    pub queue_us: u64,
+    /// Microseconds the batch spent in inference.
+    pub infer_us: u64,
+}
+
+impl JobOutcome {
+    /// TrueNorth-weighted relative energy of this request
+    /// (`E_dyn·spikes + E_sta·steps`, the paper's estimator un-normalized).
+    pub fn energy_truenorth(&self) -> f64 {
+        TRUENORTH.e_dyn as f64 * self.result.total_spikes() as f64
+            + TRUENORTH.e_sta as f64 * self.result.steps as f64
+    }
+}
+
+/// Runs the batching loop until the queue closes and drains. Intended
+/// for a dedicated thread; shutdown is graceful — jobs admitted before
+/// the close are still executed and answered.
+pub fn run(queue: &Queue<InferJob>, metrics: &Metrics, max_batch: usize, max_delay: Duration) {
+    while let Some(first) = queue.pop_blocking() {
+        let key = first.key();
+        let deadline = first.enqueued + max_delay;
+        let mut batch = vec![first];
+        if max_batch > 1 {
+            batch.extend(queue.collect_matching(deadline, max_batch - 1, |job| job.key() == key));
+        }
+        metrics.set_queue_depth(queue.len());
+        execute(batch, metrics);
+        // Make this thread's profiler spans visible to `/metrics`.
+        profile::flush();
+    }
+}
+
+/// Executes one homogeneous batch and replies to every job. Reply sends
+/// ignore errors: a worker that timed out and closed its receiver just
+/// loses the (already-paid-for) answer.
+fn execute(batch: Vec<InferJob>, metrics: &Metrics) {
+    let model = Arc::clone(&batch[0].model);
+    let early_exit = batch[0].early_exit;
+    let k = batch.len();
+    metrics.observe_batch(k);
+    let [c, h, w] = model.image_dims();
+    let mut data = Vec::with_capacity(k * c * h * w);
+    for job in &batch {
+        data.extend_from_slice(&job.image);
+    }
+    let started = Instant::now();
+    let outcome = Tensor::from_vec(vec![k, c, h, w], data)
+        .and_then(|images| model.model.infer(&images, InferOptions { early_exit }));
+    let infer_us = started.elapsed().as_micros() as u64;
+    match outcome {
+        Ok(results) => {
+            debug_assert_eq!(results.len(), k);
+            for (job, result) in batch.into_iter().zip(results) {
+                metrics.observe_decision(result.decided());
+                let queue_us = started.saturating_duration_since(job.enqueued).as_micros() as u64;
+                let _ = job.reply.send(Ok(JobOutcome {
+                    result,
+                    batch_size: k,
+                    queue_us,
+                    infer_us,
+                }));
+            }
+        }
+        Err(e) => {
+            metrics.observe_infer_error();
+            let message = format!("inference failed: {e}");
+            for job in batch {
+                let _ = job.reply.send(Err(message.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(spikes: u64, steps: usize) -> JobOutcome {
+        JobOutcome {
+            result: ImageInference {
+                label: 0,
+                decision_step: None,
+                steps,
+                top_potential: 0.0,
+                input_spikes: spikes,
+                hidden_spikes: 0,
+                synop_adds: 0,
+                synop_mults: 0,
+            },
+            batch_size: 1,
+            queue_us: 0,
+            infer_us: 0,
+        }
+    }
+
+    #[test]
+    fn energy_estimate_weights_spikes_and_latency() {
+        let a = outcome(100, 40);
+        let b = outcome(10, 40);
+        assert!(a.energy_truenorth() > b.energy_truenorth());
+        let c = outcome(10, 400);
+        assert!(c.energy_truenorth() > b.energy_truenorth());
+        assert!((b.energy_truenorth() - (0.4 * 10.0 + 0.6 * 40.0)).abs() < 1e-4);
+    }
+}

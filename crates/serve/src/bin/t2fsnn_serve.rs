@@ -1,0 +1,47 @@
+//! The serving binary: loads the registry from the scenario cache
+//! (training on a cold cache), binds, and serves until the ctrl channel
+//! (`POST /admin/shutdown`) asks it to stop.
+//!
+//! Configuration is environment-only (see [`t2fsnn_serve::ServeConfig`]):
+//! `T2FSNN_SERVE_ADDR`, `T2FSNN_SERVE_MODELS`, `T2FSNN_SERVE_MAX_BATCH`,
+//! `T2FSNN_SERVE_MAX_DELAY_US`, `T2FSNN_SERVE_QUEUE`,
+//! `T2FSNN_SERVE_WORKERS`, `T2FSNN_SERVE_EARLY_EXIT`,
+//! `T2FSNN_SERVE_READ_TIMEOUT_MS`, `T2FSNN_SERVE_MAX_BODY` — plus the
+//! engine-wide `T2FSNN_THREADS`/`T2FSNN_SIMD`/`T2FSNN_PROFILE`.
+
+use std::io::Write;
+
+use t2fsnn_serve::{start, Registry, ServeConfig};
+
+fn main() {
+    let config = ServeConfig::from_env();
+    let registry = match Registry::load(&config.models) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[serve] FATAL: {e}");
+            std::process::exit(2);
+        }
+    };
+    let handle = match start(config.clone(), registry) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("[serve] FATAL: cannot bind {}: {e}", config.addr);
+            std::process::exit(2);
+        }
+    };
+    // The "listening" line is the readiness signal harnesses wait for;
+    // flush so a piped parent sees it immediately.
+    println!("[serve] listening on {}", handle.addr());
+    println!(
+        "[serve] models: {}; max_batch {}, max_delay {} µs, queue {}, workers {}, early_exit {}",
+        config.models.join(","),
+        config.max_batch,
+        config.max_delay_us,
+        config.queue_capacity,
+        config.workers,
+        config.early_exit,
+    );
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("[serve] shut down cleanly");
+}

@@ -1,0 +1,160 @@
+//! # t2fsnn-serve
+//!
+//! A batched online-inference server for T2FSNN models, std-only (the
+//! workspace is offline): HTTP/1.1 is hand-rolled over
+//! [`std::net::TcpListener`] in the same spirit as the serde/JSON shims.
+//!
+//! The request path:
+//!
+//! 1. **Admission** — connection workers parse requests (bounded read
+//!    with a timeout and size caps, so a slow or malformed client cannot
+//!    wedge a worker) and push inference jobs into a bounded
+//!    [`queue::Queue`]; overflow is answered `429` immediately
+//!    (backpressure, not buffering).
+//! 2. **Micro-batching** — a single batcher thread coalesces queued jobs
+//!    with the same `(model, early_exit)` key, flushing on `max_batch`
+//!    or `max_delay_us` after the first job, whichever comes first.
+//! 3. **Execution** — batches run through [`t2fsnn::T2fsnn::infer`] on
+//!    the scoped thread pool. Inference is **batch-invariant**: a
+//!    request's bits are identical whether it ran solo, in any batch, or
+//!    at any worker count, so batching is purely a throughput knob.
+//! 4. **Anytime early-exit** — TTFS-native: the first output spike *is*
+//!    the decision, so a request can report its label and decision
+//!    timestep (and stop spending spikes/synops) before the time window
+//!    closes. Per-request override via the `early_exit` field.
+//!
+//! `/metrics` exposes queue depth, the batch-size histogram,
+//! latency quantiles, response counters and — when `T2FSNN_PROFILE` is
+//! set — the per-phase profiler table.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+pub mod http;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+use std::time::Duration;
+
+pub use registry::{Registry, ServeModel};
+pub use server::{start, ServerHandle};
+
+/// Server configuration; every knob has an environment-variable twin
+/// read by [`ServeConfig::from_env`] (documented per field).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`T2FSNN_SERVE_ADDR`, default `127.0.0.1:7878`;
+    /// use port `0` to let the OS pick).
+    pub addr: String,
+    /// Scenario names to load into the registry at startup
+    /// (`T2FSNN_SERVE_MODELS`, comma-separated, default `tiny`). The
+    /// first entry is the default model for requests that name none.
+    pub models: Vec<String>,
+    /// Maximum images per micro-batch (`T2FSNN_SERVE_MAX_BATCH`,
+    /// default 8).
+    pub max_batch: usize,
+    /// How long the batcher may hold the first job of a batch while
+    /// waiting for company, in microseconds
+    /// (`T2FSNN_SERVE_MAX_DELAY_US`, default 2000).
+    pub max_delay_us: u64,
+    /// Bounded admission-queue capacity; a full queue answers `429`
+    /// (`T2FSNN_SERVE_QUEUE`, default 128).
+    pub queue_capacity: usize,
+    /// Connection worker threads — the keep-alive concurrency limit
+    /// (`T2FSNN_SERVE_WORKERS`, default 8).
+    pub workers: usize,
+    /// Default for requests that do not set `early_exit`
+    /// (`T2FSNN_SERVE_EARLY_EXIT`, default on; `0` disables).
+    pub early_exit: bool,
+    /// Per-read socket timeout; a half-written request is answered
+    /// `408` when it expires (`T2FSNN_SERVE_READ_TIMEOUT_MS`,
+    /// default 2000).
+    pub read_timeout: Duration,
+    /// Request body cap in bytes; larger bodies are answered `413`
+    /// (`T2FSNN_SERVE_MAX_BODY`, default 4 MiB).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            models: vec!["tiny".to_string()],
+            max_batch: 8,
+            max_delay_us: 2000,
+            queue_capacity: 128,
+            workers: 8,
+            early_exit: true,
+            read_timeout: Duration::from_millis(2000),
+            max_body_bytes: 4 << 20,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builds a config from the environment (see the field docs for the
+    /// variable names); unset or unparsable variables keep defaults.
+    pub fn from_env() -> Self {
+        let mut config = ServeConfig::default();
+        if let Ok(v) = std::env::var("T2FSNN_SERVE_ADDR") {
+            if !v.trim().is_empty() {
+                config.addr = v.trim().to_string();
+            }
+        }
+        if let Ok(v) = std::env::var("T2FSNN_SERVE_MODELS") {
+            let names: Vec<String> = v
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if !names.is_empty() {
+                config.models = names;
+            }
+        }
+        if let Some(v) = env_parse::<usize>("T2FSNN_SERVE_MAX_BATCH") {
+            config.max_batch = v.max(1);
+        }
+        if let Some(v) = env_parse::<u64>("T2FSNN_SERVE_MAX_DELAY_US") {
+            config.max_delay_us = v;
+        }
+        if let Some(v) = env_parse::<usize>("T2FSNN_SERVE_QUEUE") {
+            config.queue_capacity = v.max(1);
+        }
+        if let Some(v) = env_parse::<usize>("T2FSNN_SERVE_WORKERS") {
+            config.workers = v.max(1);
+        }
+        if let Ok(v) = std::env::var("T2FSNN_SERVE_EARLY_EXIT") {
+            config.early_exit = v.trim() != "0";
+        }
+        if let Some(v) = env_parse::<u64>("T2FSNN_SERVE_READ_TIMEOUT_MS") {
+            config.read_timeout = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = env_parse::<usize>("T2FSNN_SERVE_MAX_BODY") {
+            config.max_body_bytes = v.max(1024);
+        }
+        config
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.max_batch >= 1);
+        assert!(c.queue_capacity >= 1);
+        assert!(c.workers >= 1);
+        assert_eq!(c.models, vec!["tiny".to_string()]);
+    }
+}

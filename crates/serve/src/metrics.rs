@@ -1,0 +1,255 @@
+//! Serving metrics: lock-free counters rendered as a Prometheus-style
+//! text exposition at `GET /metrics`.
+//!
+//! Tracked: response counts per status, queue depth/rejections, the
+//! batch-size histogram, request latency (histogram buckets → p50/p95/
+//! p99 upper-bound estimates), early-exit decisions, and — when
+//! `T2FSNN_PROFILE` is enabled — the per-phase profiler table (the
+//! batcher flushes its thread-local spans after every batch, so the
+//! endpoint sees them).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use t2fsnn_tensor::profile;
+
+/// Latency histogram bucket upper bounds, microseconds.
+const LATENCY_BUCKETS_US: [u64; 14] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000,
+];
+
+/// Statuses with dedicated counters (anything else lands in the last
+/// `other` slot).
+const STATUSES: [u16; 8] = [200, 400, 404, 408, 413, 429, 500, 503];
+
+/// The server's metric registry; shared by workers, batcher and the
+/// `/metrics` endpoint. All methods are `&self` and lock-free.
+pub struct Metrics {
+    responses: [AtomicU64; 9],
+    queue_depth: AtomicUsize,
+    queue_rejections: AtomicU64,
+    batches: AtomicU64,
+    /// `batch_hist[k]` counts batches of size `k + 1`.
+    batch_hist: Vec<AtomicU64>,
+    /// `latency_hist[i]` counts requests at or under
+    /// `LATENCY_BUCKETS_US[i]`; the extra slot is the overflow bucket.
+    latency_hist: [AtomicU64; 15],
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+    early_exit_decided: AtomicU64,
+    infer_errors: AtomicU64,
+}
+
+impl Metrics {
+    /// A fresh registry sized for batches up to `max_batch`.
+    pub fn new(max_batch: usize) -> Self {
+        Metrics {
+            responses: Default::default(),
+            queue_depth: AtomicUsize::new(0),
+            queue_rejections: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_hist: (0..max_batch.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            latency_hist: Default::default(),
+            latency_sum_us: AtomicU64::new(0),
+            latency_count: AtomicU64::new(0),
+            early_exit_decided: AtomicU64::new(0),
+            infer_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one response by status.
+    pub fn observe_response(&self, status: u16) {
+        let slot = STATUSES
+            .iter()
+            .position(|&s| s == status)
+            .unwrap_or(STATUSES.len());
+        self.responses[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a refused admission (`429`).
+    pub fn observe_queue_rejection(&self) {
+        self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the queue-depth gauge (called with `queue.len()` after
+    /// pushes and batch formation).
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Counts one executed batch of `size` images.
+    pub fn observe_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let slot = size.clamp(1, self.batch_hist.len()) - 1;
+        self.batch_hist[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one completed request's end-to-end latency.
+    pub fn observe_latency_us(&self, us: u64) {
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency_hist[slot].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts whether a request was decided by the early-exit fire
+    /// phase.
+    pub fn observe_decision(&self, decided: bool) {
+        if decided {
+            self.early_exit_decided.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts a failed batch execution.
+    pub fn observe_infer_error(&self) {
+        self.infer_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of batches whose size exceeded one — the signal that
+    /// micro-batching is actually engaging.
+    pub fn batches_beyond_one(&self) -> u64 {
+        self.batch_hist[1..]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Latency quantile upper-bound estimate from the histogram, `q` in
+    /// `0..=1`. Returns 0 with no observations.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        let total = self.latency_count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, count) in self.latency_hist.iter().enumerate() {
+            seen += count.load(Ordering::Relaxed);
+            if seen >= rank {
+                return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// The text exposition served at `GET /metrics`.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        for (i, &status) in STATUSES.iter().enumerate() {
+            let count = self.responses[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "t2fsnn_serve_responses_total{{code=\"{status}\"}} {count}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "t2fsnn_serve_responses_total{{code=\"other\"}} {}\n",
+            self.responses[STATUSES.len()].load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_queue_rejections_total {}\n",
+            self.queue_rejections.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_batches_total {}\n",
+            self.batches.load(Ordering::Relaxed)
+        ));
+        for (i, count) in self.batch_hist.iter().enumerate() {
+            out.push_str(&format!(
+                "t2fsnn_serve_batch_size_total{{size=\"{}\"}} {}\n",
+                i + 1,
+                count.load(Ordering::Relaxed)
+            ));
+        }
+        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            out.push_str(&format!(
+                "t2fsnn_serve_latency_us_bucket{{le=\"{bound}\"}} {}\n",
+                self.latency_hist[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&format!(
+            "t2fsnn_serve_latency_us_bucket{{le=\"+Inf\"}} {}\n",
+            self.latency_hist[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_latency_us_sum {}\n",
+            self.latency_sum_us.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_latency_us_count {}\n",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+        for (q, label) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            out.push_str(&format!(
+                "t2fsnn_serve_latency_us{{quantile=\"{label}\"}} {}\n",
+                self.latency_quantile_us(q)
+            ));
+        }
+        out.push_str(&format!(
+            "t2fsnn_serve_early_exit_decided_total {}\n",
+            self.early_exit_decided.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_infer_errors_total {}\n",
+            self.infer_errors.load(Ordering::Relaxed)
+        ));
+        if profile::enabled() {
+            for entry in profile::entries() {
+                out.push_str(&format!(
+                    "t2fsnn_profile_ms{{key=\"{}\"}} {:.3}\n",
+                    entry.key,
+                    entry.nanos as f64 / 1e6
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_quantiles() {
+        let m = Metrics::new(4);
+        m.observe_response(200);
+        m.observe_response(200);
+        m.observe_response(429);
+        m.observe_response(418); // lands in `other`
+        m.observe_batch(1);
+        m.observe_batch(3);
+        m.observe_batch(99); // clamped into the top bucket
+        for us in [80, 90, 400, 30_000] {
+            m.observe_latency_us(us);
+        }
+        m.observe_decision(true);
+        m.observe_decision(false);
+        m.set_queue_depth(7);
+        assert_eq!(m.batches_beyond_one(), 2);
+        assert_eq!(m.latency_quantile_us(0.5), 100);
+        assert_eq!(m.latency_quantile_us(0.99), 50_000);
+        let text = m.render();
+        assert!(text.contains("t2fsnn_serve_responses_total{code=\"200\"} 2"));
+        assert!(text.contains("t2fsnn_serve_responses_total{code=\"429\"} 1"));
+        assert!(text.contains("t2fsnn_serve_responses_total{code=\"other\"} 1"));
+        assert!(text.contains("t2fsnn_serve_batch_size_total{size=\"3\"} 1"));
+        assert!(text.contains("t2fsnn_serve_batch_size_total{size=\"4\"} 1"));
+        assert!(text.contains("t2fsnn_serve_queue_depth 7"));
+        assert!(text.contains("t2fsnn_serve_early_exit_decided_total 1"));
+        assert!(text.contains("quantile=\"p50\"} 100"));
+    }
+
+    #[test]
+    fn empty_metrics_render() {
+        let m = Metrics::new(2);
+        assert_eq!(m.latency_quantile_us(0.5), 0);
+        assert!(m.render().contains("t2fsnn_serve_latency_us_count 0"));
+    }
+}

@@ -1,0 +1,126 @@
+//! The JSON wire protocol. Kept dependency-free on purpose: clients
+//! (e.g. the bench crate's `serve_load` generator) speak it with their
+//! own struct mirrors, so the shapes here are the contract.
+
+use serde::{Deserialize, Serialize};
+
+/// `POST /v1/infer` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferRequest {
+    /// Registry model to run; the server's default model when omitted.
+    pub model: Option<String>,
+    /// Flat `[C·H·W]` image, channel-major, unit-range pixels.
+    pub image: Vec<f32>,
+    /// Per-request early-exit override; the server default when omitted.
+    pub early_exit: Option<bool>,
+}
+
+/// `POST /v1/infer` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferResponse {
+    /// Model that served the request.
+    pub model: String,
+    /// Predicted class.
+    pub label: usize,
+    /// Global step (1-based) of the first output spike when the
+    /// early-exit fire phase decided the request; `null` otherwise.
+    pub decision_step: Option<usize>,
+    /// Steps the request was simulated for (its anytime latency).
+    pub steps: usize,
+    /// Winning output neuron's membrane potential (decision margin).
+    pub top_potential: f32,
+    /// Input-encoding spikes of this request.
+    pub input_spikes: u64,
+    /// Hidden-layer spikes of this request.
+    pub hidden_spikes: u64,
+    /// Synaptic accumulates charged to this request.
+    pub synop_adds: u64,
+    /// Kernel multiplies charged to this request.
+    pub synop_mults: u64,
+    /// TrueNorth-weighted energy estimate in the paper's relative
+    /// units: `E_dyn·spikes + E_sta·steps`.
+    pub energy_truenorth: f64,
+    /// Size of the micro-batch this request executed in.
+    pub batch_size: usize,
+    /// Microseconds spent queued before its batch started.
+    pub queue_us: u64,
+    /// Microseconds its batch spent in inference.
+    pub infer_us: u64,
+}
+
+/// One entry of `GET /v1/models`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registry name (scenario name).
+    pub name: String,
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Per-layer TTFS time window `T`.
+    pub time_window: usize,
+    /// Weighted (neuron-bearing) layer count.
+    pub weighted_layers: usize,
+    /// Deterministic full-window pipeline latency in steps.
+    pub latency_steps: usize,
+    /// Source-DNN test accuracy of the cached scenario network.
+    pub dnn_accuracy: f32,
+}
+
+/// Any non-2xx response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable cause.
+    pub error: String,
+}
+
+impl ErrorResponse {
+    /// Serialized error body.
+    pub fn json(error: impl Into<String>) -> Vec<u8> {
+        serde_json::to_vec(&ErrorResponse {
+            error: error.into(),
+        })
+        .unwrap_or_else(|_| b"{\"error\":\"unknown\"}".to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optional_fields_default_when_missing() {
+        let req: InferRequest = serde_json::from_str(r#"{"image": [0.5, 1.0]}"#).unwrap();
+        assert_eq!(req.model, None);
+        assert_eq!(req.early_exit, None);
+        assert_eq!(req.image, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resp = InferResponse {
+            model: "tiny".into(),
+            label: 3,
+            decision_step: Some(41),
+            steps: 41,
+            top_potential: 0.75,
+            input_spikes: 100,
+            hidden_spikes: 40,
+            synop_adds: 12345,
+            synop_mults: 140,
+            energy_truenorth: 80.6,
+            batch_size: 4,
+            queue_us: 1500,
+            infer_us: 900,
+        };
+        let bytes = serde_json::to_vec(&resp).unwrap();
+        let back: InferResponse = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back.label, 3);
+        assert_eq!(back.decision_step, Some(41));
+        assert_eq!(back.batch_size, 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! The model registry: named, ready-to-serve T2FSNN models loaded from
+//! the bench crate's `T2FB` scenario cache.
+//!
+//! [`Registry::load`] resolves scenario names through
+//! [`t2fsnn_bench::prepare`], which reads the cached trained+normalized
+//! network when warm and trains it when cold — a server on a fresh
+//! machine comes up self-contained, just slower on first boot. The
+//! DNN→SNN conversion happens once per model at load time.
+
+use std::sync::Arc;
+
+use t2fsnn::{T2fsnn, T2fsnnConfig};
+use t2fsnn_bench::{prepare, Scenario};
+use t2fsnn_data::DatasetSpec;
+
+use crate::protocol::ModelInfo;
+
+/// One servable model.
+pub struct ServeModel {
+    /// Registry name (the scenario name).
+    pub name: String,
+    /// The converted, ready-to-run model.
+    pub model: T2fsnn,
+    /// Input/output specification of the scenario dataset.
+    pub spec: DatasetSpec,
+    /// Source-DNN test accuracy (from the scenario cache).
+    pub dnn_accuracy: f32,
+}
+
+impl ServeModel {
+    /// Flat image length a request must carry (`C·H·W`).
+    pub fn input_len(&self) -> usize {
+        self.spec.channels * self.spec.height * self.spec.width
+    }
+
+    /// `[C, H, W]` input dims.
+    pub fn image_dims(&self) -> [usize; 3] {
+        [self.spec.channels, self.spec.height, self.spec.width]
+    }
+
+    /// The `GET /v1/models` description of this model.
+    pub fn info(&self) -> ModelInfo {
+        ModelInfo {
+            name: self.name.clone(),
+            channels: self.spec.channels,
+            height: self.spec.height,
+            width: self.spec.width,
+            classes: self.spec.classes,
+            time_window: self.model.config().time_window,
+            weighted_layers: self.model.weighted_count(),
+            latency_steps: self.model.total_steps(),
+            dnn_accuracy: self.dnn_accuracy,
+        }
+    }
+}
+
+/// Scenario lookup by stable name (see [`Scenario::name`]).
+pub fn scenario_by_name(name: &str) -> Option<Scenario> {
+    [
+        Scenario::Tiny,
+        Scenario::MnistLike,
+        Scenario::Cifar10Like,
+        Scenario::Cifar100Like,
+    ]
+    .into_iter()
+    .find(|s| s.name() == name)
+}
+
+/// Named models, ready to serve. The first loaded model is the default
+/// for requests that name none.
+pub struct Registry {
+    models: Vec<Arc<ServeModel>>,
+}
+
+impl Registry {
+    /// Loads (training on a cold cache) every named scenario and
+    /// converts it for TTFS serving with the scenario's time window and
+    /// initial kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown scenario or failed
+    /// conversion.
+    pub fn load(names: &[String]) -> Result<Registry, String> {
+        if names.is_empty() {
+            return Err("registry needs at least one model name".to_string());
+        }
+        let mut models = Vec::with_capacity(names.len());
+        for name in names {
+            let scenario = scenario_by_name(name)
+                .ok_or_else(|| format!("unknown scenario `{name}` (see /v1/models names)"))?;
+            eprintln!("[serve] loading model `{name}`…");
+            let prepared = prepare(scenario);
+            let config = T2fsnnConfig::new(scenario.time_window());
+            let model = T2fsnn::from_dnn(&prepared.dnn, config, scenario.initial_kernel())
+                .map_err(|e| format!("cannot convert `{name}` for serving: {e}"))?;
+            eprintln!(
+                "[serve] model `{name}` ready: {} weighted layers, T = {}, window latency {} steps, \
+                 DNN accuracy {:.1}%",
+                model.weighted_count(),
+                scenario.time_window(),
+                model.total_steps(),
+                prepared.dnn_accuracy * 100.0
+            );
+            models.push(Arc::new(ServeModel {
+                name: name.clone(),
+                model,
+                spec: prepared.test.spec.clone(),
+                dnn_accuracy: prepared.dnn_accuracy,
+            }));
+        }
+        Ok(Registry { models })
+    }
+
+    /// Resolves a request's model name; `None` means the default (first
+    /// loaded) model.
+    pub fn get(&self, name: Option<&str>) -> Option<&Arc<ServeModel>> {
+        match name {
+            None => self.models.first(),
+            Some(n) => self.models.iter().find(|m| m.name == n),
+        }
+    }
+
+    /// Every loaded model.
+    pub fn models(&self) -> &[Arc<ServeModel>] {
+        &self.models
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_resolve() {
+        assert_eq!(scenario_by_name("tiny"), Some(Scenario::Tiny));
+        assert_eq!(scenario_by_name("mnist-like"), Some(Scenario::MnistLike));
+        assert_eq!(scenario_by_name("nope"), None);
+    }
+
+    #[test]
+    fn load_rejects_unknown_and_empty() {
+        assert!(Registry::load(&[]).is_err());
+        assert!(Registry::load(&["not-a-scenario".to_string()]).is_err());
+    }
+
+    #[test]
+    fn tiny_model_loads_and_describes_itself() {
+        let registry = Registry::load(&["tiny".to_string()]).unwrap();
+        let model = registry.get(None).unwrap();
+        assert_eq!(model.name, "tiny");
+        assert_eq!(model.input_len(), 16 * 16);
+        let info = model.info();
+        assert_eq!(info.classes, 4);
+        assert!(info.weighted_layers >= 2);
+        assert_eq!(registry.get(Some("tiny")).unwrap().name, "tiny");
+        assert!(registry.get(Some("missing")).is_none());
+    }
+}

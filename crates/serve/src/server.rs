@@ -1,0 +1,350 @@
+//! The server loop: a polling accept thread, a bounded pool of
+//! connection workers, and the batcher thread, tied together with a
+//! shutdown flag.
+//!
+//! Thread layout (all joined by [`ServerHandle::join`]):
+//!
+//! * **accept** — non-blocking accept poll (so the shutdown flag is
+//!   honored without a self-connect trick); accepted streams get their
+//!   timeouts set and are pushed into a bounded connection queue. An
+//!   overflowing connection queue is answered `503` right on the accept
+//!   thread — bounded work, no buildup.
+//! * **worker ×N** — pop connections, serve keep-alive request loops
+//!   (bounded reads, see [`crate::http`]), push inference jobs and block
+//!   on their reply channel.
+//! * **batcher** — see [`crate::batcher`].
+//!
+//! Shutdown (the "ctrl channel"): `POST /admin/shutdown` — or
+//! [`ServerHandle::shutdown`] from the embedding process — sets the
+//! flag and closes both queues. Workers finish their current
+//! connection, the batcher drains admitted jobs, accept stops; `join`
+//! then returns. A `SIGTERM` falls back to the OS default (process
+//! exit); the ctrl channel is the graceful path, and the load
+//! generator's smoke mode exercises it.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use crate::batcher::{self, InferJob};
+use crate::http::{Conn, HttpError, Request};
+use crate::metrics::Metrics;
+use crate::protocol::{ErrorResponse, InferRequest, InferResponse, ModelInfo};
+use crate::queue::{PushError, Queue};
+use crate::registry::Registry;
+use crate::ServeConfig;
+
+/// How long a connection worker waits for its batch to answer before
+/// giving up with `500` (generous: covers a cold model or a deep queue).
+const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Accept-poll interval while idle; bounds shutdown-flag latency.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Shared server state.
+struct Ctx {
+    config: ServeConfig,
+    registry: Registry,
+    metrics: Metrics,
+    jobs: Queue<InferJob>,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping it does **not** stop the threads — call
+/// [`ServerHandle::shutdown`] and/or [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metric registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.ctx.metrics
+    }
+
+    /// Initiates a graceful shutdown (idempotent): stop admissions,
+    /// drain admitted jobs, stop accepting.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.ctx);
+    }
+
+    /// Waits for every server thread to exit. Call after
+    /// [`ServerHandle::shutdown`] (or rely on `POST /admin/shutdown`).
+    pub fn join(self) {
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn initiate_shutdown(ctx: &Ctx) {
+    ctx.shutdown.store(true, Ordering::SeqCst);
+    // Stop admissions; the batcher drains what was already accepted.
+    ctx.jobs.close();
+}
+
+/// Binds and starts the server threads.
+///
+/// # Errors
+///
+/// Returns the bind error.
+pub fn start(config: ServeConfig, registry: Registry) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let metrics = Metrics::new(config.max_batch);
+    let jobs = Queue::new(config.queue_capacity);
+    let workers = config.workers;
+    let max_batch = config.max_batch;
+    let max_delay = Duration::from_micros(config.max_delay_us);
+    let ctx = Arc::new(Ctx {
+        config,
+        registry,
+        metrics,
+        jobs,
+        shutdown: AtomicBool::new(false),
+    });
+    // Connections queue: accepted streams waiting for a worker. Sized
+    // past the worker count so short bursts park instead of bouncing.
+    let conns: Arc<Queue<TcpStream>> = Arc::new(Queue::new(workers * 2));
+
+    let mut threads = Vec::with_capacity(workers + 2);
+    {
+        let ctx = Arc::clone(&ctx);
+        let conns = Arc::clone(&conns);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &ctx, &conns))
+                .expect("spawn accept thread"),
+        );
+    }
+    for i in 0..workers {
+        let ctx = Arc::clone(&ctx);
+        let conns = Arc::clone(&conns);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&ctx, &conns))
+                .expect("spawn worker thread"),
+        );
+    }
+    {
+        let ctx = Arc::clone(&ctx);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-batcher".into())
+                .spawn(move || batcher::run(&ctx.jobs, &ctx.metrics, max_batch, max_delay))
+                .expect("spawn batcher thread"),
+        );
+    }
+    Ok(ServerHandle { addr, ctx, threads })
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Ctx, conns: &Queue<TcpStream>) {
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
+                let _ = stream.set_write_timeout(Some(ctx.config.read_timeout));
+                let _ = stream.set_nodelay(true);
+                if let Err(PushError::Full(stream) | PushError::Closed(stream)) = conns.push(stream)
+                {
+                    // All workers busy and the parking lot is full:
+                    // bounded refusal instead of unbounded buildup.
+                    ctx.metrics.observe_response(503);
+                    let mut conn = Conn::new(stream);
+                    let _ = conn.write_response(
+                        503,
+                        "application/json",
+                        &ErrorResponse::json("server overloaded"),
+                        false,
+                    );
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // No more connections will arrive; workers drain and exit.
+    conns.close();
+}
+
+fn worker_loop(ctx: &Ctx, conns: &Queue<TcpStream>) {
+    while let Some(stream) = conns.pop_blocking() {
+        handle_connection(ctx, Conn::new(stream));
+    }
+}
+
+/// Serves one connection's keep-alive loop.
+fn handle_connection(ctx: &Ctx, mut conn: Conn) {
+    loop {
+        match conn.read_request(ctx.config.max_body_bytes) {
+            Ok(request) => {
+                let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
+                let (status, body) = route(ctx, &request);
+                ctx.metrics.observe_response(status);
+                let keep_alive = keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
+                if conn
+                    .write_response(status, "application/json", &body, keep_alive)
+                    .is_err()
+                    || !keep_alive
+                {
+                    break;
+                }
+            }
+            Err(HttpError::Timeout { partial }) => {
+                if partial {
+                    // A half-written request: answer 408 and drop the
+                    // connection — the worker is free again.
+                    ctx.metrics.observe_response(408);
+                    let _ = conn.write_response(
+                        408,
+                        "application/json",
+                        &ErrorResponse::json("request incomplete after read timeout"),
+                        false,
+                    );
+                }
+                break;
+            }
+            Err(HttpError::TooLarge) => {
+                ctx.metrics.observe_response(413);
+                let _ = conn.write_response(
+                    413,
+                    "application/json",
+                    &ErrorResponse::json("request exceeds size cap"),
+                    false,
+                );
+                break;
+            }
+            Err(HttpError::Malformed(cause)) => {
+                ctx.metrics.observe_response(400);
+                let _ = conn.write_response(
+                    400,
+                    "application/json",
+                    &ErrorResponse::json(format!("malformed request: {cause}")),
+                    false,
+                );
+                break;
+            }
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => break,
+        }
+    }
+}
+
+/// Routes one request to its `(status, body)`.
+fn route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, b"{\"status\":\"ok\"}".to_vec()),
+        ("GET", "/metrics") => {
+            ctx.metrics.set_queue_depth(ctx.jobs.len());
+            (200, ctx.metrics.render().into_bytes())
+        }
+        ("GET", "/v1/models") => {
+            let infos: Vec<ModelInfo> = ctx.registry.models().iter().map(|m| m.info()).collect();
+            match serde_json::to_vec(&infos) {
+                Ok(body) => (200, body),
+                Err(e) => (500, ErrorResponse::json(format!("serialization: {e}"))),
+            }
+        }
+        ("POST", "/v1/infer") => infer_route(ctx, request),
+        ("POST", "/admin/shutdown") => {
+            initiate_shutdown(ctx);
+            (200, b"{\"status\":\"shutting down\"}".to_vec())
+        }
+        ("GET" | "POST", _) => (404, ErrorResponse::json("no such endpoint")),
+        _ => (405, ErrorResponse::json("method not allowed")),
+    }
+}
+
+fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
+    let parsed: InferRequest = match serde_json::from_slice(&request.body) {
+        Ok(p) => p,
+        Err(e) => return (400, ErrorResponse::json(format!("bad request body: {e}"))),
+    };
+    let Some(model) = ctx.registry.get(parsed.model.as_deref()) else {
+        return (
+            404,
+            ErrorResponse::json(format!(
+                "unknown model {:?} (see GET /v1/models)",
+                parsed.model.as_deref().unwrap_or("<default>")
+            )),
+        );
+    };
+    if parsed.image.len() != model.input_len() {
+        return (
+            400,
+            ErrorResponse::json(format!(
+                "image has {} values, model `{}` expects {} (= {:?})",
+                parsed.image.len(),
+                model.name,
+                model.input_len(),
+                model.image_dims()
+            )),
+        );
+    }
+    let early_exit = parsed.early_exit.unwrap_or(ctx.config.early_exit);
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = InferJob {
+        model: Arc::clone(model),
+        image: parsed.image,
+        early_exit,
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    match ctx.jobs.push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            ctx.metrics.observe_queue_rejection();
+            return (
+                429,
+                ErrorResponse::json("admission queue full — retry with backoff"),
+            );
+        }
+        Err(PushError::Closed(_)) => {
+            return (503, ErrorResponse::json("server is shutting down"));
+        }
+    }
+    ctx.metrics.set_queue_depth(ctx.jobs.len());
+    let enqueued = Instant::now();
+    match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+        Ok(Ok(outcome)) => {
+            let latency_us = enqueued.elapsed().as_micros() as u64;
+            ctx.metrics.observe_latency_us(latency_us);
+            let response = InferResponse {
+                model: model.name.clone(),
+                label: outcome.result.label,
+                decision_step: outcome.result.decision_step,
+                steps: outcome.result.steps,
+                top_potential: outcome.result.top_potential,
+                input_spikes: outcome.result.input_spikes,
+                hidden_spikes: outcome.result.hidden_spikes,
+                synop_adds: outcome.result.synop_adds,
+                synop_mults: outcome.result.synop_mults,
+                energy_truenorth: outcome.energy_truenorth(),
+                batch_size: outcome.batch_size,
+                queue_us: outcome.queue_us,
+                infer_us: outcome.infer_us,
+            };
+            match serde_json::to_vec(&response) {
+                Ok(body) => (200, body),
+                Err(e) => (500, ErrorResponse::json(format!("serialization: {e}"))),
+            }
+        }
+        Ok(Err(message)) => (500, ErrorResponse::json(message)),
+        Err(_) => (500, ErrorResponse::json("inference timed out")),
+    }
+}

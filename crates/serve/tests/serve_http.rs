@@ -1,0 +1,310 @@
+//! End-to-end server tests over real sockets: routing, validation,
+//! connection hygiene (half-written requests), micro-batching with
+//! solo-vs-batched bit-identity, backpressure, and graceful ctrl-channel
+//! shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use t2fsnn_serve::protocol::{InferRequest, InferResponse, ModelInfo};
+use t2fsnn_serve::{start, Registry, ServeConfig, ServerHandle};
+
+/// One blocking HTTP/1.1 exchange on a fresh connection.
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(90)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    read_response(&mut stream)
+}
+
+/// Parses `status` and body from a `Connection: close` response.
+fn read_response(stream: &mut TcpStream) -> (u16, Vec<u8>) {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> (u16, Vec<u8>) {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head")
+        + 4;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, raw[head_end..].to_vec())
+}
+
+fn infer_body(image: &[f32], early_exit: Option<bool>, model: Option<&str>) -> Vec<u8> {
+    serde_json::to_vec(&InferRequest {
+        model: model.map(str::to_string),
+        image: image.to_vec(),
+        early_exit,
+    })
+    .unwrap()
+}
+
+/// A started tiny-model server plus a test image from its own dataset.
+fn test_server(config: ServeConfig) -> (ServerHandle, Vec<Vec<f32>>) {
+    let registry = Registry::load(&["tiny".to_string()]).expect("load tiny model");
+    let scenario = t2fsnn_bench::Scenario::Tiny;
+    let data = scenario.dataset();
+    let feature: usize = data.images.dims()[1..].iter().product();
+    let images: Vec<Vec<f32>> = (0..8)
+        .map(|i| data.images.data()[i * feature..(i + 1) * feature].to_vec())
+        .collect();
+    let handle = start(config, registry).expect("bind");
+    (handle, images)
+}
+
+fn base_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        read_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn routes_validation_and_shutdown() {
+    let (handle, images) = test_server(base_config());
+    let addr = handle.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+
+    let (status, body) = request(addr, "GET", "/v1/models", b"");
+    assert_eq!(status, 200);
+    let models: Vec<ModelInfo> = serde_json::from_slice(&body).unwrap();
+    assert_eq!(models.len(), 1);
+    assert_eq!(models[0].name, "tiny");
+    assert_eq!(models[0].classes, 4);
+
+    // A valid inference, early exit off: full-window latency.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(&images[0], Some(false), None),
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let resp: InferResponse = serde_json::from_slice(&body).unwrap();
+    assert!(resp.label < 4);
+    assert_eq!(resp.decision_step, None);
+    assert!(resp.batch_size >= 1);
+    assert!(resp.input_spikes > 0);
+    assert!(resp.synop_adds > 0);
+    assert!(resp.energy_truenorth > 0.0);
+
+    // Early exit on (server default): decision step reported when fired.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(&images[0], None, None),
+    );
+    assert_eq!(status, 200);
+    let ee: InferResponse = serde_json::from_slice(&body).unwrap();
+    assert_eq!(ee.label, resp.label);
+    if let Some(step) = ee.decision_step {
+        assert_eq!(ee.steps, step);
+    }
+
+    // Validation failures.
+    let (status, _) = request(addr, "POST", "/v1/infer", b"{not json");
+    assert_eq!(status, 400);
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(&[0.5; 3], None, None),
+    );
+    assert_eq!(status, 400);
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(&images[0], None, Some("nope")),
+    );
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/no/such/path", b"");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "DELETE", "/v1/infer", b"");
+    assert_eq!(status, 405);
+
+    // Body cap: Content-Length beyond the max is refused up front.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /v1/infer HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+        .unwrap();
+    let (status, _) = read_response(&mut stream);
+    assert_eq!(status, 413);
+
+    // Graceful ctrl-channel shutdown: responds, then joins cleanly.
+    let (status, _) = request(addr, "POST", "/admin/shutdown", b"");
+    assert_eq!(status, 200);
+    handle.join();
+}
+
+#[test]
+fn half_written_request_gets_408_and_frees_the_worker() {
+    let mut config = base_config();
+    config.workers = 2;
+    let (handle, images) = test_server(config);
+    let addr = handle.addr();
+
+    // Two wedge attempts — as many as there are workers.
+    let mut stalled: Vec<TcpStream> = (0..2)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /v1/infer HTTP/1.1\r\nContent-Length: 512\r\n\r\n{\"half")
+                .unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s
+        })
+        .collect();
+
+    // Each must be answered 408 once the read timeout expires…
+    for s in &mut stalled {
+        let (status, _) = read_response(s);
+        assert_eq!(status, 408);
+    }
+    // …and the workers must be free again for a real request.
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(&images[1], None, None),
+    );
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn concurrent_load_batches_with_bit_identical_results() {
+    let mut config = base_config();
+    config.max_batch = 4;
+    config.max_delay_us = 50_000; // generous window so batches form
+    let (handle, images) = test_server(config);
+    let addr = handle.addr();
+    let image = &images[2];
+
+    // Solo reference result (batch of one, before any load).
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(image, Some(true), None),
+    );
+    assert_eq!(status, 200);
+    let solo: InferResponse = serde_json::from_slice(&body).unwrap();
+    assert_eq!(solo.batch_size, 1);
+
+    // Concurrent identical requests: batches must form, bits must not move.
+    let responses: Vec<InferResponse> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    (0..3)
+                        .map(|_| {
+                            let (status, body) = request(
+                                addr,
+                                "POST",
+                                "/v1/infer",
+                                &infer_body(image, Some(true), None),
+                            );
+                            assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+                            serde_json::from_slice::<InferResponse>(&body).unwrap()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(responses.len(), 12);
+    assert!(
+        responses.iter().any(|r| r.batch_size > 1),
+        "no batch beyond size 1 formed under concurrent load"
+    );
+    for r in &responses {
+        assert_eq!(r.label, solo.label);
+        assert_eq!(r.decision_step, solo.decision_step);
+        assert_eq!(r.steps, solo.steps);
+        assert_eq!(r.top_potential.to_bits(), solo.top_potential.to_bits());
+        assert_eq!(r.input_spikes, solo.input_spikes);
+        assert_eq!(r.hidden_spikes, solo.hidden_spikes);
+        assert_eq!(r.synop_adds, solo.synop_adds);
+        assert_eq!(r.synop_mults, solo.synop_mults);
+    }
+
+    // The metrics endpoint reports the batching.
+    let (status, body) = request(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("t2fsnn_serve_batches_total"));
+    let beyond_one: u64 = handle.metrics().batches_beyond_one();
+    assert!(beyond_one > 0, "metrics: {text}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn full_admission_queue_answers_429() {
+    let mut config = base_config();
+    config.max_batch = 4;
+    config.queue_capacity = 2;
+    config.max_delay_us = 700_000; // hold the first batch open
+    config.workers = 12;
+    let (handle, images) = test_server(config);
+    let addr = handle.addr();
+    let image = &images[3];
+
+    // 12 concurrent requests against capacity batcher(4) + queue(2):
+    // at least two must be refused with 429, the rest must succeed.
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                scope.spawn(|| {
+                    request(
+                        addr,
+                        "POST",
+                        "/v1/infer",
+                        &infer_body(image, Some(true), None),
+                    )
+                    .0
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let ok = statuses.iter().filter(|&&s| s == 200).count();
+    let rejected = statuses.iter().filter(|&&s| s == 429).count();
+    assert_eq!(ok + rejected, 12, "unexpected statuses: {statuses:?}");
+    assert!(rejected >= 2, "expected backpressure, got {statuses:?}");
+    assert!(ok >= 1);
+
+    handle.shutdown();
+    handle.join();
+}

@@ -437,6 +437,99 @@ impl OpExecutor {
         Ok(synops)
     }
 
+    /// Per-image synaptic-accumulate counts `ops[i]` would charge for an
+    /// event-form signal, written into `out` (one slot per image). The
+    /// counts are exactly what [`OpExecutor::accumulate_weighted_events`]
+    /// charges in total — resolved per image so an online-serving request
+    /// can be billed its own synops; images never interact, so
+    /// `out.sum()` equals the batch charge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches or if `ops[i]` is not a
+    /// weighted op.
+    pub fn synops_events_by_image(
+        &self,
+        ops: &[SnnOp],
+        i: usize,
+        events: &SpikeBatch,
+        out: &mut [u64],
+    ) -> Result<()> {
+        match &ops[i] {
+            SnnOp::Conv { weight, spec, .. } => {
+                let kernel = (weight.dims()[2], weight.dims()[3]);
+                sparse::conv2d_synops_events_by_image(events, weight.dims()[0], kernel, *spec, out)
+            }
+            SnnOp::Linear { weight, .. } => {
+                if out.len() != events.batch() {
+                    return Err(TensorError::InvalidArgument {
+                        op: "OpExecutor::synops_events_by_image",
+                        message: format!(
+                            "{} images but out has {} slots",
+                            events.batch(),
+                            out.len()
+                        ),
+                    });
+                }
+                let o = weight.dims()[0] as u64;
+                for (ni, slot) in out.iter_mut().enumerate() {
+                    *slot = events.image_events(ni).0.len() as u64 * o;
+                }
+                Ok(())
+            }
+            _ => Err(TensorError::InvalidArgument {
+                op: "OpExecutor::synops_events_by_image",
+                message: format!("op {i} is not a weighted op"),
+            }),
+        }
+    }
+
+    /// [`OpExecutor::synops_events_by_image`] for a dense position-major
+    /// signal (`[N, OH, OW, C]` for convolutions, `[N, I]` for linear
+    /// layers): each non-zero entry is charged its `valid taps × O`
+    /// accumulates.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches or if `ops[i]` is not a
+    /// weighted op.
+    pub fn synops_pm_by_image(
+        &self,
+        ops: &[SnnOp],
+        i: usize,
+        signal: &Tensor,
+        out: &mut [u64],
+    ) -> Result<()> {
+        match &ops[i] {
+            SnnOp::Conv { weight, spec, .. } => {
+                let kernel = (weight.dims()[2], weight.dims()[3]);
+                sparse::conv2d_synops_pm_by_image(signal, weight.dims()[0], kernel, *spec, out)
+            }
+            SnnOp::Linear { weight, .. } => {
+                if signal.rank() != 2 || out.len() != signal.dims()[0] {
+                    return Err(TensorError::InvalidArgument {
+                        op: "OpExecutor::synops_pm_by_image",
+                        message: format!(
+                            "signal {} does not give one row per out slot ({})",
+                            signal.shape(),
+                            out.len()
+                        ),
+                    });
+                }
+                let o = weight.dims()[0] as u64;
+                let features = signal.dims()[1];
+                for (row, slot) in signal.data().chunks_exact(features.max(1)).zip(out) {
+                    *slot = row.iter().filter(|&&v| v != 0.0).count() as u64 * o;
+                }
+                Ok(())
+            }
+            _ => Err(TensorError::InvalidArgument {
+                op: "OpExecutor::synops_pm_by_image",
+                message: format!("op {i} is not a weighted op"),
+            }),
+        }
+    }
+
     /// Adds `scale × bias` to a position-major drive or membrane tensor
     /// (`[N, OH, OW, C]` for convolutions — each position's channel row
     /// gets the bias vector — or `[N, O]` for dense layers). No-op for
@@ -714,6 +807,52 @@ mod tests {
             signal = next;
         }
         (signal, synops)
+    }
+
+    #[test]
+    fn per_image_synops_sum_to_accumulate_charge() {
+        let ops = ops();
+        let mut exec = OpExecutor::new(&ops, SimEngine::event(), &[1, 4, 4]).unwrap();
+        // Conv op on a position-major signal.
+        let pm = sparse_signal().to_position_major().unwrap();
+        let events = SpikeBatch::from_dense(&pm).unwrap();
+        let mut potential = Tensor::zeros([2, 4, 4, 2]);
+        let charged = exec
+            .accumulate_weighted_events(&ops, 0, &events, 0.0, &mut potential)
+            .unwrap();
+        let mut by_image = vec![0u64; 2];
+        exec.synops_events_by_image(&ops, 0, &events, &mut by_image)
+            .unwrap();
+        assert_eq!(by_image.iter().sum::<u64>(), charged);
+        let mut by_image_dense = vec![0u64; 2];
+        exec.synops_pm_by_image(&ops, 0, &pm, &mut by_image_dense)
+            .unwrap();
+        assert_eq!(by_image_dense, by_image);
+        // Linear op: nnz × O per image.
+        let signal = Tensor::from_vec(
+            [2, 8],
+            vec![
+                0.0, 1.0, 0.0, 0.0, 0.5, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0,
+            ],
+        )
+        .unwrap();
+        let lin_events = SpikeBatch::from_dense(&signal).unwrap();
+        let mut lin = vec![0u64; 2];
+        exec.synops_events_by_image(&ops, 3, &lin_events, &mut lin)
+            .unwrap();
+        assert_eq!(lin, vec![2 * 3, 3]);
+        let mut lin_dense = vec![0u64; 2];
+        exec.synops_pm_by_image(&ops, 3, &signal, &mut lin_dense)
+            .unwrap();
+        assert_eq!(lin_dense, lin);
+        // Non-weighted ops are rejected.
+        assert!(exec
+            .synops_events_by_image(&ops, 1, &events, &mut by_image)
+            .is_err());
+        assert!(exec
+            .synops_pm_by_image(&ops, 1, &pm, &mut by_image)
+            .is_err());
     }
 
     #[test]

@@ -960,6 +960,103 @@ pub fn conv2d_synops_events(
     Ok(taps * o as u64)
 }
 
+/// [`conv2d_synops_events`] resolved **per image**: `out[i]` receives
+/// image `i`'s `valid taps × O` accumulate count. Images never interact,
+/// so these counts are what a per-request (online-serving) accounting
+/// needs and `out.sum() == conv2d_synops_events(..)` always holds.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches or if `out.len()` differs from
+/// the batch size.
+pub fn conv2d_synops_events_by_image(
+    events: &SpikeBatch,
+    o: usize,
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+    out: &mut [u64],
+) -> Result<()> {
+    if out.len() != events.batch() {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_synops_events_by_image",
+            message: format!("{} images but out has {} slots", events.batch(), out.len()),
+        });
+    }
+    let dims = events.feature_dims().to_vec();
+    let g = ConvGeom::new_pm(
+        &dims,
+        o,
+        dims.last().copied().unwrap_or(0) * kernel.0 * kernel.1,
+        kernel,
+        spec,
+        "conv2d_synops_events_by_image",
+    )?;
+    let (ty, tx) = tap_tables(&g);
+    let decoder = PmDecoder::new(g.w, g.c);
+    for (ni, slot) in out.iter_mut().enumerate() {
+        let (idx, _) = events.image_events(ni);
+        let mut taps = 0u64;
+        for &flat in idx {
+            let (_, yi, xi) = decoder.decode(flat as usize);
+            taps += ty[yi] * tx[xi];
+        }
+        *slot = taps * g.o as u64;
+    }
+    Ok(())
+}
+
+/// Per-image synaptic-operation count of a convolution over a dense
+/// **position-major** `[N, H, W, C]` signal: each non-zero entry is
+/// charged `valid taps × O` accumulates, exactly what the scatter
+/// kernels charge. The dense twin of
+/// [`conv2d_synops_events_by_image`].
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches or if `out.len()` differs from
+/// the batch size.
+pub fn conv2d_synops_pm_by_image(
+    input: &Tensor,
+    o: usize,
+    kernel: (usize, usize),
+    spec: Conv2dSpec,
+    out: &mut [u64],
+) -> Result<()> {
+    if input.rank() != 4 {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_synops_pm_by_image",
+            message: format!("expected [N, H, W, C] input, got {}", input.shape()),
+        });
+    }
+    if out.len() != input.dims()[0] {
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d_synops_pm_by_image",
+            message: format!("{} images but out has {} slots", input.dims()[0], out.len()),
+        });
+    }
+    let dims = &input.dims()[1..];
+    let g = ConvGeom::new_pm(
+        dims,
+        o,
+        dims[2] * kernel.0 * kernel.1,
+        kernel,
+        spec,
+        "conv2d_synops_pm_by_image",
+    )?;
+    let (ty, tx) = tap_tables(&g);
+    for (image, slot) in input.data().chunks_exact(g.h * g.w * g.c).zip(out) {
+        let mut taps = 0u64;
+        for (row, &t_row) in image.chunks_exact(g.w * g.c).zip(&ty) {
+            for (pos, &t_col) in row.chunks_exact(g.c).zip(&tx) {
+                let nnz = pos.iter().filter(|&&v| v != 0.0).count() as u64;
+                taps += nnz * t_row * t_col;
+            }
+        }
+        *slot = taps * g.o as u64;
+    }
+    Ok(())
+}
+
 /// Reused buffers of the event-form pooling kernels: a per-window
 /// accumulator addressed through an epoch-stamp array (so it never needs
 /// clearing), the list of windows touched this image, and the per-axis
@@ -1471,6 +1568,54 @@ mod tests {
             let got = conv2d_synops_events(&events, 4, (3, 3), spec).unwrap();
             assert_eq!(got, want);
         }
+    }
+
+    #[test]
+    fn per_image_synops_sum_to_batch_totals() {
+        for &(stride, padding) in &[(1usize, 1usize), (2, 0)] {
+            let spec = Conv2dSpec::new(stride, padding);
+            let input = sparse_input(3, 2, 6, 5);
+            let pm = input.to_position_major().unwrap();
+            let events = SpikeBatch::from_dense(&pm).unwrap();
+            let total = conv2d_synops_events(&events, 4, (3, 3), spec).unwrap();
+            let mut by_image = vec![0u64; 3];
+            conv2d_synops_events_by_image(&events, 4, (3, 3), spec, &mut by_image).unwrap();
+            assert_eq!(by_image.iter().sum::<u64>(), total);
+            // The dense twin charges the same counts per image.
+            let mut by_image_dense = vec![0u64; 3];
+            conv2d_synops_pm_by_image(&pm, 4, (3, 3), spec, &mut by_image_dense).unwrap();
+            assert_eq!(
+                by_image_dense, by_image,
+                "stride={stride} padding={padding}"
+            );
+            // A solo image is charged exactly its batched count.
+            for (ni, &batched) in by_image.iter().enumerate() {
+                let solo = pm.index_axis0(ni).unwrap();
+                let solo_pm = solo.reshape([1, 6, 5, 2]).unwrap();
+                let solo_events = SpikeBatch::from_dense(&solo_pm).unwrap();
+                let solo_total = conv2d_synops_events(&solo_events, 4, (3, 3), spec).unwrap();
+                assert_eq!(solo_total, batched);
+            }
+        }
+        // Shape validation.
+        let events = SpikeBatch::from_dense(&Tensor::ones([2, 4, 4, 1])).unwrap();
+        let mut short = vec![0u64; 1];
+        assert!(conv2d_synops_events_by_image(
+            &events,
+            4,
+            (3, 3),
+            Conv2dSpec::new(1, 1),
+            &mut short
+        )
+        .is_err());
+        assert!(conv2d_synops_pm_by_image(
+            &Tensor::ones([2, 4, 4, 1]),
+            4,
+            (3, 3),
+            Conv2dSpec::new(1, 1),
+            &mut short
+        )
+        .is_err());
     }
 
     #[test]

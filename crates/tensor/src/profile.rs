@@ -12,9 +12,19 @@
 //! `train/backward`, …). Spans may **nest** — an `op/…` span usually
 //! runs inside a `sim/…` or `ttfs/…` span — so the report shows
 //! *inclusive* times per key, not a disjoint partition of wall clock.
-//! Spans from worker threads land in the same table (a mutex guards it;
-//! contention only exists in profiling runs).
+//!
+//! Aggregation is **per-thread with merge**: each span closes into a
+//! thread-local table (no lock), which is merged into the process-global
+//! table every [`FLUSH_EVERY`] closes, at thread exit, and whenever the
+//! thread itself calls [`entries`]/[`flush`]/[`reset`]. Long-lived
+//! threads that want their spans visible to *other* threads (e.g. a
+//! server's batch executor feeding a `/metrics` endpoint) should call
+//! [`flush`] at a natural boundary such as the end of a batch. Concurrent
+//! recorders therefore never contend on a per-span lock, and a reader
+//! sees every span flushed before its read — the hot path is one relaxed
+//! atomic load when profiling is off, and lock-free when it is on.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -34,6 +44,78 @@ pub struct Entry {
 fn table() -> &'static Mutex<HashMap<&'static str, (u64, u128)>> {
     static TABLE: OnceLock<Mutex<HashMap<&'static str, (u64, u128)>>> = OnceLock::new();
     TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Closed spans a thread accumulates locally before merging into the
+/// global table: bounds both the lock rate (one global lock per this
+/// many spans instead of per span) and how stale another thread's view
+/// can get between explicit [`flush`]es.
+const FLUSH_EVERY: u64 = 256;
+
+/// Per-thread span aggregate; merged into the global table on drop
+/// (thread exit) and by [`flush_local`].
+#[derive(Default)]
+struct LocalTable {
+    map: HashMap<&'static str, (u64, u128)>,
+    pending: u64,
+}
+
+impl LocalTable {
+    fn merge_into_global(&mut self) {
+        if self.map.is_empty() {
+            return;
+        }
+        let mut table = table().lock().unwrap_or_else(|e| e.into_inner());
+        for (key, (calls, nanos)) in self.map.drain() {
+            let slot = table.entry(key).or_insert((0, 0));
+            slot.0 += calls;
+            slot.1 += nanos;
+        }
+        self.pending = 0;
+    }
+}
+
+impl Drop for LocalTable {
+    fn drop(&mut self) {
+        self.merge_into_global();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalTable> = RefCell::new(LocalTable::default());
+}
+
+/// Records one closed span: into the thread-local table when available,
+/// straight into the global table during thread teardown (when the
+/// thread-local has already been destroyed).
+fn record(key: &'static str, nanos: u128) {
+    let direct = LOCAL
+        .try_with(|local| {
+            let mut local = local.borrow_mut();
+            let slot = local.map.entry(key).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += nanos;
+            local.pending += 1;
+            if local.pending >= FLUSH_EVERY {
+                local.merge_into_global();
+            }
+        })
+        .is_err();
+    if direct {
+        let mut table = table().lock().unwrap_or_else(|e| e.into_inner());
+        let slot = table.entry(key).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += nanos;
+    }
+}
+
+/// Merges the calling thread's local aggregate into the global table so
+/// other threads (e.g. a metrics endpoint) can see it. Recording threads
+/// flush implicitly every [`FLUSH_EVERY`] spans and at thread exit;
+/// long-lived threads should call this at a natural boundary (end of a
+/// batch, end of a run).
+pub fn flush() {
+    let _ = LOCAL.try_with(|local| local.borrow_mut().merge_into_global());
 }
 
 /// 0 = undecided, 1 = off, 2 = on.
@@ -64,11 +146,7 @@ pub struct Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some((key, start)) = self.open.take() {
-            let nanos = start.elapsed().as_nanos();
-            let mut table = table().lock().unwrap_or_else(|e| e.into_inner());
-            let slot = table.entry(key).or_insert((0, 0));
-            slot.0 += 1;
-            slot.1 += nanos;
+            record(key, start.elapsed().as_nanos());
         }
     }
 }
@@ -82,8 +160,12 @@ pub fn span(key: &'static str) -> Span {
     }
 }
 
-/// All recorded entries, sorted by total time descending.
+/// All recorded entries, sorted by total time descending. Flushes the
+/// calling thread's local aggregate first; spans other live threads have
+/// recorded but not yet flushed (fewer than [`FLUSH_EVERY`] since their
+/// last merge) are not included until they flush.
 pub fn entries() -> Vec<Entry> {
+    flush();
     let table = table().lock().unwrap_or_else(|e| e.into_inner());
     let mut out: Vec<Entry> = table
         .iter()
@@ -93,9 +175,16 @@ pub fn entries() -> Vec<Entry> {
     out
 }
 
-/// Clears the table (spans still open keep their start time and record
-/// into the fresh table when they close).
+/// Clears the table — both the calling thread's local aggregate and the
+/// global table (spans still open keep their start time and record into
+/// the fresh table when they close; other threads' unflushed locals
+/// survive the reset and land on their next merge).
 pub fn reset() {
+    let _ = LOCAL.try_with(|local| {
+        let mut local = local.borrow_mut();
+        local.map.clear();
+        local.pending = 0;
+    });
     table().lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
@@ -152,6 +241,37 @@ mod tests {
         assert_eq!(a.calls, 2);
         let b = recorded.iter().find(|e| e.key == "test/b").unwrap();
         assert_eq!(b.calls, 1);
+
+        // Concurrent recorders: spans land in per-thread tables that
+        // merge into the global one — at thread exit for workers, via
+        // the implicit flush in `entries()` for the calling thread — so
+        // a post-join read sees every span exactly once.
+        reset();
+        std::thread::scope(|scope| {
+            // Join explicitly: the exit-flush runs in the TLS destructor,
+            // which `join()` waits for but scope's implicit wait (a
+            // counter decremented before thread teardown) does not. The
+            // ThreadPool joins all its workers explicitly too.
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        for _ in 0..300 {
+                            let _s = span("test/worker");
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..10 {
+                let _s = span("test/worker");
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let recorded = entries();
+        let w = recorded.iter().find(|e| e.key == "test/worker").unwrap();
+        assert_eq!(w.calls, 4 * 300 + 10);
+
         reset();
         STATE.store(if was_on { 2 } else { 1 }, Ordering::Relaxed);
     }

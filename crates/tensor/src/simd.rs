@@ -1186,9 +1186,18 @@ pub fn bn_input_grad(
 mod tests {
     use super::*;
 
+    /// Serializes every test that toggles or asserts the process-global
+    /// dispatch state — the parallel test harness would otherwise
+    /// interleave `set_enabled` calls between a sibling's toggle and its
+    /// assertion (only the state-*asserting* test can actually fail —
+    /// the kernel-comparison tests pass in either mode — but the race
+    /// is real either way).
+    static MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     /// Runs `f` once with SIMD forced on (a no-op without AVX2) and once
-    /// forced off, restoring the previous state.
+    /// forced off, restoring the previous state. Holds [`MODE_LOCK`].
     fn with_both_modes(mut f: impl FnMut(bool)) {
+        let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let prev = enabled();
         set_enabled(true);
         f(available());
@@ -1327,6 +1336,7 @@ mod tests {
 
     #[test]
     fn set_enabled_round_trips_and_respects_hardware() {
+        let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let prev = enabled();
         set_enabled(false);
         assert!(!enabled());

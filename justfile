@@ -10,8 +10,14 @@ verify:
 # (leading `-`), mirroring the CI workflow's continue-on-error: its
 # regression exit code is a signal for the baseline machine, not a
 # gate for whatever machine runs `just ci`.
-ci: fmt-check lint verify test-scalar pool-test bench-check
+ci: fmt-check lint verify test-scalar pool-test bench-check serve-smoke-ci
     -timeout 900 cargo run --release -p t2fsnn-bench --bin bench_smoke
+
+# The CI flavor of serve-smoke: same blocking correctness gates, no
+# baseline recording (CI machines are not the baseline machine).
+serve-smoke-ci:
+    cargo build --release -p t2fsnn-serve -p t2fsnn-bench
+    timeout 600 cargo run --release -p t2fsnn-bench --bin serve_load -- --smoke
 
 # Thread-pool shutdown/deadlock net under a single-threaded harness.
 pool-test:
@@ -30,6 +36,21 @@ test-scalar:
 # the per-phase time breakdown from the timed repro_fig6.
 bench-smoke:
     timeout 900 cargo run --release -p t2fsnn-bench --bin bench_smoke
+
+# Run the online-inference server (T2FSNN_SERVE_* env knobs; graceful
+# shutdown via `curl -X POST localhost:7878/admin/shutdown`).
+serve:
+    cargo run --release -p t2fsnn-serve --bin t2fsnn_serve
+
+# Serve smoke: spawn the server on an ephemeral port, drive a concurrent
+# closed-loop burst, and assert the correctness gates — ≥99% 2xx,
+# micro-batches beyond size 1 observed, solo-vs-batched responses
+# bit-identical, clean ctrl-channel shutdown (exit 0). Timing output is
+# informational (never asserted); the measured throughput/latency is
+# recorded as the `serve` target of the pr5-post baseline snapshot.
+serve-smoke:
+    cargo build --release -p t2fsnn-serve -p t2fsnn-bench
+    timeout 600 cargo run --release -p t2fsnn-bench --bin serve_load -- --smoke --record-label pr5-post
 
 # Formatting gate.
 fmt-check:
