@@ -8,12 +8,16 @@
 //!
 //! The client speaks the wire protocol with its own struct mirrors —
 //! deliberately not importing the server's types, so the JSON contract
-//! itself is what is exercised.
+//! itself is what is exercised. Requests retry connection errors and
+//! `429` backpressure with bounded exponential backoff + jitter from a
+//! seeded generator, so runs are reproducible.
 //!
 //! ```sh
 //! serve_load --addr 127.0.0.1:7878 --requests 200 --concurrency 4
 //! serve_load --smoke                  # spawn a server, assert the gates
 //! serve_load --smoke --record-label pr5-post
+//! serve_load --chaos                  # fault injection + invariant gates
+//! serve_load --overload               # deadline ladder under 2× load
 //! ```
 //!
 //! `--smoke` is the CI correctness gate: it spawns the sibling
@@ -22,6 +26,23 @@
 //! bit-identical responses, and a clean ctrl-channel shutdown (exit 0).
 //! Timing numbers are informational — never asserted — so the step can
 //! block on correctness without flaking on machine speed.
+//!
+//! `--chaos` spawns the server with a fixed-seed `T2FSNN_SERVE_FAULTS`
+//! spec (slow/aborted reads, mid-response drops, batch panics, batch
+//! delays) and drives a mixed stream of valid, malformed, and
+//! already-expired (`deadline_ms: 0`) requests. Its gates are the
+//! robustness invariants: the loop finishes (no wedge), every request
+//! reaches a terminal outcome, successful responses stay bit-identical
+//! to a solo reference, malformed → `400`, doomed → `504`, error rates
+//! stay bounded, injected panics are observed without the batcher ever
+//! needing a respawn, `/healthz` serves `200` under fire, and the
+//! server still shuts down cleanly (exit 0).
+//!
+//! `--overload` measures full-window capacity, then drives ≥2× that
+//! offered load with per-request deadlines so the degradation ladder
+//! engages (forced early-exit, then shedding); it asserts that p99 of
+//! *answered* requests stays within the deadline and writes the demo to
+//! `results/serve_overload.json`.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -35,12 +56,22 @@ use t2fsnn_bench::baseline::{BaselineFile, BenchRecord, LabeledSnapshot, Snapsho
 use t2fsnn_bench::report::results_dir;
 use t2fsnn_bench::Scenario;
 
+/// Fixed fault spec for `--chaos`: every kind exercised, rates low
+/// enough that most valid traffic still succeeds, panic rate high
+/// enough that a run of ≥100 requests observes batch panics.
+const CHAOS_FAULT_SPEC: &str =
+    "1337:slow_read=0.05@20,abort_read=0.05,drop_resp=0.05,panic=0.15,batch_delay=0.05@5";
+
+/// Bounded retry attempts per request (connection errors and `429`s).
+const MAX_RETRIES: u32 = 3;
+
 /// Client-side mirror of the server's `InferRequest`.
 #[derive(Serialize)]
 struct InferRequest {
     model: Option<String>,
     image: Vec<f32>,
     early_exit: Option<bool>,
+    deadline_ms: Option<u64>,
 }
 
 /// Client-side mirror of the server's `InferResponse` (the fields the
@@ -56,10 +87,14 @@ struct InferResponse {
     synop_adds: u64,
     synop_mults: u64,
     batch_size: usize,
+    queue_us: u64,
+    infer_us: u64,
+    degraded: bool,
 }
 
 impl InferResponse {
-    /// Byte-level identity of the inference-determined fields.
+    /// Byte-level identity of the inference-determined fields (the
+    /// `degraded` marker is scheduling metadata, not inference output).
     fn same_bits(&self, other: &InferResponse) -> bool {
         self.label == other.label
             && self.decision_step == other.decision_step
@@ -70,6 +105,34 @@ impl InferResponse {
             && self.synop_adds == other.synop_adds
             && self.synop_mults == other.synop_mults
     }
+}
+
+/// SplitMix64 — the client's own tiny deterministic generator for
+/// backoff jitter (seeded, so retry schedules are reproducible).
+struct Rng64(u64);
+
+impl Rng64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Exponential backoff with jitter: 2/4/8 ms base plus up to one base
+/// of seeded jitter.
+fn backoff(attempt: u32, rng: &mut Rng64) -> Duration {
+    let base = 2u64 << attempt.min(8);
+    Duration::from_millis(base + rng.next() % base)
+}
+
+/// Retry counters, reported in every summary.
+#[derive(Default)]
+struct RetryStats {
+    on_429: AtomicU64,
+    on_transport: AtomicU64,
 }
 
 /// One keep-alive HTTP/1.1 client connection.
@@ -151,13 +214,71 @@ impl Client {
     }
 }
 
+/// One request with bounded retry: reconnects on transport errors and
+/// backs off on `429`, both with seeded jitter. `None` means the
+/// request never reached a terminal HTTP status (a client-visible
+/// transport failure after all retries).
+fn request_with_retry(
+    slot: &mut Option<Client>,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    rng: &mut Rng64,
+    stats: &RetryStats,
+) -> Option<(u16, Vec<u8>)> {
+    let mut attempt = 0u32;
+    loop {
+        if slot.is_none() {
+            match Client::connect(addr) {
+                Ok(c) => *slot = Some(c),
+                Err(_) => {
+                    if attempt >= MAX_RETRIES {
+                        return None;
+                    }
+                    stats.on_transport.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff(attempt, rng));
+                    attempt += 1;
+                    continue;
+                }
+            }
+        }
+        match slot
+            .as_mut()
+            .expect("connected")
+            .request(method, path, body)
+        {
+            Ok((429, _)) if attempt < MAX_RETRIES => {
+                stats.on_429.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff(attempt, rng));
+                attempt += 1;
+            }
+            Ok(resp) => return Some(resp),
+            Err(_) => {
+                // Broken connection: drop it and retry on a fresh one.
+                *slot = None;
+                if attempt >= MAX_RETRIES {
+                    return None;
+                }
+                stats.on_transport.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff(attempt, rng));
+                attempt += 1;
+            }
+        }
+    }
+}
+
 struct Args {
     addr: Option<String>,
     requests: usize,
     concurrency: usize,
     model: String,
     early_exit: bool,
+    deadline_ms: Option<u64>,
+    seed: u64,
     smoke: bool,
+    chaos: bool,
+    overload: bool,
     record_label: Option<String>,
 }
 
@@ -168,7 +289,11 @@ fn parse_args() -> Args {
         concurrency: 4,
         model: "tiny".to_string(),
         early_exit: true,
+        deadline_ms: None,
+        seed: 42,
         smoke: false,
+        chaos: false,
+        overload: false,
         record_label: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -187,21 +312,26 @@ fn parse_args() -> Args {
             "--concurrency" => args.concurrency = value(&mut i).parse().unwrap_or(4).max(1),
             "--model" => args.model = value(&mut i),
             "--early-exit" => args.early_exit = value(&mut i) != "0",
+            "--deadline-ms" => args.deadline_ms = value(&mut i).parse().ok(),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or(42),
             "--smoke" => args.smoke = true,
+            "--chaos" => args.chaos = true,
+            "--overload" => args.overload = true,
             "--record-label" => args.record_label = Some(value(&mut i)),
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: serve_load [--addr host:port] [--requests N] [--concurrency C] \
-                     [--model NAME] [--early-exit 0|1] [--smoke] [--record-label LABEL]"
+                     [--model NAME] [--early-exit 0|1] [--deadline-ms N] [--seed N] \
+                     [--smoke | --chaos | --overload] [--record-label LABEL]"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
-    if args.addr.is_none() && !args.smoke {
-        eprintln!("need --addr (drive a running server) or --smoke (spawn one)");
+    if args.addr.is_none() && !(args.smoke || args.chaos || args.overload) {
+        eprintln!("need --addr (drive a running server) or --smoke/--chaos/--overload (spawn one)");
         std::process::exit(2);
     }
     args
@@ -213,9 +343,10 @@ struct SpawnedServer {
     addr: String,
 }
 
-/// Spawns the sibling `t2fsnn_serve` binary on an ephemeral port and
-/// waits for its readiness line.
-fn spawn_server(model: &str) -> SpawnedServer {
+/// Spawns the sibling `t2fsnn_serve` binary on an ephemeral port with
+/// `extra_env` on top of the harness defaults, and waits for its
+/// readiness line.
+fn spawn_server(model: &str, extra_env: &[(&str, String)]) -> SpawnedServer {
     let exe = std::env::current_exe().expect("current_exe");
     let server_bin = exe.with_file_name("t2fsnn_serve");
     if !server_bin.exists() {
@@ -226,16 +357,19 @@ fn spawn_server(model: &str) -> SpawnedServer {
         );
         std::process::exit(2);
     }
-    let mut child = Command::new(&server_bin)
+    let mut command = Command::new(&server_bin);
+    command
         .env("T2FSNN_SERVE_ADDR", "127.0.0.1:0")
         .env("T2FSNN_SERVE_MODELS", model)
         .env("T2FSNN_SERVE_MAX_BATCH", "8")
         .env("T2FSNN_SERVE_MAX_DELAY_US", "4000")
         .env("T2FSNN_SERVE_QUEUE", "256")
         .env("T2FSNN_SERVE_WORKERS", "8")
-        .stdout(Stdio::piped())
-        .spawn()
-        .expect("spawn t2fsnn_serve");
+        .stdout(Stdio::piped());
+    for (key, value) in extra_env {
+        command.env(key, value);
+    }
+    let mut child = command.spawn().expect("spawn t2fsnn_serve");
     let stdout = child.stdout.take().expect("child stdout");
     let mut reader = BufReader::new(stdout);
     let addr = loop {
@@ -261,40 +395,186 @@ fn spawn_server(model: &str) -> SpawnedServer {
     SpawnedServer { child, addr }
 }
 
-/// Everything the load run measured.
+/// Requests the ctrl-channel shutdown (retrying — fault injection may
+/// eat the acknowledgment) and waits for the child to exit.
+fn shutdown_spawned(spawned: &mut SpawnedServer, addr: &str, failures: &mut Vec<String>) {
+    let stats = RetryStats::default();
+    let mut rng = Rng64(0xD00F);
+    for _ in 0..10 {
+        let mut slot = None;
+        let _ = request_with_retry(
+            &mut slot,
+            addr,
+            "POST",
+            "/admin/shutdown",
+            b"",
+            &mut rng,
+            &stats,
+        );
+        let wait_until = Instant::now() + Duration::from_secs(3);
+        while Instant::now() < wait_until {
+            match spawned.child.try_wait() {
+                Ok(Some(status)) if status.success() => {
+                    println!("[serve_load] server shut down cleanly (exit 0)");
+                    return;
+                }
+                Ok(Some(status)) => {
+                    failures.push(format!("server exited with {status}"));
+                    return;
+                }
+                _ => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+    failures.push("server did not exit after repeated shutdown requests".to_string());
+    let _ = spawned.child.kill();
+}
+
+/// Terminal outcome of one request after retries.
+struct Outcome {
+    index: usize,
+    /// Final HTTP status; `None` = transport failure after all retries.
+    status: Option<u16>,
+    latency_us: u64,
+    /// Parsed body of a `200`.
+    response: Option<InferResponse>,
+}
+
+/// Everything a closed-loop run measured.
 struct LoadReport {
     wall: Duration,
-    statuses: Vec<u16>,
-    latencies_us: Vec<u64>,
-    /// `(request index, parsed 200 response)` pairs — the index keys
-    /// which image the request carried (`index % images.len()`).
-    responses: Vec<(usize, InferResponse)>,
-    transport_errors: u64,
+    outcomes: Vec<Outcome>,
+    retries_429: u64,
+    retries_transport: u64,
 }
 
 impl LoadReport {
-    fn ok_count(&self) -> usize {
-        self.statuses.iter().filter(|&&s| s == 200).count()
+    fn count_status(&self, status: u16) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == Some(status))
+            .count()
     }
 
-    fn quantile_us(&self, q: f64) -> u64 {
-        if self.latencies_us.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.latencies_us.clone();
-        sorted.sort_unstable();
-        let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize - 1).min(sorted.len() - 1);
-        sorted[rank]
+    fn ok_count(&self) -> usize {
+        self.count_status(200)
+    }
+
+    fn transport_errors(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.status.is_none()).count()
+    }
+
+    fn latencies_us(&self) -> Vec<u64> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status.is_some())
+            .map(|o| o.latency_us)
+            .collect()
+    }
+
+    fn ok_latencies_us(&self) -> Vec<u64> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == Some(200))
+            .map(|o| o.latency_us)
+            .collect()
+    }
+
+    fn responses(&self) -> impl Iterator<Item = (usize, &InferResponse)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.response.as_ref().map(|r| (o.index, r)))
+    }
+
+    fn degraded_count(&self) -> usize {
+        self.responses().filter(|(_, r)| r.degraded).count()
     }
 }
 
-/// `(statuses, latencies µs, indexed 200-responses)` shared by the load
-/// workers.
-type LoadSink = Mutex<(Vec<u16>, Vec<u64>, Vec<(usize, InferResponse)>)>;
+/// `q`-quantile (by ceil rank) of an unsorted latency sample.
+fn quantile_us(latencies: &[u64], q: f64) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize - 1).min(sorted.len() - 1);
+    sorted[rank]
+}
 
 /// Runs the closed loop: `concurrency` workers, each with its own
-/// keep-alive connection, sending the next request as soon as the
-/// previous one answers.
+/// keep-alive connection and seeded backoff stream, sending the next
+/// request as soon as the previous one reaches a terminal outcome.
+/// `make_body` builds the JSON body for request index `i`.
+fn closed_loop(
+    addr: &str,
+    requests: usize,
+    concurrency: usize,
+    seed: u64,
+    make_body: impl Fn(usize) -> Vec<u8> + Sync,
+) -> LoadReport {
+    let next = AtomicU64::new(0);
+    let sink: Mutex<Vec<Outcome>> = Mutex::new(Vec::with_capacity(requests));
+    let stats = RetryStats::default();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..concurrency {
+            let next = &next;
+            let sink = &sink;
+            let stats = &stats;
+            let make_body = &make_body;
+            scope.spawn(move || {
+                let mut rng = Rng64(seed ^ (worker as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+                let mut slot: Option<Client> = None;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if i >= requests {
+                        break;
+                    }
+                    let body = make_body(i);
+                    let sent = Instant::now();
+                    let terminal = request_with_retry(
+                        &mut slot,
+                        addr,
+                        "POST",
+                        "/v1/infer",
+                        &body,
+                        &mut rng,
+                        stats,
+                    );
+                    let latency_us = sent.elapsed().as_micros() as u64;
+                    let outcome = match terminal {
+                        Some((status, response_body)) => Outcome {
+                            index: i,
+                            status: Some(status),
+                            latency_us,
+                            response: (status == 200)
+                                .then(|| serde_json::from_slice(&response_body).ok())
+                                .flatten(),
+                        },
+                        None => Outcome {
+                            index: i,
+                            status: None,
+                            latency_us,
+                            response: None,
+                        },
+                    };
+                    sink.lock().expect("sink").push(outcome);
+                }
+            });
+        }
+    });
+    LoadReport {
+        wall: started.elapsed(),
+        outcomes: sink.into_inner().expect("sink"),
+        retries_429: stats.on_429.load(Ordering::Relaxed),
+        retries_transport: stats.on_transport.load(Ordering::Relaxed),
+    }
+}
+
+/// The plain/smoke/overload request stream: every request is valid and
+/// cycles through `images`.
+#[allow(clippy::too_many_arguments)]
 fn run_load(
     addr: &str,
     images: &[Vec<f32>],
@@ -302,68 +582,72 @@ fn run_load(
     concurrency: usize,
     model: &str,
     early_exit: bool,
+    deadline_ms: Option<u64>,
+    seed: u64,
 ) -> LoadReport {
-    let next = AtomicU64::new(0);
-    let sink: LoadSink = Mutex::new((Vec::new(), Vec::new(), Vec::new()));
-    let transport_errors = AtomicU64::new(0);
-    let started = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..concurrency {
-            scope.spawn(|| {
-                let mut client = match Client::connect(addr) {
-                    Ok(c) => c,
-                    Err(_) => {
-                        transport_errors.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
-                };
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
-                    if i >= requests {
-                        break;
-                    }
-                    let body = serde_json::to_vec(&InferRequest {
-                        model: Some(model.to_string()),
-                        image: images[i % images.len()].clone(),
-                        early_exit: Some(early_exit),
-                    })
-                    .expect("serialize request");
-                    let sent = Instant::now();
-                    match client.request("POST", "/v1/infer", &body) {
-                        Ok((status, response_body)) => {
-                            let latency_us = sent.elapsed().as_micros() as u64;
-                            let parsed = (status == 200)
-                                .then(|| serde_json::from_slice(&response_body).ok())
-                                .flatten();
-                            let mut sink = sink.lock().unwrap();
-                            sink.0.push(status);
-                            sink.1.push(latency_us);
-                            if let Some(r) = parsed {
-                                sink.2.push((i, r));
-                            }
-                        }
-                        Err(_) => {
-                            transport_errors.fetch_add(1, Ordering::Relaxed);
-                            // Reconnect and keep going.
-                            match Client::connect(addr) {
-                                Ok(c) => client = c,
-                                Err(_) => break,
-                            }
-                        }
-                    }
-                }
-            });
-        }
-    });
-    let wall = started.elapsed();
-    let (statuses, latencies_us, responses) = sink.into_inner().unwrap();
-    LoadReport {
-        wall,
-        statuses,
-        latencies_us,
-        responses,
-        transport_errors: transport_errors.load(Ordering::Relaxed),
+    closed_loop(addr, requests, concurrency, seed, |i| {
+        serde_json::to_vec(&InferRequest {
+            model: Some(model.to_string()),
+            image: images[i % images.len()].clone(),
+            early_exit: Some(early_exit),
+            deadline_ms,
+        })
+        .expect("serialize request")
+    })
+}
+
+/// Fetches `/metrics` (with retries) and returns the raw text.
+fn fetch_metrics(addr: &str) -> Option<String> {
+    let stats = RetryStats::default();
+    let mut rng = Rng64(0xBEEF);
+    let mut slot = None;
+    match request_with_retry(&mut slot, addr, "GET", "/metrics", b"", &mut rng, &stats) {
+        Some((200, body)) => Some(String::from_utf8_lossy(&body).into_owned()),
+        _ => None,
     }
+}
+
+/// Value of a plain `name value` counter line in the metrics text.
+fn metric_value(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        rest.trim().parse().ok()
+    })
+}
+
+/// A solo reference response (batch of one), retried until it lands —
+/// under fault injection a reference fetch may need several attempts,
+/// but injection never changes response *bits*, so any clean `200` is
+/// canonical.
+fn solo_reference(addr: &str, model: &str, image: &[f32], early_exit: bool) -> InferResponse {
+    let stats = RetryStats::default();
+    let mut rng = Rng64(0x5010);
+    let body = serde_json::to_vec(&InferRequest {
+        model: Some(model.to_string()),
+        image: image.to_vec(),
+        early_exit: Some(early_exit),
+        deadline_ms: None,
+    })
+    .expect("serialize solo request");
+    for _ in 0..20 {
+        let mut slot = None;
+        if let Some((200, response)) = request_with_retry(
+            &mut slot,
+            addr,
+            "POST",
+            "/v1/infer",
+            &body,
+            &mut rng,
+            &stats,
+        ) {
+            if let Ok(parsed) = serde_json::from_slice::<InferResponse>(&response) {
+                return parsed;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    eprintln!("[serve_load] FATAL: could not obtain a solo reference response");
+    std::process::exit(2);
 }
 
 /// Upserts the measured numbers as a `serve` target of the labeled
@@ -388,8 +672,9 @@ fn record_baseline(label: &str, report: &LoadReport, requests: usize, concurrenc
                 history: Vec::new(),
             }
         });
-    let (mean, min, max) = latency_stats_ns(&report.latencies_us);
-    let samples = report.latencies_us.len() as u64;
+    let latencies = report.latencies_us();
+    let (mean, min, max) = latency_stats_ns(&latencies);
+    let samples = latencies.len() as u64;
     let mut records = vec![BenchRecord {
         group: "serve".into(),
         bench: format!("request_latency/c{concurrency}"),
@@ -399,7 +684,7 @@ fn record_baseline(label: &str, report: &LoadReport, requests: usize, concurrenc
         samples,
     }];
     for (q, name) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
-        let ns = report.quantile_us(q) * 1000;
+        let ns = quantile_us(&latencies, q) * 1000;
         records.push(BenchRecord {
             group: "serve".into(),
             bench: format!("request_latency_{name}/c{concurrency}"),
@@ -475,9 +760,39 @@ fn latency_stats_ns(latencies_us: &[u64]) -> (u64, u64, u64) {
     (mean * 1000, min * 1000, max * 1000)
 }
 
-fn main() {
-    let args = parse_args();
-    let scenario = match args.model.as_str() {
+fn print_report(report: &LoadReport, label: &str) {
+    let ok = report.ok_count();
+    let total = report.outcomes.len().max(1);
+    let rps = ok as f64 / report.wall.as_secs_f64().max(1e-9);
+    let latencies = report.latencies_us();
+    let (mean_ns, min_ns, max_ns) = latency_stats_ns(&latencies);
+    println!(
+        "[serve_load] {label}: {} outcomes in {:.2}s — {:.1} ok/s, 2xx {:.1}%, 504 {}, \
+         {} transport failures, retries {} (429) + {} (transport)",
+        report.outcomes.len(),
+        report.wall.as_secs_f64(),
+        rps,
+        ok as f64 / total as f64 * 100.0,
+        report.count_status(504),
+        report.transport_errors(),
+        report.retries_429,
+        report.retries_transport,
+    );
+    println!(
+        "[serve_load] {label} latency µs: mean {} min {} max {} p50 {} p95 {} p99 {}",
+        mean_ns / 1000,
+        min_ns / 1000,
+        max_ns / 1000,
+        quantile_us(&latencies, 0.5),
+        quantile_us(&latencies, 0.95),
+        quantile_us(&latencies, 0.99),
+    );
+}
+
+/// Builds the deterministic per-model request images from the scenario
+/// dataset (synthesis only — no training on the client side).
+fn scenario_images(model: &str) -> Vec<Vec<f32>> {
+    let scenario = match model {
         "tiny" => Scenario::Tiny,
         "mnist-like" => Scenario::MnistLike,
         "cifar10-like" => Scenario::Cifar10Like,
@@ -487,15 +802,16 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // Request payloads: the scenario's own deterministic dataset
-    // (synthesis only — no training on the client side).
     let data = scenario.dataset();
     let feature: usize = data.images.dims()[1..].iter().product();
-    let images: Vec<Vec<f32>> = (0..data.len().min(32))
+    (0..data.len().min(32))
         .map(|i| data.images.data()[i * feature..(i + 1) * feature].to_vec())
-        .collect();
+        .collect()
+}
 
-    let spawned = args.smoke.then(|| spawn_server(&args.model));
+/// The `--smoke` / plain-drive flow (spawns a server only in smoke).
+fn smoke_or_plain(args: &Args, images: &[Vec<f32>]) {
+    let mut spawned = args.smoke.then(|| spawn_server(&args.model, &[]));
     let addr = spawned
         .as_ref()
         .map(|s| s.addr.clone())
@@ -505,25 +821,11 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
 
     // Solo reference before any load: a batch of exactly one.
-    let solo = {
-        let mut client = Client::connect(&addr).expect("connect for solo reference");
-        let body = serde_json::to_vec(&InferRequest {
-            model: Some(args.model.clone()),
-            image: images[0].clone(),
-            early_exit: Some(args.early_exit),
-        })
-        .unwrap();
-        let (status, response) = client
-            .request("POST", "/v1/infer", &body)
-            .expect("solo request");
-        assert_eq!(status, 200, "solo reference request failed: {status}");
-        let parsed: InferResponse = serde_json::from_slice(&response).expect("solo response");
-        println!(
-            "[serve_load] solo reference: label {}, steps {}, decision {:?}, batch {}",
-            parsed.label, parsed.steps, parsed.decision_step, parsed.batch_size
-        );
-        parsed
-    };
+    let solo = solo_reference(&addr, &args.model, &images[0], args.early_exit);
+    println!(
+        "[serve_load] solo reference: label {}, steps {}, decision {:?}, batch {}",
+        solo.label, solo.steps, solo.decision_step, solo.batch_size
+    );
     if solo.batch_size != 1 {
         failures.push(format!(
             "solo reference ran in a batch of {}",
@@ -537,56 +839,37 @@ fn main() {
     );
     let report = run_load(
         &addr,
-        &images,
+        images,
         args.requests,
         args.concurrency,
         &args.model,
         args.early_exit,
+        args.deadline_ms,
+        args.seed,
     );
+    print_report(&report, "load");
 
-    let ok = report.ok_count();
-    let total = report.statuses.len().max(1);
-    let ok_ratio = ok as f64 / total as f64;
-    let rps = ok as f64 / report.wall.as_secs_f64().max(1e-9);
-    let (mean_ns, min_ns, max_ns) = latency_stats_ns(&report.latencies_us);
-    println!(
-        "[serve_load] {} responses in {:.2}s — {:.1} req/s, 2xx {:.1}% ({} transport errors)",
-        report.statuses.len(),
-        report.wall.as_secs_f64(),
-        rps,
-        ok_ratio * 100.0,
-        report.transport_errors,
-    );
-    println!(
-        "[serve_load] latency µs: mean {} min {} max {} p50 {} p95 {} p99 {}",
-        mean_ns / 1000,
-        min_ns / 1000,
-        max_ns / 1000,
-        report.quantile_us(0.5),
-        report.quantile_us(0.95),
-        report.quantile_us(0.99),
-    );
+    let ok_ratio = report.ok_count() as f64 / report.outcomes.len().max(1) as f64;
     let max_batch_seen = report
-        .responses
-        .iter()
+        .responses()
         .map(|(_, r)| r.batch_size)
         .max()
         .unwrap_or(0);
-    let batched = report
-        .responses
-        .iter()
-        .filter(|(_, r)| r.batch_size > 1)
-        .count();
+    let batched = report.responses().filter(|(_, r)| r.batch_size > 1).count();
     println!(
-        "[serve_load] batches: {batched}/{} responses ran in batches > 1 (max observed {max_batch_seen})"
-    , report.responses.len());
+        "[serve_load] batches: {batched}/{} responses ran in batches > 1 (max observed {max_batch_seen})",
+        report.responses().count()
+    );
 
     // Correctness gates (asserted only in --smoke):
     if ok_ratio < 0.99 {
-        failures.push(format!("2xx ratio {:.3} < 0.99", ok_ratio));
+        failures.push(format!("2xx ratio {ok_ratio:.3} < 0.99"));
     }
-    if report.transport_errors > 0 {
-        failures.push(format!("{} transport errors", report.transport_errors));
+    if report.transport_errors() > 0 {
+        failures.push(format!(
+            "{} terminal transport failures",
+            report.transport_errors()
+        ));
     }
     if max_batch_seen <= 1 {
         failures.push("no micro-batch beyond size 1 formed".to_string());
@@ -596,11 +879,7 @@ fn main() {
     // solo reference image under concurrent load — and must match it
     // byte for byte.
     let mut dup_checked = 0;
-    for (i, r) in report
-        .responses
-        .iter()
-        .filter(|(i, _)| i % images.len() == 0)
-    {
+    for (i, r) in report.responses().filter(|(i, _)| i % images.len() == 0) {
         dup_checked += 1;
         if !r.same_bits(&solo) {
             failures.push(format!("response {i} for image[0] differs from solo run"));
@@ -616,34 +895,24 @@ fn main() {
     }
 
     // Metrics snapshot (and the batch histogram cross-check).
-    if let Ok(mut client) = Client::connect(&addr) {
-        if let Ok((200, body)) = client.request("GET", "/metrics", b"") {
-            let text = String::from_utf8_lossy(&body);
-            for line in text.lines().filter(|l| {
-                l.starts_with("t2fsnn_serve_batch_size_total")
-                    || l.starts_with("t2fsnn_serve_latency_us{")
-                    || l.starts_with("t2fsnn_serve_responses_total")
-                    || l.starts_with("t2fsnn_serve_queue")
-                    || l.starts_with("t2fsnn_serve_early_exit")
-            }) {
-                println!("[metrics] {line}");
-            }
+    if let Some(text) = fetch_metrics(&addr) {
+        for line in text.lines().filter(|l| {
+            l.starts_with("t2fsnn_serve_batch_size_total")
+                || l.starts_with("t2fsnn_serve_latency_us{")
+                || l.starts_with("t2fsnn_serve_responses_total")
+                || l.starts_with("t2fsnn_serve_queue")
+                || l.starts_with("t2fsnn_serve_early_exit")
+                || l.starts_with("t2fsnn_serve_deadline")
+                || l.starts_with("t2fsnn_serve_forced_early_exit")
+                || l.starts_with("t2fsnn_serve_worker_panics")
+        }) {
+            println!("[metrics] {line}");
         }
     }
 
     // Graceful shutdown over the ctrl channel.
-    if let Some(mut spawned) = spawned {
-        match Client::connect(&addr).and_then(|mut c| c.request("POST", "/admin/shutdown", b"")) {
-            Ok((200, _)) => {}
-            other => failures.push(format!("ctrl-channel shutdown failed: {other:?}")),
-        }
-        match spawned.child.wait() {
-            Ok(status) if status.success() => {
-                println!("[serve_load] server shut down cleanly (exit 0)")
-            }
-            Ok(status) => failures.push(format!("server exited with {status}")),
-            Err(e) => failures.push(format!("cannot wait for server: {e}")),
-        }
+    if let Some(spawned) = spawned.as_mut() {
+        shutdown_spawned(spawned, &addr, &mut failures);
     }
 
     if args.smoke {
@@ -655,5 +924,456 @@ fn main() {
             }
             std::process::exit(1);
         }
+    }
+}
+
+/// Traffic class of chaos-mode request `i` (deterministic by index):
+/// 70 % valid, 15 % malformed (short image → `400`), 15 % doomed
+/// (`deadline_ms: 0` → deterministic `504` shed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChaosKind {
+    Valid,
+    Malformed,
+    Doomed,
+}
+
+fn chaos_kind(i: usize) -> ChaosKind {
+    match i % 20 {
+        0..=13 => ChaosKind::Valid,
+        14..=16 => ChaosKind::Malformed,
+        _ => ChaosKind::Doomed,
+    }
+}
+
+/// The `--chaos` flow: fixed-seed fault injection + invariant gates.
+fn chaos_run(args: &Args, images: &[Vec<f32>]) {
+    let fault_spec = std::env::var("T2FSNN_SERVE_FAULTS")
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .unwrap_or_else(|| CHAOS_FAULT_SPEC.to_string());
+    println!("[serve_load] chaos fault spec: {fault_spec}");
+    let mut spawned = spawn_server(&args.model, &[("T2FSNN_SERVE_FAULTS", fault_spec.clone())]);
+    let addr = spawned.addr.clone();
+    let mut failures: Vec<String> = Vec::new();
+
+    // Clean reference bits (fault injection never alters bits, so any
+    // successful response is canonical).
+    let solo = solo_reference(&addr, &args.model, &images[0], true);
+    println!(
+        "[serve_load] chaos solo reference: label {}, steps {}, decision {:?}",
+        solo.label, solo.steps, solo.decision_step
+    );
+
+    let requests = args.requests.max(160);
+    let concurrency = args.concurrency.max(6);
+    println!(
+        "[serve_load] chaos closed loop: {requests} requests ({} valid / {} malformed / {} doomed), \
+         concurrency {concurrency}",
+        (0..requests).filter(|&i| chaos_kind(i) == ChaosKind::Valid).count(),
+        (0..requests).filter(|&i| chaos_kind(i) == ChaosKind::Malformed).count(),
+        (0..requests).filter(|&i| chaos_kind(i) == ChaosKind::Doomed).count(),
+    );
+    let model = args.model.clone();
+    let report = closed_loop(&addr, requests, concurrency, args.seed, |i| {
+        let request = match chaos_kind(i) {
+            ChaosKind::Valid => InferRequest {
+                model: Some(model.clone()),
+                image: images[i % images.len()].clone(),
+                early_exit: Some(true),
+                deadline_ms: None,
+            },
+            ChaosKind::Malformed => InferRequest {
+                model: Some(model.clone()),
+                image: vec![0.0; 7],
+                early_exit: Some(true),
+                deadline_ms: None,
+            },
+            ChaosKind::Doomed => InferRequest {
+                model: Some(model.clone()),
+                image: images[i % images.len()].clone(),
+                early_exit: Some(true),
+                deadline_ms: Some(0),
+            },
+        };
+        serde_json::to_vec(&request).expect("serialize chaos request")
+    });
+    print_report(&report, "chaos");
+
+    // Invariant: the loop finished and every request reached a terminal
+    // outcome (the closed loop returning at all is the no-wedge gate;
+    // completeness catches lost replies).
+    if report.outcomes.len() != requests {
+        failures.push(format!(
+            "only {}/{requests} requests reached a terminal outcome",
+            report.outcomes.len()
+        ));
+    }
+
+    // Invariant: per-class terminal outcomes. Transport failures are
+    // legal everywhere (aborted reads / dropped responses land on
+    // arbitrary requests); what matters is that an HTTP answer, when
+    // given, is the *right* answer.
+    let mut valid_total = 0usize;
+    let mut valid_ok = 0usize;
+    for outcome in &report.outcomes {
+        let kind = chaos_kind(outcome.index);
+        let Some(status) = outcome.status else {
+            continue;
+        };
+        match kind {
+            ChaosKind::Valid => {
+                valid_total += 1;
+                match status {
+                    200 => valid_ok += 1,
+                    // 500 = a batch the injector panicked; 429 = queue
+                    // pressure that outlived the bounded retries.
+                    500 | 429 => {}
+                    other => {
+                        failures.push(format!("valid request {} answered {other}", outcome.index));
+                    }
+                }
+            }
+            ChaosKind::Malformed => {
+                if status != 400 {
+                    failures.push(format!(
+                        "malformed request {} answered {status} (want 400)",
+                        outcome.index
+                    ));
+                }
+            }
+            ChaosKind::Doomed => {
+                if status != 504 {
+                    failures.push(format!(
+                        "doomed request {} answered {status} (want 504)",
+                        outcome.index
+                    ));
+                }
+            }
+        }
+    }
+    // Invariant: bounded error rate — most valid traffic still succeeds
+    // under the configured fault rates.
+    if valid_total > 0 && (valid_ok as f64) < 0.5 * valid_total as f64 {
+        failures.push(format!(
+            "only {valid_ok}/{valid_total} valid requests succeeded (< 50%)"
+        ));
+    }
+    // Invariant: bit-identity of successful responses under chaos.
+    let mut bits_checked = 0usize;
+    for (i, r) in report.responses() {
+        if chaos_kind(i) == ChaosKind::Valid && i % images.len() == 0 {
+            bits_checked += 1;
+            if !r.same_bits(&solo) {
+                failures.push(format!("response {i} for image[0] differs under chaos"));
+            }
+        }
+    }
+    if bits_checked == 0 {
+        failures.push("no reference-image response survived to bit-check".to_string());
+    }
+    println!("[serve_load] chaos bit-identity: {bits_checked} responses matched solo");
+
+    // Invariant: the server is still ready under fire.
+    {
+        let stats = RetryStats::default();
+        let mut rng = Rng64(0x4EA1);
+        let mut slot = None;
+        match request_with_retry(&mut slot, &addr, "GET", "/healthz", b"", &mut rng, &stats) {
+            Some((200, body)) => {
+                let text = String::from_utf8_lossy(&body);
+                if !text.contains("\"status\":\"ok\"") {
+                    failures.push(format!("healthz 200 but not ok: {text}"));
+                }
+            }
+            other => failures.push(format!("healthz not 200 after chaos: {other:?}")),
+        }
+    }
+
+    // Invariant: faults actually fired, panics were isolated (the
+    // in-loop catch handled them; the supervisor backstop stayed idle).
+    match fetch_metrics(&addr) {
+        Some(text) => {
+            let injected = metric_value(&text, "t2fsnn_serve_faults_injected_total").unwrap_or(0);
+            let panics = metric_value(&text, "t2fsnn_serve_worker_panics_total").unwrap_or(0);
+            let respawns = metric_value(&text, "t2fsnn_serve_batcher_respawns_total").unwrap_or(0);
+            let shed = metric_value(&text, "t2fsnn_serve_deadline_shed_total").unwrap_or(0);
+            println!(
+                "[serve_load] chaos metrics: {injected} faults injected, {panics} batch panics, \
+                 {respawns} batcher respawns, {shed} deadline sheds"
+            );
+            if injected == 0 {
+                failures.push("no fault was injected".to_string());
+            }
+            if panics == 0 {
+                failures.push("no batch panic observed (panic rate too low?)".to_string());
+            }
+            if respawns != 0 {
+                failures.push(format!(
+                    "batcher needed {respawns} respawns — a panic escaped catch_unwind"
+                ));
+            }
+            if shed == 0 {
+                failures.push("no deadline shed recorded despite doomed traffic".to_string());
+            }
+        }
+        None => failures.push("cannot fetch /metrics after chaos".to_string()),
+    }
+
+    // Invariant: clean shutdown even with injection active.
+    shutdown_spawned(&mut spawned, &addr, &mut failures);
+
+    if failures.is_empty() {
+        println!("[serve_load] CHAOS OK — all invariants held under fault injection");
+    } else {
+        for f in &failures {
+            eprintln!("[serve_load] CHAOS GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// What `--overload` writes to `results/serve_overload.json`.
+#[derive(Serialize)]
+struct OverloadRecord {
+    recorded_at_unix: u64,
+    model: String,
+    deadline_ms: u64,
+    capacity_concurrency: usize,
+    capacity_rps: f64,
+    overload_concurrency: usize,
+    overload_requests: usize,
+    offered_rps: f64,
+    offered_over_capacity: f64,
+    answered_200: usize,
+    shed_504: usize,
+    other_statuses: usize,
+    transport_failures: usize,
+    degraded_answers: usize,
+    degraded_fraction_of_answered: f64,
+    shed_fraction_of_offered: f64,
+    p50_us_answered_wall: u64,
+    p99_us_answered_wall: u64,
+    p50_us_answered_server: u64,
+    p99_us_answered_server: u64,
+    metrics_deadline_shed_total: u64,
+    metrics_unmeetable_shed_total: u64,
+    metrics_forced_early_exit_total: u64,
+    metrics_deadline_late_answers_total: u64,
+}
+
+/// The `--overload` flow: measure full-window capacity, then offer ≥2×
+/// with deadlines and let the ladder degrade instead of collapse.
+fn overload_run(args: &Args, images: &[Vec<f32>]) {
+    let deadline_ms = args.deadline_ms.unwrap_or(15);
+    // The loop is closed, so offered load can only exceed service
+    // capacity through shedding: expired slots recycle in ~deadline
+    // time. Concurrency must be high enough that slot-recycling rate
+    // (c / deadline) clears 2× the full-window capacity.
+    let overload_concurrency = args.concurrency.max(96);
+    let overload_requests = args.requests.max(1500);
+    // Workers sized to the client concurrency so the overload pressure
+    // lands on the admission queue and batcher (the ladder), not on the
+    // accept loop's connection backpressure.
+    let mut spawned = spawn_server(
+        &args.model,
+        &[
+            ("T2FSNN_SERVE_WORKERS", overload_concurrency.to_string()),
+            ("T2FSNN_SERVE_QUEUE", "512".to_string()),
+        ],
+    );
+    let addr = spawned.addr.clone();
+    let mut failures: Vec<String> = Vec::new();
+
+    // Warm-up + reference.
+    let solo = solo_reference(&addr, &args.model, &images[0], false);
+    println!(
+        "[serve_load] overload solo (full window): label {}, steps {}",
+        solo.label, solo.steps
+    );
+
+    // Phase A: sustainable full-window capacity, no deadlines.
+    let capacity_concurrency = 8;
+    println!("[serve_load] phase A: full-window capacity at c{capacity_concurrency}");
+    let capacity = run_load(
+        &addr,
+        images,
+        200,
+        capacity_concurrency,
+        &args.model,
+        false,
+        None,
+        args.seed,
+    );
+    print_report(&capacity, "capacity");
+    let capacity_rps = capacity.ok_count() as f64 / capacity.wall.as_secs_f64().max(1e-9);
+
+    // Warm the ladder's anytime estimator: rung 3 (unmeetable shed) is
+    // disabled until the batcher has seen an early-exit batch, so a
+    // cold phase B would answer its first deadline-pressed batch late.
+    println!("[serve_load] warm-up: anytime estimator (100 early-exit requests)");
+    let _ = run_load(
+        &addr,
+        images,
+        100,
+        capacity_concurrency,
+        &args.model,
+        true,
+        None,
+        args.seed,
+    );
+
+    // Phase B: overload with deadlines; full-window requested, so every
+    // degraded answer is the ladder's doing.
+    println!(
+        "[serve_load] phase B: overload at c{overload_concurrency}, deadline {deadline_ms} ms, \
+         {overload_requests} requests"
+    );
+    let overload = run_load(
+        &addr,
+        images,
+        overload_requests,
+        overload_concurrency,
+        &args.model,
+        false,
+        Some(deadline_ms),
+        args.seed,
+    );
+    print_report(&overload, "overload");
+
+    let answered = overload.ok_count();
+    let shed = overload.count_status(504);
+    let degraded = overload.degraded_count();
+    let ok_latencies = overload.ok_latencies_us();
+    let p50_answered = quantile_us(&ok_latencies, 0.5);
+    let p99_answered = quantile_us(&ok_latencies, 0.99);
+    // The deadline contract is admission-to-answer (the server's clock
+    // starts when the request is parsed); the response's own
+    // `queue_us + infer_us` is that interval. Client-side wall latency
+    // additionally counts transport and the load generator's own thread
+    // scheduling, which is not what the deadline bounds — both are
+    // reported, the gate applies to the server-side interval.
+    let server_latencies: Vec<u64> = overload
+        .responses()
+        .map(|(_, r)| r.queue_us + r.infer_us)
+        .collect();
+    let p50_server = quantile_us(&server_latencies, 0.5);
+    let p99_server = quantile_us(&server_latencies, 0.99);
+    let offered_rps = overload.outcomes.len() as f64 / overload.wall.as_secs_f64().max(1e-9);
+    let ratio = offered_rps / capacity_rps.max(1e-9);
+    println!(
+        "[serve_load] overload: offered {offered_rps:.1} req/s = {ratio:.2}× capacity \
+         ({capacity_rps:.1}), answered {answered} (degraded {degraded}), shed {shed}, \
+         admission-to-answer p50/p99 {p50_server}/{p99_server} µs (client-side wall \
+         {p50_answered}/{p99_answered} µs) vs deadline {} µs",
+        deadline_ms * 1000
+    );
+
+    let (mut m_shed, mut m_unmeetable, mut m_forced, mut m_late) = (0, 0, 0, 0);
+    if let Some(text) = fetch_metrics(&addr) {
+        m_shed = metric_value(&text, "t2fsnn_serve_deadline_shed_total").unwrap_or(0);
+        m_unmeetable = metric_value(&text, "t2fsnn_serve_unmeetable_shed_total").unwrap_or(0);
+        m_forced = metric_value(&text, "t2fsnn_serve_forced_early_exit_total").unwrap_or(0);
+        m_late = metric_value(&text, "t2fsnn_serve_deadline_late_answers_total").unwrap_or(0);
+        println!(
+            "[serve_load] overload metrics: {m_shed} sheds ({m_unmeetable} unmeetable), \
+             {m_forced} forced early-exits, {m_late} late answers"
+        );
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("t2fsnn_serve_dispatch_slack_us_bucket"))
+        {
+            println!("[metrics] {line}");
+        }
+    } else {
+        failures.push("cannot fetch /metrics after overload".to_string());
+    }
+
+    // Gates.
+    if ratio < 2.0 {
+        failures.push(format!(
+            "offered load only {ratio:.2}× capacity (need ≥ 2×)"
+        ));
+    }
+    if answered == 0 {
+        failures.push("no request was answered under overload".to_string());
+    }
+    if p99_server > deadline_ms * 1000 {
+        failures.push(format!(
+            "admission-to-answer p99 {p99_server} µs exceeds deadline {} µs",
+            deadline_ms * 1000
+        ));
+    }
+    if m_forced == 0 {
+        failures.push("ladder never forced an early-exit (overload too mild?)".to_string());
+    }
+    if overload.transport_errors() > 0 {
+        failures.push(format!(
+            "{} terminal transport failures under overload",
+            overload.transport_errors()
+        ));
+    }
+
+    let record = OverloadRecord {
+        recorded_at_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        model: args.model.clone(),
+        deadline_ms,
+        capacity_concurrency,
+        capacity_rps,
+        overload_concurrency,
+        overload_requests,
+        offered_rps,
+        offered_over_capacity: ratio,
+        answered_200: answered,
+        shed_504: shed,
+        other_statuses: overload.outcomes.len() - answered - shed - overload.transport_errors(),
+        transport_failures: overload.transport_errors(),
+        degraded_answers: degraded,
+        degraded_fraction_of_answered: degraded as f64 / answered.max(1) as f64,
+        shed_fraction_of_offered: shed as f64 / overload.outcomes.len().max(1) as f64,
+        p50_us_answered_wall: p50_answered,
+        p99_us_answered_wall: p99_answered,
+        p50_us_answered_server: p50_server,
+        p99_us_answered_server: p99_server,
+        metrics_deadline_shed_total: m_shed,
+        metrics_unmeetable_shed_total: m_unmeetable,
+        metrics_forced_early_exit_total: m_forced,
+        metrics_deadline_late_answers_total: m_late,
+    };
+    let path = results_dir().join("serve_overload.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match serde_json::to_vec_pretty(&record) {
+        Ok(bytes) => match std::fs::write(&path, bytes) {
+            Ok(()) => println!("[serve_load] overload demo recorded in {}", path.display()),
+            Err(e) => failures.push(format!("cannot write {}: {e}", path.display())),
+        },
+        Err(e) => failures.push(format!("overload record serialization failed: {e}")),
+    }
+
+    shutdown_spawned(&mut spawned, &addr, &mut failures);
+
+    if failures.is_empty() {
+        println!("[serve_load] OVERLOAD OK — deadline ladder held under ≥2× load");
+    } else {
+        for f in &failures {
+            eprintln!("[serve_load] OVERLOAD GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let images = scenario_images(&args.model);
+    if args.chaos {
+        chaos_run(&args, &images);
+    } else if args.overload {
+        overload_run(&args, &images);
+    } else {
+        smoke_or_plain(&args, &images);
     }
 }

@@ -29,6 +29,13 @@
 //!   Requests whose potentials never cross the threshold fall back to
 //!   the full-window argmax with [`ImageInference::decision_step`]
 //!   `None`.
+//!
+//! The anytime property is also the serving layer's pressure valve: a
+//! deadline-pressed full-window request can be *forced* onto the
+//! early-exit path (the serve crate's degradation ladder) and its
+//! result is bit-identical to the same image explicitly requested with
+//! [`InferOptions::early_exit`] — degraded service is a cheaper point
+//! on the same accuracy/latency curve, not a different computation.
 
 use serde::{Deserialize, Serialize};
 use t2fsnn_snn::{OpExecutor, SnnOp};
@@ -47,7 +54,11 @@ pub struct InferOptions {
 }
 
 impl InferOptions {
-    /// Options with the early-exit fire phase enabled.
+    /// Options with the early-exit fire phase enabled. Also the forced
+    /// degraded mode under deadline pressure: there is exactly one
+    /// early-exit code path, whether a client asked for it or a
+    /// scheduler imposed it, so the two are bit-identical by
+    /// construction.
     pub fn early_exit() -> Self {
         InferOptions { early_exit: true }
     }

@@ -6,8 +6,15 @@
 //! `T2FSNN_SERVE_ADDR`, `T2FSNN_SERVE_MODELS`, `T2FSNN_SERVE_MAX_BATCH`,
 //! `T2FSNN_SERVE_MAX_DELAY_US`, `T2FSNN_SERVE_QUEUE`,
 //! `T2FSNN_SERVE_WORKERS`, `T2FSNN_SERVE_EARLY_EXIT`,
-//! `T2FSNN_SERVE_READ_TIMEOUT_MS`, `T2FSNN_SERVE_MAX_BODY` — plus the
-//! engine-wide `T2FSNN_THREADS`/`T2FSNN_SIMD`/`T2FSNN_PROFILE`.
+//! `T2FSNN_SERVE_READ_TIMEOUT_MS`, `T2FSNN_SERVE_MAX_BODY`,
+//! `T2FSNN_SERVE_DEADLINE_MS`, `T2FSNN_SERVE_FORCE_EE_SLACK_US`,
+//! `T2FSNN_SERVE_FAULTS` — plus the engine-wide
+//! `T2FSNN_THREADS`/`T2FSNN_SIMD`/`T2FSNN_PROFILE`.
+//!
+//! A model that fails to load does not kill the process: its slot
+//! answers `503` and `/healthz` reports it, so a fleet can keep the
+//! healthy models serving. Only a bind failure (or zero configured
+//! model names) is fatal.
 
 use std::io::Write;
 
@@ -22,10 +29,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if !registry.any_ready() {
+        eprintln!("[serve] WARNING: no model loaded; every inference will answer 503");
+    }
     let handle = match start(config.clone(), registry) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("[serve] FATAL: cannot bind {}: {e}", config.addr);
+            eprintln!("[serve] FATAL: cannot start on {}: {e}", config.addr);
             std::process::exit(2);
         }
     };
@@ -41,6 +51,14 @@ fn main() {
         config.workers,
         config.early_exit,
     );
+    if config.default_deadline_ms > 0 {
+        println!("[serve] default deadline {} ms", config.default_deadline_ms);
+    }
+    if let Ok(spec) = std::env::var("T2FSNN_SERVE_FAULTS") {
+        if !spec.trim().is_empty() {
+            println!("[serve] FAULT INJECTION ACTIVE: {}", spec.trim());
+        }
+    }
     let _ = std::io::stdout().flush();
     handle.join();
     println!("[serve] shut down cleanly");

@@ -1,0 +1,275 @@
+//! Deterministic fault injection for the serving path.
+//!
+//! Enabled by `T2FSNN_SERVE_FAULTS=<seed>:<spec>`, where `<spec>` is a
+//! comma-separated list of `kind=rate` or `kind=rate@param_ms` entries:
+//!
+//! | kind          | effect                                              | param        |
+//! |---------------|-----------------------------------------------------|--------------|
+//! | `slow_read`   | stall before serving a connection's next request    | stall ms (default 50) |
+//! | `abort_read`  | drop the connection before reading the request      | —            |
+//! | `drop_resp`   | write half the response body, then drop the socket  | —            |
+//! | `panic`       | panic inside batch execution (tests `catch_unwind`) | —            |
+//! | `batch_delay` | sleep before executing a batch (inflates latency)   | sleep ms (default 10) |
+//!
+//! Example: `T2FSNN_SERVE_FAULTS=42:slow_read=0.05@40,drop_resp=0.02,panic=0.01`.
+//!
+//! Every decision draws exactly one value per configured kind from one
+//! seeded ChaCha8 stream (the workspace's deterministic RNG shim), so a
+//! given seed produces the same *sequence* of fault decisions run after
+//! run; which request lands on which decision still depends on thread
+//! interleaving, which is why the chaos gates assert aggregate
+//! invariants (every accepted request answered, successful responses
+//! bit-identical, bounded error rates) rather than per-request
+//! outcomes.
+//!
+//! The layer is injection-only: it never touches inference state, so a
+//! response that does come back carries exactly the bits a fault-free
+//! server would have sent.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Fault drawn for a connection about to read its next request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Stall this worker for the duration before reading (a slow read).
+    Delay(Duration),
+    /// Drop the connection without reading or answering (the client
+    /// sees a truncated/failed read).
+    Abort,
+}
+
+/// Fault drawn for a response about to be written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseFault {
+    /// Write only half the body, then drop the connection.
+    DropMid,
+}
+
+/// Fault drawn for a batch about to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchFault {
+    /// Sleep before executing (artificial execution delay).
+    Delay(Duration),
+    /// Panic in the batcher (exercises panic isolation).
+    Panic,
+}
+
+/// Parsed injection rates; a rate of 0 disables its kind.
+#[derive(Debug, Clone, PartialEq)]
+struct Spec {
+    slow_read_rate: f64,
+    slow_read_delay: Duration,
+    abort_read_rate: f64,
+    drop_resp_rate: f64,
+    panic_rate: f64,
+    batch_delay_rate: f64,
+    batch_delay: Duration,
+}
+
+impl Default for Spec {
+    fn default() -> Self {
+        Spec {
+            slow_read_rate: 0.0,
+            slow_read_delay: Duration::from_millis(50),
+            abort_read_rate: 0.0,
+            drop_resp_rate: 0.0,
+            panic_rate: 0.0,
+            batch_delay_rate: 0.0,
+            batch_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+/// The seeded fault injector; `None` from [`Faults::from_env`] means
+/// faults are off (the production default) and the serving path pays
+/// nothing.
+pub struct Faults {
+    spec: Spec,
+    rng: Mutex<ChaCha8Rng>,
+}
+
+impl Faults {
+    /// Parses `T2FSNN_SERVE_FAULTS`. Unset or empty means no injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first grammar violation — a
+    /// misconfigured chaos run should fail loudly, not silently run
+    /// fault-free.
+    pub fn from_env() -> Result<Option<Faults>, String> {
+        match std::env::var("T2FSNN_SERVE_FAULTS") {
+            Ok(v) if !v.trim().is_empty() => Faults::parse(v.trim()).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Parses a `<seed>:<kind>=<rate>[@<param_ms>],...` spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first grammar violation.
+    pub fn parse(text: &str) -> Result<Faults, String> {
+        let (seed_text, spec_text) = text
+            .split_once(':')
+            .ok_or_else(|| format!("fault spec `{text}` needs the form <seed>:<kind>=<rate>,…"))?;
+        let seed: u64 = seed_text
+            .trim()
+            .parse()
+            .map_err(|_| format!("fault seed `{seed_text}` is not a u64"))?;
+        let mut spec = Spec::default();
+        for entry in spec_text.split(',').filter(|e| !e.trim().is_empty()) {
+            let (kind, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault entry `{entry}` needs kind=rate"))?;
+            let (rate_text, param_text) = match value.split_once('@') {
+                Some((r, p)) => (r, Some(p)),
+                None => (value, None),
+            };
+            let rate: f64 = rate_text
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault rate `{rate_text}` is not a float"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("fault rate {rate} outside [0, 1] in `{entry}`"));
+            }
+            let param_ms: Option<u64> = match param_text {
+                Some(p) => Some(
+                    p.trim()
+                        .parse()
+                        .map_err(|_| format!("fault param `{p}` is not integer milliseconds"))?,
+                ),
+                None => None,
+            };
+            match kind.trim() {
+                "slow_read" => {
+                    spec.slow_read_rate = rate;
+                    if let Some(ms) = param_ms {
+                        spec.slow_read_delay = Duration::from_millis(ms);
+                    }
+                }
+                "abort_read" => spec.abort_read_rate = rate,
+                "drop_resp" => spec.drop_resp_rate = rate,
+                "panic" => spec.panic_rate = rate,
+                "batch_delay" => {
+                    spec.batch_delay_rate = rate;
+                    if let Some(ms) = param_ms {
+                        spec.batch_delay = Duration::from_millis(ms);
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault kind `{other}` (slow_read, abort_read, drop_resp, panic, \
+                         batch_delay)"
+                    ))
+                }
+            }
+        }
+        Ok(Faults {
+            spec,
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+        })
+    }
+
+    /// One Bernoulli draw; rate 0 never draws (so disabled kinds do not
+    /// consume stream positions and specs stay comparable across runs).
+    fn roll(&self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        rng.gen_range(0.0f64..1.0) < rate
+    }
+
+    /// Draws the fault (if any) for a connection about to read a
+    /// request. Abort outranks delay when both fire.
+    pub fn read_fault(&self) -> Option<ReadFault> {
+        let abort = self.roll(self.spec.abort_read_rate);
+        let slow = self.roll(self.spec.slow_read_rate);
+        if abort {
+            Some(ReadFault::Abort)
+        } else if slow {
+            Some(ReadFault::Delay(self.spec.slow_read_delay))
+        } else {
+            None
+        }
+    }
+
+    /// Draws the fault (if any) for a response about to be written.
+    pub fn response_fault(&self) -> Option<ResponseFault> {
+        self.roll(self.spec.drop_resp_rate)
+            .then_some(ResponseFault::DropMid)
+    }
+
+    /// Draws the fault (if any) for a batch about to execute. Panic
+    /// outranks delay when both fire.
+    pub fn batch_fault(&self) -> Option<BatchFault> {
+        let panic = self.roll(self.spec.panic_rate);
+        let delay = self.roll(self.spec.batch_delay_rate);
+        if panic {
+            Some(BatchFault::Panic)
+        } else if delay {
+            Some(BatchFault::Delay(self.spec.batch_delay))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_grammar() {
+        let f = Faults::parse(
+            "7:slow_read=0.5@40,abort_read=0.25,drop_resp=0.1,panic=1,batch_delay=0.75@5",
+        )
+        .unwrap();
+        assert!((f.spec.slow_read_rate - 0.5).abs() < 1e-12);
+        assert_eq!(f.spec.slow_read_delay, Duration::from_millis(40));
+        assert!((f.spec.abort_read_rate - 0.25).abs() < 1e-12);
+        assert!((f.spec.drop_resp_rate - 0.1).abs() < 1e-12);
+        assert!((f.spec.panic_rate - 1.0).abs() < 1e-12);
+        assert_eq!(f.spec.batch_delay, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for bad in [
+            "no-colon",
+            "x:slow_read=0.5",
+            "1:slow_read",
+            "1:slow_read=2.0",
+            "1:slow_read=-0.5",
+            "1:slow_read=0.5@abc",
+            "1:warp_core=0.5",
+        ] {
+            assert!(Faults::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decision_sequence() {
+        let a = Faults::parse("42:panic=0.3,batch_delay=0.3@1").unwrap();
+        let b = Faults::parse("42:panic=0.3,batch_delay=0.3@1").unwrap();
+        let seq_a: Vec<_> = (0..64).map(|_| a.batch_fault()).collect();
+        let seq_b: Vec<_> = (0..64).map(|_| b.batch_fault()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|f| f == &Some(BatchFault::Panic)));
+        assert!(seq_a.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn rate_one_always_fires_rate_zero_never() {
+        let f = Faults::parse("1:abort_read=1").unwrap();
+        for _ in 0..16 {
+            assert_eq!(f.read_fault(), Some(ReadFault::Abort));
+            assert_eq!(f.response_fault(), None);
+            assert_eq!(f.batch_fault(), None);
+        }
+    }
+}

@@ -212,6 +212,32 @@ impl Conn {
         self.stream.write_all(body)?;
         self.stream.flush()
     }
+
+    /// Deliberately writes only a prefix of the response and stops —
+    /// the fault-injection layer's mid-response connection drop. The
+    /// head advertises the full `Content-Length`, so a client that
+    /// trusts the framing sees an unexpected EOF mid-body, exactly like
+    /// a server crashing between `write` calls. The caller must drop
+    /// the connection afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn write_truncated_response(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        body: &[u8],
+    ) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            status_reason(status),
+            body.len(),
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(&body[..body.len() / 2])?;
+        self.stream.flush()
+    }
 }
 
 /// Canonical reason phrase of the status codes this server emits.
@@ -226,6 +252,7 @@ pub fn status_reason(status: u16) -> &'static str {
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -323,6 +350,19 @@ mod tests {
                 String::from_utf8_lossy(case)
             );
         }
+    }
+
+    #[test]
+    fn truncated_response_stops_mid_body() {
+        let (mut client, mut conn) = pair();
+        conn.write_truncated_response(200, "application/json", b"0123456789")
+            .unwrap();
+        drop(conn);
+        let mut raw = Vec::new();
+        client.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.contains("Content-Length: 10"));
+        assert!(text.ends_with("01234"), "got {text:?}");
     }
 
     #[test]

@@ -26,11 +26,19 @@
 //! `/metrics` exposes queue depth, the batch-size histogram,
 //! latency quantiles, response counters and — when `T2FSNN_PROFILE` is
 //! set — the per-phase profiler table.
+//!
+//! Robustness is first-class (see [`batcher`] for the degradation
+//! ladder, [`faults`] for the deterministic fault-injection layer, and
+//! `/healthz` for readiness): requests may carry deadlines, overload
+//! degrades to the TTFS anytime path before it sheds, batch panics are
+//! isolated to their own requests, and a model that fails to load
+//! answers `503` instead of killing the process.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod batcher;
+pub mod faults;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
@@ -77,6 +85,15 @@ pub struct ServeConfig {
     /// Request body cap in bytes; larger bodies are answered `413`
     /// (`T2FSNN_SERVE_MAX_BODY`, default 4 MiB).
     pub max_body_bytes: usize,
+    /// Default deadline in milliseconds applied to requests that carry
+    /// none (`T2FSNN_SERVE_DEADLINE_MS`, default 0 = no deadline).
+    /// Requests override it with a `deadline_ms` JSON field or an
+    /// `x-deadline-ms` header.
+    pub default_deadline_ms: u64,
+    /// Static slack threshold (µs) below which a full-window request is
+    /// degraded to forced early-exit (`T2FSNN_SERVE_FORCE_EE_SLACK_US`,
+    /// default 0 = adaptive: per-model full-window EWMA + `max_delay`).
+    pub force_ee_slack_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +108,8 @@ impl Default for ServeConfig {
             early_exit: true,
             read_timeout: Duration::from_millis(2000),
             max_body_bytes: 4 << 20,
+            default_deadline_ms: 0,
+            force_ee_slack_us: 0,
         }
     }
 }
@@ -136,6 +155,12 @@ impl ServeConfig {
         }
         if let Some(v) = env_parse::<usize>("T2FSNN_SERVE_MAX_BODY") {
             config.max_body_bytes = v.max(1024);
+        }
+        if let Some(v) = env_parse::<u64>("T2FSNN_SERVE_DEADLINE_MS") {
+            config.default_deadline_ms = v;
+        }
+        if let Some(v) = env_parse::<u64>("T2FSNN_SERVE_FORCE_EE_SLACK_US") {
+            config.force_ee_slack_us = v;
         }
         config
     }

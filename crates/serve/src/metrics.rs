@@ -3,7 +3,10 @@
 //!
 //! Tracked: response counts per status, queue depth/rejections, the
 //! batch-size histogram, request latency (histogram buckets → p50/p95/
-//! p99 upper-bound estimates), early-exit decisions, and — when
+//! p99 upper-bound estimates), early-exit decisions, the robustness
+//! counters (deadline sheds, late answers, forced early-exits, worker
+//! panics, batcher respawns, per-model-unavailable refusals, injected
+//! faults) with a slack-at-dispatch histogram, and — when
 //! `T2FSNN_PROFILE` is enabled — the per-phase profiler table (the
 //! batcher flushes its thread-local spans after every batch, so the
 //! endpoint sees them).
@@ -20,12 +23,16 @@ const LATENCY_BUCKETS_US: [u64; 14] = [
 
 /// Statuses with dedicated counters (anything else lands in the last
 /// `other` slot).
-const STATUSES: [u16; 8] = [200, 400, 404, 408, 413, 429, 500, 503];
+const STATUSES: [u16; 9] = [200, 400, 404, 408, 413, 429, 500, 503, 504];
+
+/// Slack-at-dispatch histogram bucket upper bounds, microseconds: how
+/// much deadline budget a request had left when its batch started.
+const SLACK_BUCKETS_US: [u64; 8] = [500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
 
 /// The server's metric registry; shared by workers, batcher and the
 /// `/metrics` endpoint. All methods are `&self` and lock-free.
 pub struct Metrics {
-    responses: [AtomicU64; 9],
+    responses: [AtomicU64; 10],
     queue_depth: AtomicUsize,
     queue_rejections: AtomicU64,
     batches: AtomicU64,
@@ -38,6 +45,17 @@ pub struct Metrics {
     latency_count: AtomicU64,
     early_exit_decided: AtomicU64,
     infer_errors: AtomicU64,
+    deadline_shed: AtomicU64,
+    unmeetable_shed: AtomicU64,
+    deadline_late_answers: AtomicU64,
+    forced_early_exit: AtomicU64,
+    worker_panics: AtomicU64,
+    batcher_respawns: AtomicU64,
+    model_unavailable: AtomicU64,
+    faults_injected: AtomicU64,
+    /// `slack_hist[i]` counts dispatches at or under
+    /// `SLACK_BUCKETS_US[i]`; the extra slot is the overflow bucket.
+    slack_hist: [AtomicU64; 9],
 }
 
 impl Metrics {
@@ -54,6 +72,15 @@ impl Metrics {
             latency_count: AtomicU64::new(0),
             early_exit_decided: AtomicU64::new(0),
             infer_errors: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            unmeetable_shed: AtomicU64::new(0),
+            deadline_late_answers: AtomicU64::new(0),
+            forced_early_exit: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            batcher_respawns: AtomicU64::new(0),
+            model_unavailable: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            slack_hist: Default::default(),
         }
     }
 
@@ -106,6 +133,72 @@ impl Metrics {
     /// Counts a failed batch execution.
     pub fn observe_infer_error(&self) {
         self.infer_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request shed because its deadline had already passed
+    /// before execution could start (`504`).
+    pub fn observe_deadline_shed(&self) {
+        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a shed taken by the ladder's last rung: the request still
+    /// had slack, but less than the anytime execution estimate — it
+    /// could not possibly have answered in time (also counted in
+    /// `deadline_shed`).
+    pub fn observe_unmeetable_shed(&self) {
+        self.unmeetable_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request that was answered, but only after its deadline
+    /// had passed (it was dispatched with slack and ran long).
+    pub fn observe_deadline_late_answer(&self) {
+        self.deadline_late_answers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request the degradation ladder forced onto the anytime
+    /// early-exit path because its slack shrank below the full-window
+    /// estimate.
+    pub fn observe_forced_early_exit(&self) {
+        self.forced_early_exit.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a batch execution that panicked and was isolated by the
+    /// batcher (its requests answered `500`, the worker survived).
+    pub fn observe_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a batcher-thread death that the supervisor respawned (the
+    /// backstop behind per-batch panic isolation).
+    pub fn observe_batcher_respawn(&self) {
+        self.batcher_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Batcher respawns so far (the chaos gate asserts this stays 0
+    /// when per-batch isolation is doing its job).
+    pub fn batcher_respawns(&self) -> u64 {
+        self.batcher_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Counts a request refused because its model is loaded-but-broken
+    /// (`503` per-model unavailability, not a shutdown).
+    pub fn observe_model_unavailable(&self) {
+        self.model_unavailable.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one injected fault firing (any kind).
+    pub fn observe_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a deadline-carrying request's remaining slack when its
+    /// batch was dispatched.
+    pub fn observe_slack_us(&self, us: u64) {
+        let slot = SLACK_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(SLACK_BUCKETS_US.len());
+        self.slack_hist[slot].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of batches whose size exceeded one — the signal that
@@ -199,6 +292,48 @@ impl Metrics {
             "t2fsnn_serve_infer_errors_total {}\n",
             self.infer_errors.load(Ordering::Relaxed)
         ));
+        out.push_str(&format!(
+            "t2fsnn_serve_deadline_shed_total {}\n",
+            self.deadline_shed.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_unmeetable_shed_total {}\n",
+            self.unmeetable_shed.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_deadline_late_answers_total {}\n",
+            self.deadline_late_answers.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_forced_early_exit_total {}\n",
+            self.forced_early_exit.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_worker_panics_total {}\n",
+            self.worker_panics.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_batcher_respawns_total {}\n",
+            self.batcher_respawns.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_model_unavailable_total {}\n",
+            self.model_unavailable.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_faults_injected_total {}\n",
+            self.faults_injected.load(Ordering::Relaxed)
+        ));
+        for (i, &bound) in SLACK_BUCKETS_US.iter().enumerate() {
+            out.push_str(&format!(
+                "t2fsnn_serve_dispatch_slack_us_bucket{{le=\"{bound}\"}} {}\n",
+                self.slack_hist[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&format!(
+            "t2fsnn_serve_dispatch_slack_us_bucket{{le=\"+Inf\"}} {}\n",
+            self.slack_hist[SLACK_BUCKETS_US.len()].load(Ordering::Relaxed)
+        ));
         if profile::enabled() {
             for entry in profile::entries() {
                 out.push_str(&format!(
@@ -244,6 +379,36 @@ mod tests {
         assert!(text.contains("t2fsnn_serve_queue_depth 7"));
         assert!(text.contains("t2fsnn_serve_early_exit_decided_total 1"));
         assert!(text.contains("quantile=\"p50\"} 100"));
+    }
+
+    #[test]
+    fn robustness_counters_render() {
+        let m = Metrics::new(2);
+        m.observe_response(504);
+        m.observe_deadline_shed();
+        m.observe_deadline_shed();
+        m.observe_deadline_late_answer();
+        m.observe_forced_early_exit();
+        m.observe_worker_panic();
+        m.observe_batcher_respawn();
+        m.observe_model_unavailable();
+        m.observe_fault_injected();
+        m.observe_slack_us(400);
+        m.observe_slack_us(7_000);
+        m.observe_slack_us(999_999);
+        assert_eq!(m.batcher_respawns(), 1);
+        let text = m.render();
+        assert!(text.contains("t2fsnn_serve_responses_total{code=\"504\"} 1"));
+        assert!(text.contains("t2fsnn_serve_deadline_shed_total 2"));
+        assert!(text.contains("t2fsnn_serve_deadline_late_answers_total 1"));
+        assert!(text.contains("t2fsnn_serve_forced_early_exit_total 1"));
+        assert!(text.contains("t2fsnn_serve_worker_panics_total 1"));
+        assert!(text.contains("t2fsnn_serve_batcher_respawns_total 1"));
+        assert!(text.contains("t2fsnn_serve_model_unavailable_total 1"));
+        assert!(text.contains("t2fsnn_serve_faults_injected_total 1"));
+        assert!(text.contains("t2fsnn_serve_dispatch_slack_us_bucket{le=\"500\"} 1"));
+        assert!(text.contains("t2fsnn_serve_dispatch_slack_us_bucket{le=\"10000\"} 1"));
+        assert!(text.contains("t2fsnn_serve_dispatch_slack_us_bucket{le=\"+Inf\"} 1"));
     }
 
     #[test]

@@ -13,6 +13,15 @@ pub struct InferRequest {
     pub image: Vec<f32>,
     /// Per-request early-exit override; the server default when omitted.
     pub early_exit: Option<bool>,
+    /// Relative deadline in milliseconds, measured from admission. A
+    /// request that cannot start execution before its deadline is shed
+    /// with `504` instead of answered late; one whose slack has shrunk
+    /// below the full-window estimate is degraded to a forced anytime
+    /// early-exit answer. The `x-deadline-ms` header sets the same
+    /// budget; this JSON field wins when both are present. Omitted (and
+    /// no header, and no `T2FSNN_SERVE_DEADLINE_MS` server default)
+    /// means no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 /// `POST /v1/infer` response body.
@@ -46,6 +55,13 @@ pub struct InferResponse {
     pub queue_us: u64,
     /// Microseconds its batch spent in inference.
     pub infer_us: u64,
+    /// Whether the degradation ladder forced this request onto the
+    /// anytime early-exit path (the request asked for — or defaulted
+    /// to — a full-window answer, but its deadline slack had shrunk
+    /// below the full-window estimate). A degraded response is
+    /// bit-identical to the same request explicitly sent with
+    /// `early_exit: true`.
+    pub degraded: bool,
 }
 
 /// One entry of `GET /v1/models`.
@@ -69,6 +85,35 @@ pub struct ModelInfo {
     pub latency_steps: usize,
     /// Source-DNN test accuracy of the cached scenario network.
     pub dnn_accuracy: f32,
+}
+
+/// `GET /healthz` readiness report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// `"ok"` (every model ready), `"degraded"` (some models
+    /// unavailable but at least one ready) or `"unavailable"` (draining,
+    /// or no model can serve); the latter is sent with status `503`.
+    pub status: String,
+    /// Whether the server is draining for shutdown.
+    pub draining: bool,
+    /// Jobs currently in the admission queue.
+    pub queue_depth: usize,
+    /// Admission-queue capacity (depth / capacity = saturation).
+    pub queue_capacity: usize,
+    /// Per-model availability.
+    pub models: Vec<ModelHealth>,
+}
+
+/// One model's slot in the `GET /healthz` report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelHealth {
+    /// Registry name.
+    pub name: String,
+    /// Whether the model is loaded and serving; `false` means requests
+    /// naming it are answered `503`.
+    pub available: bool,
+    /// Load/convert failure message for an unavailable model.
+    pub error: Option<String>,
 }
 
 /// Any non-2xx response body.
@@ -97,7 +142,15 @@ mod tests {
         let req: InferRequest = serde_json::from_str(r#"{"image": [0.5, 1.0]}"#).unwrap();
         assert_eq!(req.model, None);
         assert_eq!(req.early_exit, None);
+        assert_eq!(req.deadline_ms, None);
         assert_eq!(req.image, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn deadline_field_parses() {
+        let req: InferRequest =
+            serde_json::from_str(r#"{"image": [0.5], "deadline_ms": 25}"#).unwrap();
+        assert_eq!(req.deadline_ms, Some(25));
     }
 
     #[test]
@@ -116,11 +169,40 @@ mod tests {
             batch_size: 4,
             queue_us: 1500,
             infer_us: 900,
+            degraded: true,
         };
         let bytes = serde_json::to_vec(&resp).unwrap();
         let back: InferResponse = serde_json::from_slice(&bytes).unwrap();
         assert_eq!(back.label, 3);
         assert_eq!(back.decision_step, Some(41));
         assert_eq!(back.batch_size, 4);
+        assert!(back.degraded);
+    }
+
+    #[test]
+    fn health_report_round_trips() {
+        let report = HealthReport {
+            status: "degraded".into(),
+            draining: false,
+            queue_depth: 3,
+            queue_capacity: 128,
+            models: vec![
+                ModelHealth {
+                    name: "tiny".into(),
+                    available: true,
+                    error: None,
+                },
+                ModelHealth {
+                    name: "mnist-like".into(),
+                    available: false,
+                    error: Some("conversion failed".into()),
+                },
+            ],
+        };
+        let bytes = serde_json::to_vec(&report).unwrap();
+        let back: HealthReport = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back.status, "degraded");
+        assert_eq!(back.models.len(), 2);
+        assert!(!back.models[1].available);
     }
 }

@@ -125,6 +125,28 @@ impl<T> Queue<T> {
         }
     }
 
+    /// Removes and returns every queued item matching `pred` (in FIFO
+    /// order among matches), without waiting. Survivors keep their
+    /// exact relative order — this is the shedding primitive: the
+    /// batcher drains deadline-expired jobs with it and answers them
+    /// `504`, and the jobs it leaves behind are dispatched in the same
+    /// order they would have been without the shed.
+    pub fn drain_matching(&self, pred: impl Fn(&T) -> bool) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut drained = Vec::new();
+        let mut kept = VecDeque::with_capacity(inner.items.len());
+        // Scan oldest → newest (pop from the back).
+        while let Some(item) = inner.items.pop_back() {
+            if pred(&item) {
+                drained.push(item);
+            } else {
+                kept.push_front(item);
+            }
+        }
+        inner.items = kept;
+        drained
+    }
+
     /// Items currently queued.
     pub fn len(&self) -> usize {
         self.inner
@@ -218,6 +240,21 @@ mod tests {
         let got = q.collect_matching(start + Duration::from_millis(40), 3, |_| true);
         assert!(got.is_empty());
         assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn drain_matching_takes_matches_and_keeps_survivor_order() {
+        let q = Queue::new(8);
+        for item in [1, 2, 3, 4, 5, 6] {
+            q.push(item).unwrap();
+        }
+        let evens = q.drain_matching(|x| x % 2 == 0);
+        assert_eq!(evens, vec![2, 4, 6]);
+        assert_eq!(q.pop_blocking(), Some(1));
+        assert_eq!(q.pop_blocking(), Some(3));
+        assert_eq!(q.pop_blocking(), Some(5));
+        assert!(q.is_empty());
+        assert!(q.drain_matching(|_| true).is_empty());
     }
 
     #[test]

@@ -6,14 +6,22 @@
 //! network when warm and trains it when cold — a server on a fresh
 //! machine comes up self-contained, just slower on first boot. The
 //! DNN→SNN conversion happens once per model at load time.
+//!
+//! Loading is hardened: a model whose preparation or conversion fails
+//! (including by panic — the load runs under
+//! [`std::panic::catch_unwind`]) occupies a [`ModelSlot::Failed`] slot
+//! instead of killing the process. Requests for it are answered `503`
+//! with the load error, `/healthz` reports it unavailable, and every
+//! other model keeps serving.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use t2fsnn::{T2fsnn, T2fsnnConfig};
 use t2fsnn_bench::{prepare, Scenario};
 use t2fsnn_data::DatasetSpec;
 
-use crate::protocol::ModelInfo;
+use crate::protocol::{ModelHealth, ModelInfo};
 
 /// One servable model.
 pub struct ServeModel {
@@ -66,64 +74,170 @@ pub fn scenario_by_name(name: &str) -> Option<Scenario> {
     .find(|s| s.name() == name)
 }
 
-/// Named models, ready to serve. The first loaded model is the default
-/// for requests that name none.
+/// One named registry slot: a model either serves or carries the reason
+/// it cannot.
+pub enum ModelSlot {
+    /// Loaded and serving.
+    Ready(Arc<ServeModel>),
+    /// Load or conversion failed; requests answer `503` with the error.
+    Failed {
+        /// The requested model name.
+        name: String,
+        /// Why the load failed.
+        error: String,
+    },
+}
+
+impl ModelSlot {
+    /// The slot's registry name.
+    pub fn name(&self) -> &str {
+        match self {
+            ModelSlot::Ready(m) => &m.name,
+            ModelSlot::Failed { name, .. } => name,
+        }
+    }
+}
+
+/// What a request's model name resolves to.
+pub enum Resolution<'a> {
+    /// A serving model.
+    Ready(&'a Arc<ServeModel>),
+    /// A configured model that failed to load (`503`).
+    Unavailable {
+        /// The model's registry name.
+        name: &'a str,
+        /// The load error, echoed to the client.
+        error: &'a str,
+    },
+    /// A name the registry never heard of (`404`).
+    Unknown,
+}
+
+/// Named model slots. The first *configured* slot is the default for
+/// requests that name none — even when it failed to load, so a broken
+/// default answers `503` rather than silently serving a different
+/// model.
 pub struct Registry {
-    models: Vec<Arc<ServeModel>>,
+    slots: Vec<ModelSlot>,
 }
 
 impl Registry {
     /// Loads (training on a cold cache) every named scenario and
     /// converts it for TTFS serving with the scenario's time window and
-    /// initial kernel.
+    /// initial kernel. A model that fails to load — by error or by
+    /// panic — degrades to a [`ModelSlot::Failed`] slot; the registry
+    /// itself always comes up.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the first unknown scenario or failed
-    /// conversion.
+    /// Only an empty name list is a hard error: a server with nothing
+    /// configured to serve is a deployment bug, not a degraded state.
     pub fn load(names: &[String]) -> Result<Registry, String> {
         if names.is_empty() {
             return Err("registry needs at least one model name".to_string());
         }
-        let mut models = Vec::with_capacity(names.len());
-        for name in names {
-            let scenario = scenario_by_name(name)
-                .ok_or_else(|| format!("unknown scenario `{name}` (see /v1/models names)"))?;
-            eprintln!("[serve] loading model `{name}`…");
+        let slots = names.iter().map(|name| Registry::load_one(name)).collect();
+        Ok(Registry { slots })
+    }
+
+    fn load_one(name: &str) -> ModelSlot {
+        let failed = |error: String| {
+            eprintln!("[serve] model `{name}` UNAVAILABLE: {error}");
+            ModelSlot::Failed {
+                name: name.to_string(),
+                error,
+            }
+        };
+        let Some(scenario) = scenario_by_name(name) else {
+            return failed(format!("unknown scenario `{name}` (see /v1/models names)"));
+        };
+        eprintln!("[serve] loading model `{name}`…");
+        // catch_unwind: a panic in cache/train/convert must cost one
+        // slot, not the process. Nothing mutable outlives the closure.
+        let loaded = catch_unwind(AssertUnwindSafe(|| {
             let prepared = prepare(scenario);
             let config = T2fsnnConfig::new(scenario.time_window());
-            let model = T2fsnn::from_dnn(&prepared.dnn, config, scenario.initial_kernel())
-                .map_err(|e| format!("cannot convert `{name}` for serving: {e}"))?;
-            eprintln!(
-                "[serve] model `{name}` ready: {} weighted layers, T = {}, window latency {} steps, \
-                 DNN accuracy {:.1}%",
-                model.weighted_count(),
-                scenario.time_window(),
-                model.total_steps(),
-                prepared.dnn_accuracy * 100.0
-            );
-            models.push(Arc::new(ServeModel {
-                name: name.clone(),
-                model,
-                spec: prepared.test.spec.clone(),
-                dnn_accuracy: prepared.dnn_accuracy,
-            }));
+            T2fsnn::from_dnn(&prepared.dnn, config, scenario.initial_kernel())
+                .map(|model| (model, prepared))
+        }));
+        match loaded {
+            Ok(Ok((model, prepared))) => {
+                eprintln!(
+                    "[serve] model `{name}` ready: {} weighted layers, T = {}, window latency {} \
+                     steps, DNN accuracy {:.1}%",
+                    model.weighted_count(),
+                    scenario.time_window(),
+                    model.total_steps(),
+                    prepared.dnn_accuracy * 100.0
+                );
+                ModelSlot::Ready(Arc::new(ServeModel {
+                    name: name.to_string(),
+                    model,
+                    spec: prepared.test.spec.clone(),
+                    dnn_accuracy: prepared.dnn_accuracy,
+                }))
+            }
+            Ok(Err(e)) => failed(format!("cannot convert `{name}` for serving: {e}")),
+            Err(_) => failed(format!("panic while loading `{name}`")),
         }
-        Ok(Registry { models })
     }
 
     /// Resolves a request's model name; `None` means the default (first
-    /// loaded) model.
-    pub fn get(&self, name: Option<&str>) -> Option<&Arc<ServeModel>> {
-        match name {
-            None => self.models.first(),
-            Some(n) => self.models.iter().find(|m| m.name == n),
+    /// configured) slot.
+    pub fn resolve(&self, name: Option<&str>) -> Resolution<'_> {
+        let slot = match name {
+            None => self.slots.first(),
+            Some(n) => self.slots.iter().find(|s| s.name() == n),
+        };
+        match slot {
+            Some(ModelSlot::Ready(m)) => Resolution::Ready(m),
+            Some(ModelSlot::Failed { name, error }) => Resolution::Unavailable { name, error },
+            None => Resolution::Unknown,
         }
     }
 
-    /// Every loaded model.
-    pub fn models(&self) -> &[Arc<ServeModel>] {
-        &self.models
+    /// Resolves to a *ready* model only (legacy accessor; prefer
+    /// [`Registry::resolve`] where `503` vs `404` matters).
+    pub fn get(&self, name: Option<&str>) -> Option<&Arc<ServeModel>> {
+        match self.resolve(name) {
+            Resolution::Ready(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Every ready (serving) model, in configured order.
+    pub fn models(&self) -> Vec<&Arc<ServeModel>> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                ModelSlot::Ready(m) => Some(m),
+                ModelSlot::Failed { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Whether at least one model serves.
+    pub fn any_ready(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, ModelSlot::Ready(_)))
+    }
+
+    /// Per-slot availability for `/healthz`.
+    pub fn health(&self) -> Vec<ModelHealth> {
+        self.slots
+            .iter()
+            .map(|slot| match slot {
+                ModelSlot::Ready(m) => ModelHealth {
+                    name: m.name.clone(),
+                    available: true,
+                    error: None,
+                },
+                ModelSlot::Failed { name, error } => ModelHealth {
+                    name: name.clone(),
+                    available: false,
+                    error: Some(error.clone()),
+                },
+            })
+            .collect()
     }
 }
 
@@ -139,9 +253,30 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_unknown_and_empty() {
+    fn load_rejects_only_empty() {
         assert!(Registry::load(&[]).is_err());
-        assert!(Registry::load(&["not-a-scenario".to_string()]).is_err());
+    }
+
+    #[test]
+    fn unknown_scenario_degrades_to_unavailable() {
+        let registry = Registry::load(&["not-a-scenario".to_string()]).unwrap();
+        assert!(!registry.any_ready());
+        assert!(registry.get(None).is_none());
+        match registry.resolve(None) {
+            Resolution::Unavailable { name, error } => {
+                assert_eq!(name, "not-a-scenario");
+                assert!(error.contains("unknown scenario"));
+            }
+            _ => panic!("expected Unavailable"),
+        }
+        match registry.resolve(Some("never-configured")) {
+            Resolution::Unknown => {}
+            _ => panic!("expected Unknown"),
+        }
+        let health = registry.health();
+        assert_eq!(health.len(), 1);
+        assert!(!health[0].available);
+        assert!(health[0].error.is_some());
     }
 
     #[test]
@@ -155,5 +290,19 @@ mod tests {
         assert!(info.weighted_layers >= 2);
         assert_eq!(registry.get(Some("tiny")).unwrap().name, "tiny");
         assert!(registry.get(Some("missing")).is_none());
+        assert!(registry.any_ready());
+        assert!(registry.health()[0].available);
+    }
+
+    #[test]
+    fn mixed_registry_serves_the_ready_model() {
+        let registry = Registry::load(&["tiny".to_string(), "bogus".to_string()]).unwrap();
+        assert!(registry.any_ready());
+        assert_eq!(registry.models().len(), 1);
+        assert!(registry.get(Some("tiny")).is_some());
+        match registry.resolve(Some("bogus")) {
+            Resolution::Unavailable { .. } => {}
+            _ => panic!("expected Unavailable"),
+        }
     }
 }

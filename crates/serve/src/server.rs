@@ -12,7 +12,14 @@
 //! * **worker ×N** — pop connections, serve keep-alive request loops
 //!   (bounded reads, see [`crate::http`]), push inference jobs and block
 //!   on their reply channel.
-//! * **batcher** — see [`crate::batcher`].
+//! * **batcher** — see [`crate::batcher`]; supervised — if the thread
+//!   ever dies by panic (its batches already run under `catch_unwind`,
+//!   so this is a backstop, exercised only by tests), the supervisor
+//!   respawns it and counts `t2fsnn_serve_batcher_respawns_total`.
+//!
+//! Readiness: `GET /healthz` reports per-model availability and queue
+//! saturation, answering `503` while draining or when no model serves —
+//! a load balancer can stop routing here before clients see errors.
 //!
 //! Shutdown (the "ctrl channel"): `POST /admin/shutdown` — or
 //! [`ServerHandle::shutdown`] from the embedding process — sets the
@@ -27,12 +34,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use crate::batcher::{self, InferJob};
+use crate::batcher::{self, BatcherConfig, InferJob, JobError};
+use crate::faults::{Faults, ReadFault, ResponseFault};
 use crate::http::{Conn, HttpError, Request};
 use crate::metrics::Metrics;
-use crate::protocol::{ErrorResponse, InferRequest, InferResponse, ModelInfo};
+use crate::protocol::{ErrorResponse, HealthReport, InferRequest, InferResponse, ModelInfo};
 use crate::queue::{PushError, Queue};
-use crate::registry::Registry;
+use crate::registry::{Registry, Resolution};
 use crate::ServeConfig;
 
 /// How long a connection worker waits for its batch to answer before
@@ -49,6 +57,7 @@ struct Ctx {
     metrics: Metrics,
     jobs: Queue<InferJob>,
     shutdown: AtomicBool,
+    faults: Option<Faults>,
 }
 
 /// A running server; dropping it does **not** stop the threads — call
@@ -91,26 +100,34 @@ fn initiate_shutdown(ctx: &Ctx) {
     ctx.jobs.close();
 }
 
-/// Binds and starts the server threads.
+/// Binds and starts the server threads. Fault injection is read from
+/// `T2FSNN_SERVE_FAULTS` (see [`crate::faults`]); unset means off.
 ///
 /// # Errors
 ///
-/// Returns the bind error.
+/// Returns the bind error, or `InvalidInput` for a malformed fault
+/// spec (a chaos run must fail loudly, not silently run fault-free).
 pub fn start(config: ServeConfig, registry: Registry) -> std::io::Result<ServerHandle> {
+    let faults =
+        Faults::from_env().map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let metrics = Metrics::new(config.max_batch);
     let jobs = Queue::new(config.queue_capacity);
     let workers = config.workers;
-    let max_batch = config.max_batch;
-    let max_delay = Duration::from_micros(config.max_delay_us);
+    let batcher_config = BatcherConfig {
+        max_batch: config.max_batch,
+        max_delay: Duration::from_micros(config.max_delay_us),
+        force_ee_slack_us: config.force_ee_slack_us,
+    };
     let ctx = Arc::new(Ctx {
         config,
         registry,
         metrics,
         jobs,
         shutdown: AtomicBool::new(false),
+        faults,
     });
     // Connections queue: accepted streams waiting for a worker. Sized
     // past the worker count so short bursts park instead of bouncing.
@@ -141,12 +158,41 @@ pub fn start(config: ServeConfig, registry: Registry) -> std::io::Result<ServerH
         let ctx = Arc::clone(&ctx);
         threads.push(
             std::thread::Builder::new()
-                .name("serve-batcher".into())
-                .spawn(move || batcher::run(&ctx.jobs, &ctx.metrics, max_batch, max_delay))
-                .expect("spawn batcher thread"),
+                .name("serve-batcher-supervisor".into())
+                .spawn(move || supervise_batcher(&ctx, &batcher_config))
+                .expect("spawn batcher supervisor thread"),
         );
     }
     Ok(ServerHandle { addr, ctx, threads })
+}
+
+/// Runs the batcher, respawning it if it ever dies by panic. Batch
+/// panics are already caught inside [`batcher::run`]; this is the
+/// respawn-on-death backstop for anything that escapes.
+fn supervise_batcher(ctx: &Arc<Ctx>, config: &BatcherConfig) {
+    loop {
+        let child_ctx = Arc::clone(ctx);
+        let child_config = BatcherConfig { ..*config };
+        let handle = std::thread::Builder::new()
+            .name("serve-batcher".into())
+            .spawn(move || {
+                batcher::run(
+                    &child_ctx.jobs,
+                    &child_ctx.metrics,
+                    &child_config,
+                    child_ctx.faults.as_ref(),
+                )
+            })
+            .expect("spawn batcher thread");
+        match handle.join() {
+            // Clean exit: the queue closed and drained (shutdown).
+            Ok(()) => break,
+            Err(_) => {
+                ctx.metrics.observe_batcher_respawn();
+                eprintln!("[serve] batcher thread died; respawning");
+            }
+        }
+    }
 }
 
 fn accept_loop(listener: &TcpListener, ctx: &Ctx, conns: &Queue<TcpStream>) {
@@ -192,11 +238,35 @@ fn worker_loop(ctx: &Ctx, conns: &Queue<TcpStream>) {
 /// Serves one connection's keep-alive loop.
 fn handle_connection(ctx: &Ctx, mut conn: Conn) {
     loop {
+        if let Some(faults) = &ctx.faults {
+            match faults.read_fault() {
+                Some(ReadFault::Delay(delay)) => {
+                    ctx.metrics.observe_fault_injected();
+                    std::thread::sleep(delay);
+                }
+                Some(ReadFault::Abort) => {
+                    // Drop the connection cold: the client sees a
+                    // closed socket where an answer should have been.
+                    ctx.metrics.observe_fault_injected();
+                    break;
+                }
+                None => {}
+            }
+        }
         match conn.read_request(ctx.config.max_body_bytes) {
             Ok(request) => {
                 let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
                 let (status, body) = route(ctx, &request);
                 ctx.metrics.observe_response(status);
+                if let Some(faults) = &ctx.faults {
+                    if let Some(ResponseFault::DropMid) = faults.response_fault() {
+                        // Half the body, then the floor: exercises
+                        // client-side detection of truncated responses.
+                        ctx.metrics.observe_fault_injected();
+                        let _ = conn.write_truncated_response(status, "application/json", &body);
+                        break;
+                    }
+                }
                 let keep_alive = keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
                 if conn
                     .write_response(status, "application/json", &body, keep_alive)
@@ -248,7 +318,7 @@ fn handle_connection(ctx: &Ctx, mut conn: Conn) {
 /// Routes one request to its `(status, body)`.
 fn route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, b"{\"status\":\"ok\"}".to_vec()),
+        ("GET", "/healthz") => healthz_route(ctx),
         ("GET", "/metrics") => {
             ctx.metrics.set_queue_depth(ctx.jobs.len());
             (200, ctx.metrics.render().into_bytes())
@@ -270,19 +340,75 @@ fn route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
     }
 }
 
+/// Readiness: `503` while draining or with no serving model, `200`
+/// otherwise; the body always carries the full per-model picture.
+fn healthz_route(ctx: &Ctx) -> (u16, Vec<u8>) {
+    let draining = ctx.shutdown.load(Ordering::SeqCst);
+    let models = ctx.registry.health();
+    let any_ready = ctx.registry.any_ready();
+    let status = if draining || !any_ready {
+        "unavailable"
+    } else if models.iter().all(|m| m.available) {
+        "ok"
+    } else {
+        "degraded"
+    };
+    let report = HealthReport {
+        status: status.to_string(),
+        draining,
+        queue_depth: ctx.jobs.len(),
+        queue_capacity: ctx.config.queue_capacity,
+        models,
+    };
+    let code = if draining || !any_ready { 503 } else { 200 };
+    match serde_json::to_vec(&report) {
+        Ok(body) => (code, body),
+        Err(e) => (500, ErrorResponse::json(format!("serialization: {e}"))),
+    }
+}
+
+/// The request's deadline budget in milliseconds: JSON field first,
+/// then the `x-deadline-ms` header, then the server default (0 = none).
+/// `Some(0)` is a valid budget — it is already due at admission and
+/// deterministically sheds `504`.
+fn deadline_budget_ms(ctx: &Ctx, request: &Request, parsed: &InferRequest) -> Option<u64> {
+    parsed
+        .deadline_ms
+        .or_else(|| {
+            request
+                .header("x-deadline-ms")
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .or(if ctx.config.default_deadline_ms > 0 {
+            Some(ctx.config.default_deadline_ms)
+        } else {
+            None
+        })
+}
+
 fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
     let parsed: InferRequest = match serde_json::from_slice(&request.body) {
         Ok(p) => p,
         Err(e) => return (400, ErrorResponse::json(format!("bad request body: {e}"))),
     };
-    let Some(model) = ctx.registry.get(parsed.model.as_deref()) else {
-        return (
-            404,
-            ErrorResponse::json(format!(
-                "unknown model {:?} (see GET /v1/models)",
-                parsed.model.as_deref().unwrap_or("<default>")
-            )),
-        );
+    let model = match ctx.registry.resolve(parsed.model.as_deref()) {
+        Resolution::Ready(m) => m,
+        Resolution::Unavailable { name, error } => {
+            ctx.metrics.observe_model_unavailable();
+            return (
+                503,
+                ErrorResponse::json(format!("model `{name}` unavailable: {error}")),
+            );
+        }
+        Resolution::Unknown => {
+            return (
+                404,
+                ErrorResponse::json(format!(
+                    "unknown model {:?} (see GET /v1/models)",
+                    parsed.model.as_deref().unwrap_or("<default>")
+                )),
+            );
+        }
     };
     if parsed.image.len() != model.input_len() {
         return (
@@ -297,12 +423,16 @@ fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
         );
     }
     let early_exit = parsed.early_exit.unwrap_or(ctx.config.early_exit);
+    let enqueued = Instant::now();
+    let deadline =
+        deadline_budget_ms(ctx, request, &parsed).map(|ms| enqueued + Duration::from_millis(ms));
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = InferJob {
         model: Arc::clone(model),
         image: parsed.image,
         early_exit,
-        enqueued: Instant::now(),
+        deadline,
+        enqueued,
         reply: reply_tx,
     };
     match ctx.jobs.push(job) {
@@ -319,7 +449,6 @@ fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
         }
     }
     ctx.metrics.set_queue_depth(ctx.jobs.len());
-    let enqueued = Instant::now();
     match reply_rx.recv_timeout(REPLY_TIMEOUT) {
         Ok(Ok(outcome)) => {
             let latency_us = enqueued.elapsed().as_micros() as u64;
@@ -338,13 +467,26 @@ fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
                 batch_size: outcome.batch_size,
                 queue_us: outcome.queue_us,
                 infer_us: outcome.infer_us,
+                degraded: outcome.degraded,
             };
             match serde_json::to_vec(&response) {
                 Ok(body) => (200, body),
                 Err(e) => (500, ErrorResponse::json(format!("serialization: {e}"))),
             }
         }
-        Ok(Err(message)) => (500, ErrorResponse::json(message)),
+        Ok(Err(JobError::Shed { waited_us })) => (
+            504,
+            ErrorResponse::json(format!(
+                "deadline exceeded before dispatch (waited {waited_us} µs in queue)"
+            )),
+        ),
+        Ok(Err(JobError::Late { total_us })) => (
+            504,
+            ErrorResponse::json(format!(
+                "deadline exceeded during execution (answer ready after {total_us} µs)"
+            )),
+        ),
+        Ok(Err(JobError::Failed(message))) => (500, ErrorResponse::json(message)),
         Err(_) => (500, ErrorResponse::json("inference timed out")),
     }
 }

@@ -1,0 +1,265 @@
+//! Degradation-ladder and shedding properties, driven directly against
+//! the batcher and queue (no sockets):
+//!
+//! * shedding takes exactly the deadline-expired jobs — never a job
+//!   with remaining slack — and never reorders the survivors;
+//! * a full-window request forced onto the early-exit rung produces a
+//!   response bit-identical to an explicit early-exit request, across
+//!   batch compositions (including mixed explicit/forced batches) and
+//!   worker counts {1, 2, 4};
+//! * an injected batch panic fails only its own batch's requests and
+//!   the batcher keeps serving (no respawn needed).
+
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use t2fsnn::{ImageInference, InferOptions};
+use t2fsnn_serve::batcher::{self, BatcherConfig, InferJob, JobError, JobOutcome};
+use t2fsnn_serve::faults::Faults;
+use t2fsnn_serve::metrics::Metrics;
+use t2fsnn_serve::queue::Queue;
+use t2fsnn_serve::{Registry, ServeModel};
+use t2fsnn_tensor::{Tensor, ThreadPool};
+
+/// The tiny scenario model (as the registry loads it) plus a pool of
+/// request images from its own dataset.
+fn tiny() -> (Arc<ServeModel>, Vec<Vec<f32>>) {
+    let registry = Registry::load(&["tiny".to_string()]).expect("load tiny");
+    let model = Arc::clone(registry.get(None).expect("tiny ready"));
+    let data = t2fsnn_bench::Scenario::Tiny.dataset();
+    let feature: usize = data.images.dims()[1..].iter().product();
+    let images = (0..8)
+        .map(|i| data.images.data()[i * feature..(i + 1) * feature].to_vec())
+        .collect();
+    (model, images)
+}
+
+fn make_job(
+    model: &Arc<ServeModel>,
+    image: Vec<f32>,
+    early_exit: bool,
+    deadline: Option<Instant>,
+) -> (InferJob, mpsc::Receiver<Result<JobOutcome, JobError>>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        InferJob {
+            model: Arc::clone(model),
+            image,
+            early_exit,
+            deadline,
+            enqueued: Instant::now(),
+            reply: tx,
+        },
+        rx,
+    )
+}
+
+/// Property: `drain_matching` (the shedding primitive) removes exactly
+/// the matching items in FIFO order and the survivors keep their exact
+/// relative order — over random queue contents.
+#[test]
+fn shedding_never_reorders_survivors() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for _ in 0..200 {
+        let n = rng.gen_range(1..30);
+        let items: Vec<(usize, bool)> = (0..n).map(|i| (i, rng.gen_range(0..100) < 40)).collect();
+        let queue = Queue::new(64);
+        for item in &items {
+            queue.push(*item).expect("push");
+        }
+        let shed = queue.drain_matching(|(_, expired)| *expired);
+        let expected_shed: Vec<_> = items.iter().copied().filter(|(_, e)| *e).collect();
+        assert_eq!(shed, expected_shed, "shed set or order wrong");
+        let survivors = queue.drain_matching(|_| true);
+        let expected_survivors: Vec<_> = items.iter().copied().filter(|(_, e)| !*e).collect();
+        assert_eq!(survivors, expected_survivors, "survivor order changed");
+    }
+}
+
+/// Property: the batcher sheds exactly the jobs whose deadline has
+/// passed (answering `Shed`), and every job with remaining slack is
+/// executed and answered — over random doomed/healthy mixes.
+#[test]
+fn batcher_sheds_only_expired_jobs() {
+    let (model, images) = tiny();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for round in 0..3 {
+        let queue = Queue::new(64);
+        let metrics = Metrics::new(8);
+        let now = Instant::now();
+        let mut receivers = Vec::new();
+        for i in 0..16 {
+            // First two pinned so both classes always occur.
+            let doomed = match i {
+                0 => true,
+                1 => false,
+                _ => rng.gen_range(0..100) < 40,
+            };
+            let deadline = if doomed {
+                // Budget 0: already due when the batcher looks at it.
+                Some(now)
+            } else {
+                Some(now + Duration::from_secs(600))
+            };
+            let (job, rx) = make_job(&model, images[i % images.len()].clone(), true, deadline);
+            assert!(queue.push(job).is_ok(), "queue push must succeed");
+            receivers.push((rx, doomed));
+        }
+        queue.close();
+        let config = BatcherConfig {
+            max_batch: 8,
+            max_delay: Duration::from_micros(100),
+            force_ee_slack_us: 0,
+        };
+        batcher::run(&queue, &metrics, &config, None);
+        let mut sheds = 0;
+        for (i, (rx, doomed)) in receivers.iter().enumerate() {
+            match rx.try_recv().expect("every admitted job must be answered") {
+                Ok(_) => assert!(!doomed, "round {round}: expired job {i} was executed"),
+                Err(JobError::Shed { .. }) => {
+                    sheds += 1;
+                    assert!(doomed, "round {round}: job {i} had slack and was shed");
+                }
+                Err(JobError::Late { .. }) => {
+                    panic!("round {round}: job {i} answered late despite huge slack")
+                }
+                Err(JobError::Failed(e)) => panic!("round {round}: job {i} failed: {e}"),
+            }
+        }
+        let rendered = metrics.render();
+        assert!(
+            rendered.contains(&format!("t2fsnn_serve_deadline_shed_total {sheds}")),
+            "shed counter mismatch: {rendered}"
+        );
+    }
+}
+
+/// The ladder's bit-identity contract: forced early-exit equals
+/// explicit early-exit, byte for byte, across batch compositions
+/// (solo, partial, full, and mixed explicit/forced batches) and worker
+/// counts {1, 2, 4}.
+#[test]
+fn forced_early_exit_matches_explicit_across_batches_and_workers() {
+    let (model, images) = tiny();
+    let [c, h, w] = model.image_dims();
+
+    // Reference: explicit early-exit, solo, for every worker count —
+    // all must agree bit-for-bit (worker invariance), giving one
+    // canonical answer per image.
+    let mut references: Vec<ImageInference> = Vec::new();
+    for image in &images {
+        let tensor = Tensor::from_vec(vec![1, c, h, w], image.clone()).expect("tensor");
+        let mut per_worker: Vec<ImageInference> = [1usize, 2, 4]
+            .iter()
+            .map(|&workers| {
+                let pool = ThreadPool::new(workers);
+                model
+                    .model
+                    .infer_on(&tensor, InferOptions { early_exit: true }, &pool)
+                    .expect("solo inference")
+                    .remove(0)
+            })
+            .collect();
+        let canonical = per_worker.remove(0);
+        for other in &per_worker {
+            assert_eq!(&canonical, other, "solo early-exit differs across workers");
+            assert_eq!(
+                canonical.top_potential.to_bits(),
+                other.top_potential.to_bits()
+            );
+        }
+        references.push(canonical);
+    }
+
+    // Ladder runs: odd-indexed jobs ask full-window with a deadline and
+    // a huge static force threshold (always forced onto the early-exit
+    // rung); even-indexed jobs ask early-exit explicitly — both modes
+    // share batches because the effective mode is the batch key.
+    for max_batch in [1usize, 3, 8] {
+        let queue = Queue::new(64);
+        let metrics = Metrics::new(8);
+        let now = Instant::now();
+        let mut receivers = Vec::new();
+        for (i, image) in images.iter().enumerate() {
+            let explicit = i % 2 == 0;
+            let deadline = (!explicit).then(|| now + Duration::from_secs(5));
+            let (job, rx) = make_job(&model, image.clone(), explicit, deadline);
+            assert!(queue.push(job).is_ok(), "queue push must succeed");
+            receivers.push((rx, explicit));
+        }
+        queue.close();
+        let config = BatcherConfig {
+            max_batch,
+            max_delay: Duration::from_micros(100),
+            force_ee_slack_us: u64::MAX,
+        };
+        batcher::run(&queue, &metrics, &config, None);
+        for (i, (rx, explicit)) in receivers.iter().enumerate() {
+            let outcome = rx
+                .try_recv()
+                .expect("answered")
+                .expect("executed, not shed");
+            assert_eq!(
+                outcome.degraded, !explicit,
+                "max_batch {max_batch}: job {i} degraded flag wrong"
+            );
+            assert_eq!(
+                &outcome.result, &references[i],
+                "max_batch {max_batch}: job {i} bits differ from explicit early-exit"
+            );
+            assert_eq!(
+                outcome.result.top_potential.to_bits(),
+                references[i].top_potential.to_bits()
+            );
+        }
+        if max_batch == 8 {
+            assert!(
+                metrics
+                    .render()
+                    .contains("t2fsnn_serve_forced_early_exit_total 4"),
+                "forced-EE counter should see the 4 deadline jobs"
+            );
+        }
+    }
+}
+
+/// Panic isolation: with `panic=1` every batch panics; each batch's own
+/// jobs get `Failed`, the batcher survives all of them in one run, and
+/// the panics are counted.
+#[test]
+fn injected_batch_panic_fails_only_its_batch() {
+    let (model, images) = tiny();
+    let faults = Faults::parse("1:panic=1").expect("spec");
+    let queue = Queue::new(64);
+    let metrics = Metrics::new(8);
+    let mut receivers = Vec::new();
+    for i in 0..6 {
+        let (job, rx) = make_job(&model, images[i % images.len()].clone(), true, None);
+        assert!(queue.push(job).is_ok(), "queue push must succeed");
+        receivers.push(rx);
+    }
+    queue.close();
+    let config = BatcherConfig {
+        max_batch: 2,
+        max_delay: Duration::from_micros(100),
+        force_ee_slack_us: 0,
+    };
+    batcher::run(&queue, &metrics, &config, Some(&faults));
+    for (i, rx) in receivers.iter().enumerate() {
+        match rx.try_recv().expect("every job answered despite panics") {
+            Err(JobError::Failed(message)) => {
+                assert!(message.contains("panicked"), "job {i}: {message}")
+            }
+            Ok(_) => panic!("job {i}: expected Failed, got a successful outcome"),
+            Err(JobError::Shed { .. }) => panic!("job {i}: expected Failed, got Shed"),
+            Err(JobError::Late { .. }) => panic!("job {i}: expected Failed, got Late"),
+        }
+    }
+    let rendered = metrics.render();
+    assert!(
+        rendered.contains("t2fsnn_serve_worker_panics_total 3"),
+        "three batches of two must have panicked: {rendered}"
+    );
+}

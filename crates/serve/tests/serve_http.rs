@@ -7,7 +7,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use t2fsnn_serve::protocol::{InferRequest, InferResponse, ModelInfo};
+use t2fsnn_serve::protocol::{HealthReport, InferRequest, InferResponse, ModelInfo};
 use t2fsnn_serve::{start, Registry, ServeConfig, ServerHandle};
 
 /// One blocking HTTP/1.1 exchange on a fresh connection.
@@ -48,10 +48,20 @@ fn parse_response(raw: &[u8]) -> (u16, Vec<u8>) {
 }
 
 fn infer_body(image: &[f32], early_exit: Option<bool>, model: Option<&str>) -> Vec<u8> {
+    infer_body_deadline(image, early_exit, model, None)
+}
+
+fn infer_body_deadline(
+    image: &[f32],
+    early_exit: Option<bool>,
+    model: Option<&str>,
+    deadline_ms: Option<u64>,
+) -> Vec<u8> {
     serde_json::to_vec(&InferRequest {
         model: model.map(str::to_string),
         image: image.to_vec(),
         early_exit,
+        deadline_ms,
     })
     .unwrap()
 }
@@ -84,6 +94,13 @@ fn routes_validation_and_shutdown() {
 
     let (status, body) = request(addr, "GET", "/healthz", b"");
     assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let health: HealthReport = serde_json::from_slice(&body).unwrap();
+    assert_eq!(health.status, "ok");
+    assert!(!health.draining);
+    assert_eq!(health.queue_capacity, base_config().queue_capacity);
+    assert_eq!(health.models.len(), 1);
+    assert!(health.models[0].available);
+    assert_eq!(health.models[0].name, "tiny");
 
     let (status, body) = request(addr, "GET", "/v1/models", b"");
     assert_eq!(status, 200);
@@ -143,6 +160,29 @@ fn routes_validation_and_shutdown() {
     assert_eq!(status, 404);
     let (status, _) = request(addr, "DELETE", "/v1/infer", b"");
     assert_eq!(status, 405);
+
+    // An already-expired deadline (budget 0) is deterministically shed
+    // with 504 — via the JSON field and via the header.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body_deadline(&images[0], Some(true), None, Some(0)),
+    );
+    assert_eq!(status, 504, "{}", String::from_utf8_lossy(&body));
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(90)))
+        .unwrap();
+    let doomed = infer_body(&images[0], Some(true), None);
+    let head = format!(
+        "POST /v1/infer HTTP/1.1\r\nHost: t\r\nx-deadline-ms: 0\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        doomed.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(&doomed).unwrap();
+    let (status, _) = read_response(&mut stream);
+    assert_eq!(status, 504);
 
     // Body cap: Content-Length beyond the max is refused up front.
     let mut stream = TcpStream::connect(addr).unwrap();
@@ -304,6 +344,138 @@ fn full_admission_queue_answers_429() {
     assert_eq!(ok + rejected, 12, "unexpected statuses: {statuses:?}");
     assert!(rejected >= 2, "expected backpressure, got {statuses:?}");
     assert!(ok >= 1);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn failed_model_degrades_to_503_and_healthz_reports_it() {
+    // One good model, one that cannot load: the server still boots, the
+    // broken slot answers 503 (not 404 — it *is* configured), health is
+    // "degraded", and the good model keeps serving.
+    let registry =
+        Registry::load(&["tiny".to_string(), "broken".to_string()]).expect("registry boots");
+    let scenario = t2fsnn_bench::Scenario::Tiny;
+    let data = scenario.dataset();
+    let feature: usize = data.images.dims()[1..].iter().product();
+    let image: Vec<f32> = data.images.data()[..feature].to_vec();
+    let handle = start(base_config(), registry).expect("bind");
+    let addr = handle.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200, "one model still serves");
+    let health: HealthReport = serde_json::from_slice(&body).unwrap();
+    assert_eq!(health.status, "degraded");
+    assert_eq!(health.models.len(), 2);
+    assert!(health.models[0].available);
+    assert!(!health.models[1].available);
+    assert!(health.models[1].error.is_some());
+
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(&image, Some(true), Some("broken")),
+    );
+    assert_eq!(status, 503);
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(&image, Some(true), Some("tiny")),
+    );
+    assert_eq!(status, 200);
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(&image, Some(true), Some("never-configured")),
+    );
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn all_models_failed_still_boots_and_healthz_is_503() {
+    let registry = Registry::load(&["broken".to_string()]).expect("registry boots");
+    let handle = start(base_config(), registry).expect("bind");
+    let addr = handle.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 503);
+    let health: HealthReport = serde_json::from_slice(&body).unwrap();
+    assert_eq!(health.status, "unavailable");
+
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(&[0.0; 4], None, None),
+    );
+    assert_eq!(status, 503);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn forced_early_exit_is_bit_identical_to_explicit_early_exit() {
+    // A static force threshold far above any realistic slack: every
+    // deadline-carrying full-window request is degraded onto the
+    // early-exit rung. Its response must carry `degraded: true` and be
+    // bit-identical to the same image explicitly requested early-exit.
+    let mut config = base_config();
+    config.force_ee_slack_us = 3_600_000_000; // one hour of "slack"
+    let (handle, images) = test_server(config);
+    let addr = handle.addr();
+    let image = &images[4];
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(image, Some(true), None),
+    );
+    assert_eq!(status, 200);
+    let explicit: InferResponse = serde_json::from_slice(&body).unwrap();
+    assert!(!explicit.degraded, "explicit early-exit is not degraded");
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body_deadline(image, Some(false), None, Some(30_000)),
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let forced: InferResponse = serde_json::from_slice(&body).unwrap();
+    assert!(forced.degraded, "the ladder should have forced early-exit");
+    assert_eq!(forced.label, explicit.label);
+    assert_eq!(forced.decision_step, explicit.decision_step);
+    assert_eq!(forced.steps, explicit.steps);
+    assert_eq!(
+        forced.top_potential.to_bits(),
+        explicit.top_potential.to_bits()
+    );
+    assert_eq!(forced.input_spikes, explicit.input_spikes);
+    assert_eq!(forced.hidden_spikes, explicit.hidden_spikes);
+    assert_eq!(forced.synop_adds, explicit.synop_adds);
+    assert_eq!(forced.synop_mults, explicit.synop_mults);
+
+    // Without a deadline there is no slack to run out of: the same
+    // full-window request is served undegraded.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/infer",
+        &infer_body(image, Some(false), None),
+    );
+    assert_eq!(status, 200);
+    let full: InferResponse = serde_json::from_slice(&body).unwrap();
+    assert!(!full.degraded);
+    assert_eq!(full.decision_step, None);
 
     handle.shutdown();
     handle.join();

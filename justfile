@@ -10,7 +10,7 @@ verify:
 # (leading `-`), mirroring the CI workflow's continue-on-error: its
 # regression exit code is a signal for the baseline machine, not a
 # gate for whatever machine runs `just ci`.
-ci: fmt-check lint verify test-scalar pool-test bench-check serve-smoke-ci
+ci: fmt-check lint verify test-scalar pool-test bench-check serve-smoke-ci serve-chaos
     -timeout 900 cargo run --release -p t2fsnn-bench --bin bench_smoke
 
 # The CI flavor of serve-smoke: same blocking correctness gates, no
@@ -18,6 +18,23 @@ ci: fmt-check lint verify test-scalar pool-test bench-check serve-smoke-ci
 serve-smoke-ci:
     cargo build --release -p t2fsnn-serve -p t2fsnn-bench
     timeout 600 cargo run --release -p t2fsnn-bench --bin serve_load -- --smoke
+
+# Chaos smoke (blocking): spawn the server with the fixed-seed fault
+# spec, drive a mixed valid/malformed/doomed closed loop, and assert
+# the robustness invariants — every accepted request answered, doomed
+# (deadline 0) requests 504, malformed 400, panics isolated to their
+# batch (no batcher respawn), successful responses bit-identical to a
+# solo run, fault counters visible in /metrics, clean shutdown.
+serve-chaos:
+    cargo build --release -p t2fsnn-serve -p t2fsnn-bench
+    timeout 600 cargo run --release -p t2fsnn-bench --bin serve_load -- --chaos --requests 160
+
+# Overload demo: drive ≥2x the measured full-window capacity with a
+# per-request deadline and record how the degradation ladder holds p99
+# of answered requests under the deadline (results/serve_overload.json).
+serve-overload:
+    cargo build --release -p t2fsnn-serve -p t2fsnn-bench
+    timeout 900 cargo run --release -p t2fsnn-bench --bin serve_load -- --overload
 
 # Thread-pool shutdown/deadlock net under a single-threaded harness.
 pool-test:
