@@ -18,6 +18,7 @@
 //! serve_load --smoke --record-label pr5-post
 //! serve_load --chaos                  # fault injection + invariant gates
 //! serve_load --overload               # deadline ladder under 2× load
+//! serve_load --perturb 9:igauss=0.15,jitter=2,drop=0.1,wgauss=0.05
 //! ```
 //!
 //! `--smoke` is the CI correctness gate: it spawns the sibling
@@ -43,6 +44,16 @@
 //! engages (forced early-exit, then shedding); it asserts that p99 of
 //! *answered* requests stays within the deadline and writes the demo to
 //! `results/serve_overload.json`.
+//!
+//! `--perturb <spec>` sweeps the spec over severities {0, 0.5, 1}: each
+//! severity spawns the server with `T2FSNN_SERVE_PERTURB` set to the
+//! scaled spec (event/model families applied at load) while the client
+//! applies the input families to the request images — the same split
+//! the production path would use. Gates: severity-0 responses are
+//! bit-identical to a clean-server baseline, every perturbed response
+//! is bit-identical between solo and batched/concurrent execution,
+//! `/healthz` stays `ok`, the perturbation-footprint metrics match the
+//! spec, and every server shuts down cleanly.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -55,6 +66,7 @@ use serde::{Deserialize, Serialize};
 use t2fsnn_bench::baseline::{BaselineFile, BenchRecord, LabeledSnapshot, Snapshot, TargetResult};
 use t2fsnn_bench::report::results_dir;
 use t2fsnn_bench::Scenario;
+use t2fsnn_tensor::perturb::PerturbSpec;
 
 /// Fixed fault spec for `--chaos`: every kind exercised, rates low
 /// enough that most valid traffic still succeeds, panic rate high
@@ -279,6 +291,7 @@ struct Args {
     smoke: bool,
     chaos: bool,
     overload: bool,
+    perturb: Option<String>,
     record_label: Option<String>,
 }
 
@@ -294,6 +307,7 @@ fn parse_args() -> Args {
         smoke: false,
         chaos: false,
         overload: false,
+        perturb: None,
         record_label: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -317,21 +331,26 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--chaos" => args.chaos = true,
             "--overload" => args.overload = true,
+            "--perturb" => args.perturb = Some(value(&mut i)),
             "--record-label" => args.record_label = Some(value(&mut i)),
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: serve_load [--addr host:port] [--requests N] [--concurrency C] \
                      [--model NAME] [--early-exit 0|1] [--deadline-ms N] [--seed N] \
-                     [--smoke | --chaos | --overload] [--record-label LABEL]"
+                     [--smoke | --chaos | --overload | --perturb SPEC] [--record-label LABEL]"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
-    if args.addr.is_none() && !(args.smoke || args.chaos || args.overload) {
-        eprintln!("need --addr (drive a running server) or --smoke/--chaos/--overload (spawn one)");
+    if args.addr.is_none() && !(args.smoke || args.chaos || args.overload || args.perturb.is_some())
+    {
+        eprintln!(
+            "need --addr (drive a running server) or --smoke/--chaos/--overload/--perturb \
+             (spawn one)"
+        );
         std::process::exit(2);
     }
     args
@@ -789,10 +808,8 @@ fn print_report(report: &LoadReport, label: &str) {
     );
 }
 
-/// Builds the deterministic per-model request images from the scenario
-/// dataset (synthesis only — no training on the client side).
-fn scenario_images(model: &str) -> Vec<Vec<f32>> {
-    let scenario = match model {
+fn scenario_of(model: &str) -> Scenario {
+    match model {
         "tiny" => Scenario::Tiny,
         "mnist-like" => Scenario::MnistLike,
         "cifar10-like" => Scenario::Cifar10Like,
@@ -801,8 +818,13 @@ fn scenario_images(model: &str) -> Vec<Vec<f32>> {
             eprintln!("[serve_load] unknown model `{other}`");
             std::process::exit(2);
         }
-    };
-    let data = scenario.dataset();
+    }
+}
+
+/// Builds the deterministic per-model request images from the scenario
+/// dataset (synthesis only — no training on the client side).
+fn scenario_images(model: &str) -> Vec<Vec<f32>> {
+    let data = scenario_of(model).dataset();
     let feature: usize = data.images.dims()[1..].iter().product();
     (0..data.len().min(32))
         .map(|i| data.images.data()[i * feature..(i + 1) * feature].to_vec())
@@ -1366,6 +1388,170 @@ fn overload_run(args: &Args, images: &[Vec<f32>]) {
     }
 }
 
+/// The `--perturb` flow: severity sweep through the serving path with
+/// determinism and degradation gates at every point.
+fn perturb_run(args: &Args, images: &[Vec<f32>], spec_text: &str) {
+    let base = match PerturbSpec::parse(spec_text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("[serve_load] FATAL: bad --perturb spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    let dims = {
+        let data = scenario_of(&args.model).dataset();
+        let d = data.images.dims().to_vec();
+        [d[1], d[2], d[3]]
+    };
+    let probe = images.len().min(8);
+    let mut failures: Vec<String> = Vec::new();
+
+    // Clean-server baseline: solo early-exit references for the probe
+    // images — the bits severity 0 must reproduce exactly.
+    println!("[serve_load] perturb baseline: clean server, {probe} solo references");
+    let clean_refs: Vec<InferResponse> = {
+        let mut spawned = spawn_server(&args.model, &[]);
+        let addr = spawned.addr.clone();
+        let refs = (0..probe)
+            .map(|i| solo_reference(&addr, &args.model, &images[i], true))
+            .collect();
+        shutdown_spawned(&mut spawned, &addr, &mut failures);
+        refs
+    };
+
+    for severity in [0.0f32, 0.5, 1.0] {
+        let spec = base.scaled(severity);
+        let rendered = spec.render();
+        println!("[serve_load] perturb severity {severity}: spec `{rendered}`");
+        let mut spawned = spawn_server(&args.model, &[("T2FSNN_SERVE_PERTURB", rendered.clone())]);
+        let addr = spawned.addr.clone();
+
+        // The input families are the client's half of the split: the
+        // request images carry them, the server carries event + weight.
+        let view: Vec<Vec<f32>> = images[..probe]
+            .iter()
+            .map(|image| {
+                let mut data = image.clone();
+                spec.perturb_image(dims, &mut data);
+                data
+            })
+            .collect();
+
+        let solo: Vec<InferResponse> = view
+            .iter()
+            .map(|image| solo_reference(&addr, &args.model, image, true))
+            .collect();
+        if severity == 0.0 {
+            let mismatches = solo
+                .iter()
+                .zip(&clean_refs)
+                .filter(|(s, r)| !s.same_bits(r))
+                .count();
+            if mismatches > 0 {
+                failures.push(format!(
+                    "severity 0: {mismatches}/{probe} responses differ from the clean baseline"
+                ));
+            } else {
+                println!(
+                    "[serve_load] severity-0 gate: {probe} responses bit-identical to clean \
+                     baseline"
+                );
+            }
+        }
+
+        // Concurrent batched load over the same images: every answer
+        // must reproduce its solo bits (batch/concurrency invariance of
+        // the perturbed path).
+        let requests = args.requests.clamp(24, 64);
+        let model = args.model.clone();
+        let report = closed_loop(&addr, requests, args.concurrency.max(4), args.seed, |i| {
+            serde_json::to_vec(&InferRequest {
+                model: Some(model.clone()),
+                image: view[i % view.len()].clone(),
+                early_exit: Some(true),
+                deadline_ms: None,
+            })
+            .expect("serialize perturb request")
+        });
+        print_report(&report, &format!("perturb s={severity}"));
+        if report.ok_count() != requests {
+            failures.push(format!(
+                "severity {severity}: only {}/{requests} requests answered 200",
+                report.ok_count()
+            ));
+        }
+        let mut checked = 0usize;
+        for (i, r) in report.responses() {
+            checked += 1;
+            if !r.same_bits(&solo[i % view.len()]) {
+                failures.push(format!(
+                    "severity {severity}: response {i} differs from its solo reference"
+                ));
+            }
+        }
+        println!("[serve_load] severity {severity}: {checked} batched responses matched solo");
+
+        // A perturbed server is a *healthy* server: degradation is for
+        // broken artifacts, not requested perturbations.
+        {
+            let stats = RetryStats::default();
+            let mut rng = Rng64(0x9E47);
+            let mut slot = None;
+            match request_with_retry(&mut slot, &addr, "GET", "/healthz", b"", &mut rng, &stats) {
+                Some((200, body)) => {
+                    let text = String::from_utf8_lossy(&body);
+                    if !text.contains("\"status\":\"ok\"") {
+                        failures.push(format!("severity {severity}: healthz 200 but not ok"));
+                    }
+                }
+                other => failures.push(format!("severity {severity}: healthz not 200 ({other:?})")),
+            }
+        }
+
+        // Perturbation-footprint metrics must match the spec.
+        match fetch_metrics(&addr) {
+            Some(text) => {
+                let models =
+                    metric_value(&text, "t2fsnn_serve_perturbed_models_total").unwrap_or(0);
+                let rows =
+                    metric_value(&text, "t2fsnn_serve_perturbed_weight_rows_total").unwrap_or(0);
+                println!(
+                    "[serve_load] severity {severity}: {models} perturbed models, {rows} \
+                     perturbed weight rows"
+                );
+                let want_models = u64::from(!spec.is_identity());
+                if models != want_models {
+                    failures.push(format!(
+                        "severity {severity}: perturbed_models_total {models} (want {want_models})"
+                    ));
+                }
+                if spec.weight_gauss > 0.0 && rows == 0 {
+                    failures.push(format!(
+                        "severity {severity}: wgauss > 0 but no weight row was rewritten"
+                    ));
+                }
+                if spec.is_identity() && rows != 0 {
+                    failures.push(format!(
+                        "severity {severity}: identity spec rewrote {rows} weight rows"
+                    ));
+                }
+            }
+            None => failures.push(format!("severity {severity}: cannot fetch /metrics")),
+        }
+
+        shutdown_spawned(&mut spawned, &addr, &mut failures);
+    }
+
+    if failures.is_empty() {
+        println!("[serve_load] PERTURB OK — severity sweep held every determinism gate");
+    } else {
+        for f in &failures {
+            eprintln!("[serve_load] PERTURB GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     let images = scenario_images(&args.model);
@@ -1373,6 +1559,8 @@ fn main() {
         chaos_run(&args, &images);
     } else if args.overload {
         overload_run(&args, &images);
+    } else if let Some(spec) = args.perturb.clone() {
+        perturb_run(&args, &images, &spec);
     } else {
         smoke_or_plain(&args, &images);
     }

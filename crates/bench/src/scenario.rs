@@ -424,8 +424,11 @@ fn write_cache(path: &std::path::Path, cache: &CacheFile) {
 /// including legacy JSON entries — and the caller falls back to
 /// retraining.
 fn load_cache(scenario: Scenario) -> Option<Prepared> {
-    let path = cache_path(scenario, "bin");
-    let bytes = fs::read(&path).ok()?;
+    load_cache_from(&cache_path(scenario, "bin"), scenario)
+}
+
+fn load_cache_from(path: &std::path::Path, scenario: Scenario) -> Option<Prepared> {
+    let bytes = fs::read(path).ok()?;
     // Non-binary (legacy JSON) or corrupt entries are plain misses.
     if !crate::binfmt::is_binary(&bytes) {
         return None;
@@ -482,6 +485,46 @@ mod tests {
         let second = prepare(Scenario::Tiny);
         assert_eq!(first.dnn_accuracy, second.dnn_accuracy);
         assert_eq!(first.test.len(), second.test.len());
+    }
+
+    #[test]
+    fn corrupt_cache_is_a_miss_not_a_silent_load() {
+        let prepared = prepare(Scenario::Tiny);
+        // Build a standalone cache entry in a scratch path so the test
+        // cannot race other tests using the shared on-disk cache.
+        let cache = CacheFile {
+            version: CACHE_VERSION,
+            quick: quick_mode(),
+            seed: Scenario::Tiny.seed(),
+            params: prepared.dnn.param_count() as u64,
+            dnn: prepared.dnn.clone(),
+            dnn_accuracy: prepared.dnn_accuracy,
+            dataset: Some(Scenario::Tiny.dataset()),
+        };
+        let dir = std::env::temp_dir().join(format!("t2fsnn-corrupt-cache-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        let path = dir.join("tiny-scratch-v1.bin");
+        write_cache(&path, &cache);
+        assert!(
+            load_cache_from(&path, Scenario::Tiny).is_some(),
+            "pristine entry must load"
+        );
+        // Flip one bit at a header byte, a mid-payload byte (deep inside
+        // the weights section), and the final byte: every one must read
+        // as a miss — the per-section CRC quarantines payload damage and
+        // the framing checks catch header damage — so `prepare` falls
+        // back to retraining instead of serving corrupted weights.
+        let original = fs::read(&path).expect("read scratch cache");
+        for idx in [9, original.len() / 2, original.len() - 1] {
+            let mut corrupt = original.clone();
+            corrupt[idx] ^= 0x10;
+            fs::write(&path, &corrupt).expect("write corrupted cache");
+            assert!(
+                load_cache_from(&path, Scenario::Tiny).is_none(),
+                "flipped byte {idx} must quarantine the entry"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

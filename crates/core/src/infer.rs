@@ -9,11 +9,12 @@
 //!
 //! * **Batch invariance** — an image's [`ImageInference`] is
 //!   bit-identical whether it ran solo, inside any batch, or on any
-//!   worker count. Images never interact in the pipeline (every kernel
-//!   processes per-image slices in the canonical order and noise
-//!   injection is rejected here because its RNG stream is
-//!   batch-order-dependent), and the serving test suite asserts the
-//!   invariance over random request streams.
+//!   worker count. Images never interact in the pipeline: every kernel
+//!   processes per-image slices in the canonical order, and noise
+//!   injection draws from a per-image ChaCha8 stream keyed on the
+//!   image's *content* (never its batch position), so even noisy
+//!   inference is a pure function of the single image. The serving
+//!   test suite asserts the invariance over random request streams.
 //! * **Anytime early-exit** — under TTFS the first output spike *is* the
 //!   decision. With [`InferOptions::early_exit`] the output layer is
 //!   given its own fire phase on the standard pipeline schedule
@@ -42,7 +43,7 @@ use t2fsnn_snn::{OpExecutor, SnnOp};
 use t2fsnn_tensor::{profile, Result, SpikeBatch, Tensor, TensorError, ThreadPool};
 
 use crate::network::T2fsnn;
-use crate::pipeline::{apply_gate, build_segments, Segment};
+use crate::pipeline::{apply_gate, build_segments, delivered_value, noise_streams, Segment};
 
 /// Knobs of a [`T2fsnn::infer`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -118,11 +119,9 @@ impl T2fsnn {
     ///
     /// # Errors
     ///
-    /// Returns an error on shape mismatches, when the model carries a
-    /// noise config (its RNG stream is batch-order-dependent, which
-    /// would break the per-request bit-identity contract), or when the
-    /// network uses an op/gate combination outside the bundled
-    /// conv/pool/flatten/linear set.
+    /// Returns an error on shape mismatches or when the network uses an
+    /// op/gate combination outside the bundled conv/pool/flatten/linear
+    /// set.
     pub fn infer(&self, images: &Tensor, opts: InferOptions) -> Result<Vec<ImageInference>> {
         self.infer_on(images, opts, ThreadPool::global())
     }
@@ -143,14 +142,6 @@ impl T2fsnn {
             return Err(TensorError::InvalidArgument {
                 op: "T2fsnn::infer",
                 message: format!("expected [N, C, H, W] images, got {}", images.shape()),
-            });
-        }
-        if self.config().noise.is_some() {
-            return Err(TensorError::InvalidArgument {
-                op: "T2fsnn::infer",
-                message: "noise injection has a batch-order-dependent RNG stream; \
-                          per-request inference requires noise = None"
-                    .to_string(),
             });
         }
         let n = images.dims()[0];
@@ -291,6 +282,10 @@ impl T2fsnn {
 
         let mut fire_ev = SpikeBatch::empty();
         let mut fire_hits: Vec<u32> = Vec::new();
+        // Per-image, content-keyed noise streams (empty without noise):
+        // identical for an image regardless of chunking, batch
+        // composition, or worker count.
+        let mut noise_rngs = noise_streams(config.noise, images);
 
         for t in 0..last_step {
             if opts.early_exit && undecided == 0 {
@@ -311,7 +306,13 @@ impl T2fsnn {
                     for (v, &et) in slot.iter_mut().zip(scan) {
                         if et == Some(t) {
                             cnt += 1;
-                            *v = input_table[t] * theta0;
+                            *v = delivered_value(
+                                &input_table,
+                                t,
+                                theta0,
+                                config.noise,
+                                noise_rngs.get_mut(img),
+                            );
                         }
                     }
                     results[img].input_spikes += cnt;
@@ -355,7 +356,6 @@ impl T2fsnn {
                 }
                 let local = t - start;
                 let threshold = theta0 * fire_tables[i][local];
-                let value = fire_tables[i][local] * theta0;
                 let mut count = 0u64;
                 {
                     let _s = profile::span("ttfs/fire_scan");
@@ -380,8 +380,18 @@ impl T2fsnn {
                             let f = &mut fimg[j as usize];
                             if *f == 0.0 {
                                 *f = 1.0;
-                                if value != 0.0 {
-                                    fire_ev.push(j, value);
+                                // A spike dropped by noise still counts
+                                // (the neuron fired) but delivers no PSP,
+                                // exactly as in `run`.
+                                let v = delivered_value(
+                                    &fire_tables[i],
+                                    local,
+                                    theta0,
+                                    config.noise,
+                                    noise_rngs.get_mut(img),
+                                );
+                                if v != 0.0 {
+                                    fire_ev.push(j, v);
                                 }
                                 cnt += 1;
                             }
@@ -709,12 +719,130 @@ mod tests {
         assert!(m
             .infer(&Tensor::zeros([4, 8, 8]), InferOptions::default())
             .is_err());
+        // Noise configs used to be rejected here (the old RNG stream was
+        // batch-order-dependent); per-image content-keyed streams lifted
+        // that restriction.
         let noisy = model(
             &dnn,
             T2fsnnConfig::new(8).with_noise(NoiseConfig::jitter_only(1, 3)),
         );
         assert!(noisy
             .infer(&test_set.images, InferOptions::default())
-            .is_err());
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_severity_noise_infer_is_bit_identical_to_clean() {
+        // A noise config whose knobs are all zero must take no RNG draws
+        // and reproduce the clean path bit for bit.
+        let (dnn, test_set) = fixture();
+        let clean = model(&dnn, T2fsnnConfig::new(32));
+        let zero = model(
+            &dnn,
+            T2fsnnConfig::new(32).with_noise(NoiseConfig::jitter_only(0, 7)),
+        );
+        for opts in [InferOptions::default(), InferOptions::early_exit()] {
+            let a = clean.infer(&test_set.images, opts).unwrap();
+            let b = zero.infer(&test_set.images, opts).unwrap();
+            assert_eq!(a, b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.top_potential.to_bits(), y.top_potential.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_infer_is_batch_invariant() {
+        // The per-image content-keyed streams make noisy inference a
+        // pure function of the single image: solo and batched results
+        // must agree bit for bit.
+        let (dnn, test_set) = fixture();
+        let m = model(
+            &dnn,
+            T2fsnnConfig::new(32).with_noise(NoiseConfig {
+                jitter: 2,
+                drop_prob: 0.15,
+                seed: 42,
+            }),
+        );
+        let batched = m
+            .infer(&test_set.images, InferOptions::early_exit())
+            .unwrap();
+        // Solo runs and a shuffled sub-batch must both reproduce the
+        // full batch's per-image answers.
+        for i in [0usize, 3, 7] {
+            let solo_img = test_set.images.index_axis0(i).unwrap();
+            let mut dims = vec![1];
+            dims.extend_from_slice(solo_img.dims());
+            let solo = m
+                .infer(&solo_img.reshape(dims).unwrap(), InferOptions::early_exit())
+                .unwrap();
+            assert_eq!(solo[0], batched[i], "image {i} differs solo vs batched");
+            assert_eq!(
+                solo[0].top_potential.to_bits(),
+                batched[i].top_potential.to_bits()
+            );
+        }
+        let feature: usize = test_set.images.dims()[1..].iter().product();
+        let order = [5usize, 1, 6];
+        let mut sub = Vec::with_capacity(order.len() * feature);
+        for &i in &order {
+            sub.extend_from_slice(&test_set.images.data()[i * feature..(i + 1) * feature]);
+        }
+        let mut dims = test_set.images.dims().to_vec();
+        dims[0] = order.len();
+        let sub = Tensor::from_vec(dims, sub).unwrap();
+        let sub_results = m.infer(&sub, InferOptions::early_exit()).unwrap();
+        for (k, &i) in order.iter().enumerate() {
+            assert_eq!(sub_results[k], batched[i], "image {i} differs in sub-batch");
+        }
+    }
+
+    #[test]
+    fn noisy_infer_is_worker_invariant_and_matches_run() {
+        let (dnn, test_set) = fixture();
+        let m = model(
+            &dnn,
+            T2fsnnConfig::new(32).with_noise(NoiseConfig {
+                jitter: 3,
+                drop_prob: 0.1,
+                seed: 9,
+            }),
+        );
+        let serial = m
+            .infer_on(
+                &test_set.images,
+                InferOptions::default(),
+                &ThreadPool::new(1),
+            )
+            .unwrap();
+        for workers in [2usize, 4] {
+            let parallel = m
+                .infer_on(
+                    &test_set.images,
+                    InferOptions::default(),
+                    &ThreadPool::new(workers),
+                )
+                .unwrap();
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+        // Full-window noisy inference consumes each image's stream in
+        // exactly `run`'s order, so the batch path agrees too.
+        let run = m.run(&test_set.images, &test_set.labels).unwrap();
+        let correct = serial
+            .iter()
+            .zip(&test_set.labels)
+            .filter(|(r, &y)| r.label == y)
+            .count();
+        let accuracy = correct as f32 / test_set.len() as f32;
+        assert!((accuracy - run.accuracy).abs() < 1e-6);
+        assert_eq!(
+            serial.iter().map(|r| r.synop_adds).sum::<u64>(),
+            run.synop_adds
+        );
+        assert_eq!(
+            serial.iter().map(|r| r.hidden_spikes).sum::<u64>(),
+            run.layers.iter().map(|l| l.count).sum::<u64>()
+        );
     }
 }

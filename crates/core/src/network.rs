@@ -4,7 +4,7 @@
 use serde::{Deserialize, Serialize};
 use t2fsnn_dnn::Network;
 use t2fsnn_snn::SnnNetwork;
-use t2fsnn_tensor::{Result, TensorError};
+use t2fsnn_tensor::{perturb, Result, TensorError};
 
 use crate::kernel::{ExpKernel, KernelParams};
 
@@ -270,6 +270,26 @@ impl T2fsnn {
         let l = self.weighted_count();
         (l - 1) * self.config.stride() + self.config.time_window
     }
+
+    /// Applies the spec's model-level families (`wgauss`, `wstuck`,
+    /// `wbitflip`) to every weight row in place. Each row draws from its
+    /// own `(seed, layer, row)`-keyed ChaCha8 stream, so the result is
+    /// independent of visit order and identical on every engine, layout,
+    /// and SIMD path. An identity spec leaves every bit untouched.
+    ///
+    /// Returns `(changed_rows, total_rows)` — how many rows were
+    /// actually modified out of all weight rows in the network.
+    pub fn perturb_weights(&mut self, spec: &perturb::PerturbSpec) -> (u64, u64) {
+        let mut changed = 0u64;
+        let mut total = 0u64;
+        self.net.for_each_weight_row(|layer, row, weights| {
+            total += 1;
+            if spec.perturb_weight_row(layer, row, weights) {
+                changed += 1;
+            }
+        });
+        (changed, total)
+    }
 }
 
 #[cfg(test)]
@@ -357,5 +377,42 @@ mod tests {
         assert_eq!(model.input_kernel().tau, 2.0);
         assert_eq!(model.input_encoder().window(), 32);
         assert_eq!(model.fire_kernel(0).window(), 32);
+    }
+
+    fn flat_weights(model: &T2fsnn) -> Vec<u32> {
+        use t2fsnn_snn::SnnOp;
+        let mut out = Vec::new();
+        for op in model.network().ops() {
+            let w = match op {
+                SnnOp::Conv { weight, .. } => weight,
+                SnnOp::Linear { weight, .. } => weight,
+                _ => continue,
+            };
+            out.extend(w.data().iter().map(|v| v.to_bits()));
+        }
+        out
+    }
+
+    #[test]
+    fn identity_perturbation_leaves_weights_untouched() {
+        let mut model = tiny_model(T2fsnnConfig::new(16));
+        let before = flat_weights(&model);
+        let (changed, total) = model.perturb_weights(&perturb::PerturbSpec::identity(5));
+        assert_eq!(changed, 0);
+        assert!(total > 0, "the model must expose weight rows");
+        assert_eq!(flat_weights(&model), before, "identity must be bitwise");
+    }
+
+    #[test]
+    fn weight_perturbation_is_deterministic_and_counts_rows() {
+        let spec = perturb::PerturbSpec::parse("3:wgauss=0.1,wstuck=0.3").unwrap();
+        let mut a = tiny_model(T2fsnnConfig::new(16));
+        let mut b = tiny_model(T2fsnnConfig::new(16));
+        let (changed_a, total_a) = a.perturb_weights(&spec);
+        let (changed_b, total_b) = b.perturb_weights(&spec);
+        assert_eq!((changed_a, total_a), (changed_b, total_b));
+        assert!(changed_a > 0, "an active spec must touch rows");
+        assert!(changed_a <= total_a);
+        assert_eq!(flat_weights(&a), flat_weights(&b), "same spec, same bits");
     }
 }

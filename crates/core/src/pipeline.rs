@@ -9,11 +9,11 @@
 //! *non-guaranteed integration* — spikes arriving after a neuron fired are
 //! wasted, which this engine models faithfully.
 
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use t2fsnn_snn::{CurvePoint, OpExecutor, SimEngine, SnnOp};
-use t2fsnn_tensor::{profile, Result, SpikeBatch, Tensor, TensorError};
+use t2fsnn_tensor::{perturb, profile, Result, SpikeBatch, Tensor, TensorError};
 
 use crate::network::{NoiseConfig, T2fsnn};
 
@@ -217,16 +217,35 @@ pub(crate) fn apply_gate(gate: Option<&mut Tensor>, z: &mut Tensor) {
     }
 }
 
+/// One content-keyed event-noise stream per image of the batch (empty
+/// when `noise` is `None`). Keying each image's stream on its pixel
+/// *content* — never its batch position — is what makes noisy runs
+/// invariant to batch composition, solo-vs-batched execution, and
+/// worker count.
+pub(crate) fn noise_streams(noise: Option<NoiseConfig>, images: &Tensor) -> Vec<ChaCha8Rng> {
+    let Some(cfg) = noise else {
+        return Vec::new();
+    };
+    let n = images.dims()[0];
+    let feature: usize = images.dims()[1..].iter().product();
+    (0..n)
+        .map(|img| {
+            perturb::event_stream(cfg.seed, &images.data()[img * feature..(img + 1) * feature])
+        })
+        .collect()
+}
+
 /// The PSP value a spike fired at `local` delivers downstream, with
-/// optional timing noise (jitter shifts the decode index; drops zero it).
-fn delivered_value(
+/// optional timing noise (jitter shifts the decode index; drops zero
+/// it). `rng` is the firing image's own noise stream.
+pub(crate) fn delivered_value(
     table: &[f32],
     local: usize,
     theta0: f32,
     noise: Option<NoiseConfig>,
-    rng: &mut Option<ChaCha8Rng>,
+    rng: Option<&mut ChaCha8Rng>,
 ) -> f32 {
-    if let (Some(cfg), Some(rng)) = (noise, rng.as_mut()) {
+    if let (Some(cfg), Some(rng)) = (noise, rng) {
         if cfg.drop_prob > 0.0 && rng.gen::<f32>() < cfg.drop_prob {
             return 0.0;
         }
@@ -358,7 +377,10 @@ impl T2fsnn {
             .map(|t| input_encoder.eval(t as f32))
             .collect();
 
-        let mut noise_rng = config.noise.map(|cfg| ChaCha8Rng::seed_from_u64(cfg.seed));
+        // Per-image, content-keyed noise streams (empty without noise):
+        // the fix for the old single batch-order-dependent stream.
+        let mut noise_rngs = noise_streams(config.noise, images);
+        let raw_feature: usize = images.dims()[1..].iter().product::<usize>().max(1);
         // Reused event list and threshold-scan hit buffer for the fire
         // phases.
         let mut fire_ev = SpikeBatch::empty();
@@ -374,7 +396,8 @@ impl T2fsnn {
                     drive_dims.clone(),
                     enc_scan
                         .iter()
-                        .map(|&et| {
+                        .enumerate()
+                        .map(|(idx, &et)| {
                             if et == Some(t) {
                                 any += 1;
                                 delivered_value(
@@ -382,7 +405,7 @@ impl T2fsnn {
                                     t,
                                     theta0,
                                     config.noise,
-                                    &mut noise_rng,
+                                    noise_rngs.get_mut(idx / raw_feature),
                                 )
                             } else {
                                 0.0
@@ -437,9 +460,10 @@ impl T2fsnn {
                     fire_ev.begin(&feature_dims);
                     let pd = potentials[i].data();
                     let fd = fired[i].data_mut();
-                    for (pimg, fimg) in pd
+                    for (img, (pimg, fimg)) in pd
                         .chunks_exact(feature.max(1))
                         .zip(fd.chunks_exact_mut(feature.max(1)))
+                        .enumerate()
                     {
                         fire_hits.clear();
                         t2fsnn_tensor::simd::collect_ge(pimg, threshold, &mut fire_hits);
@@ -453,7 +477,7 @@ impl T2fsnn {
                                     local,
                                     theta0,
                                     config.noise,
-                                    &mut noise_rng,
+                                    noise_rngs.get_mut(img),
                                 );
                                 if v != 0.0 {
                                     fire_ev.push(j, v);

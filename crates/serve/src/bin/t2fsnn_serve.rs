@@ -8,7 +8,7 @@
 //! `T2FSNN_SERVE_WORKERS`, `T2FSNN_SERVE_EARLY_EXIT`,
 //! `T2FSNN_SERVE_READ_TIMEOUT_MS`, `T2FSNN_SERVE_MAX_BODY`,
 //! `T2FSNN_SERVE_DEADLINE_MS`, `T2FSNN_SERVE_FORCE_EE_SLACK_US`,
-//! `T2FSNN_SERVE_FAULTS` — plus the engine-wide
+//! `T2FSNN_SERVE_FAULTS`, `T2FSNN_SERVE_PERTURB` — plus the engine-wide
 //! `T2FSNN_THREADS`/`T2FSNN_SIMD`/`T2FSNN_PROFILE`.
 //!
 //! A model that fails to load does not kill the process: its slot
@@ -19,10 +19,21 @@
 use std::io::Write;
 
 use t2fsnn_serve::{start, Registry, ServeConfig};
+use t2fsnn_tensor::perturb::PerturbSpec;
 
 fn main() {
     let config = ServeConfig::from_env();
-    let registry = match Registry::load(&config.models) {
+    // A malformed perturbation spec fails startup loudly: a robustness
+    // run must never silently serve clean models.
+    let perturb = match config.perturb.as_deref().map(PerturbSpec::parse) {
+        None => None,
+        Some(Ok(spec)) => Some(spec),
+        Some(Err(e)) => {
+            eprintln!("[serve] FATAL: bad T2FSNN_SERVE_PERTURB: {e}");
+            std::process::exit(2);
+        }
+    };
+    let registry = match Registry::load_perturbed(&config.models, perturb.as_ref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("[serve] FATAL: {e}");
@@ -57,6 +68,16 @@ fn main() {
     if let Ok(spec) = std::env::var("T2FSNN_SERVE_FAULTS") {
         if !spec.trim().is_empty() {
             println!("[serve] FAULT INJECTION ACTIVE: {}", spec.trim());
+        }
+    }
+    if let Some(spec) = &perturb {
+        if spec.is_identity() {
+            println!(
+                "[serve] perturbation spec `{}` is identity: serving clean models",
+                spec.render()
+            );
+        } else {
+            println!("[serve] PERTURBATION ACTIVE: {}", spec.render());
         }
     }
     let _ = std::io::stdout().flush();

@@ -94,6 +94,14 @@ pub struct ServeConfig {
     /// degraded to forced early-exit (`T2FSNN_SERVE_FORCE_EE_SLACK_US`,
     /// default 0 = adaptive: per-model full-window EWMA + `max_delay`).
     pub force_ee_slack_us: u64,
+    /// Perturbation spec applied to every model at load time
+    /// (`T2FSNN_SERVE_PERTURB`, default unset = clean). The grammar is
+    /// [`t2fsnn_tensor::perturb::PerturbSpec::parse`]; event families
+    /// (`jitter`, `drop`) become the model's noise config and weight
+    /// families (`wgauss`, `wstuck`, `wbitflip`) rewrite the loaded
+    /// weights deterministically. Robustness harness knob — a malformed
+    /// spec fails startup loudly rather than silently serving clean.
+    pub perturb: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +118,7 @@ impl Default for ServeConfig {
             max_body_bytes: 4 << 20,
             default_deadline_ms: 0,
             force_ee_slack_us: 0,
+            perturb: None,
         }
     }
 }
@@ -161,6 +170,11 @@ impl ServeConfig {
         }
         if let Some(v) = env_parse::<u64>("T2FSNN_SERVE_FORCE_EE_SLACK_US") {
             config.force_ee_slack_us = v;
+        }
+        if let Ok(v) = std::env::var("T2FSNN_SERVE_PERTURB") {
+            if !v.trim().is_empty() {
+                config.perturb = Some(v.trim().to_string());
+            }
         }
         config
     }

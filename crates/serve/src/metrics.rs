@@ -6,7 +6,8 @@
 //! p99 upper-bound estimates), early-exit decisions, the robustness
 //! counters (deadline sheds, late answers, forced early-exits, worker
 //! panics, batcher respawns, per-model-unavailable refusals, injected
-//! faults) with a slack-at-dispatch histogram, and — when
+//! faults, the load-time perturbation footprint) with a
+//! slack-at-dispatch histogram, and — when
 //! `T2FSNN_PROFILE` is enabled — the per-phase profiler table (the
 //! batcher flushes its thread-local spans after every batch, so the
 //! endpoint sees them).
@@ -53,6 +54,8 @@ pub struct Metrics {
     batcher_respawns: AtomicU64,
     model_unavailable: AtomicU64,
     faults_injected: AtomicU64,
+    perturbed_models: AtomicU64,
+    perturbed_weight_rows: AtomicU64,
     /// `slack_hist[i]` counts dispatches at or under
     /// `SLACK_BUCKETS_US[i]`; the extra slot is the overflow bucket.
     slack_hist: [AtomicU64; 9],
@@ -80,6 +83,8 @@ impl Metrics {
             batcher_respawns: AtomicU64::new(0),
             model_unavailable: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
+            perturbed_models: AtomicU64::new(0),
+            perturbed_weight_rows: AtomicU64::new(0),
             slack_hist: Default::default(),
         }
     }
@@ -189,6 +194,15 @@ impl Metrics {
     /// Counts one injected fault firing (any kind).
     pub fn observe_fault_injected(&self) {
         self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the load-time perturbation footprint: how many models
+    /// came up perturbed and how many weight rows were rewritten (set
+    /// once at startup from the registry's counts; 0/0 = clean server).
+    pub fn set_perturbation(&self, models: u64, weight_rows: u64) {
+        self.perturbed_models.store(models, Ordering::Relaxed);
+        self.perturbed_weight_rows
+            .store(weight_rows, Ordering::Relaxed);
     }
 
     /// Records a deadline-carrying request's remaining slack when its
@@ -324,6 +338,14 @@ impl Metrics {
             "t2fsnn_serve_faults_injected_total {}\n",
             self.faults_injected.load(Ordering::Relaxed)
         ));
+        out.push_str(&format!(
+            "t2fsnn_serve_perturbed_models_total {}\n",
+            self.perturbed_models.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_perturbed_weight_rows_total {}\n",
+            self.perturbed_weight_rows.load(Ordering::Relaxed)
+        ));
         for (i, &bound) in SLACK_BUCKETS_US.iter().enumerate() {
             out.push_str(&format!(
                 "t2fsnn_serve_dispatch_slack_us_bucket{{le=\"{bound}\"}} {}\n",
@@ -393,6 +415,7 @@ mod tests {
         m.observe_batcher_respawn();
         m.observe_model_unavailable();
         m.observe_fault_injected();
+        m.set_perturbation(2, 37);
         m.observe_slack_us(400);
         m.observe_slack_us(7_000);
         m.observe_slack_us(999_999);
@@ -406,6 +429,8 @@ mod tests {
         assert!(text.contains("t2fsnn_serve_batcher_respawns_total 1"));
         assert!(text.contains("t2fsnn_serve_model_unavailable_total 1"));
         assert!(text.contains("t2fsnn_serve_faults_injected_total 1"));
+        assert!(text.contains("t2fsnn_serve_perturbed_models_total 2"));
+        assert!(text.contains("t2fsnn_serve_perturbed_weight_rows_total 37"));
         assert!(text.contains("t2fsnn_serve_dispatch_slack_us_bucket{le=\"500\"} 1"));
         assert!(text.contains("t2fsnn_serve_dispatch_slack_us_bucket{le=\"10000\"} 1"));
         assert!(text.contains("t2fsnn_serve_dispatch_slack_us_bucket{le=\"+Inf\"} 1"));

@@ -17,9 +17,10 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use t2fsnn::{T2fsnn, T2fsnnConfig};
+use t2fsnn::{NoiseConfig, T2fsnn, T2fsnnConfig};
 use t2fsnn_bench::{prepare, Scenario};
 use t2fsnn_data::DatasetSpec;
+use t2fsnn_tensor::perturb::PerturbSpec;
 
 use crate::protocol::{ModelHealth, ModelInfo};
 
@@ -33,6 +34,9 @@ pub struct ServeModel {
     pub spec: DatasetSpec,
     /// Source-DNN test accuracy (from the scenario cache).
     pub dnn_accuracy: f32,
+    /// Weight rows rewritten by the load-time perturbation (0 = clean
+    /// or event-only perturbation).
+    pub perturbed_weight_rows: u64,
 }
 
 impl ServeModel {
@@ -119,6 +123,10 @@ pub enum Resolution<'a> {
 /// model.
 pub struct Registry {
     slots: Vec<ModelSlot>,
+    /// Models that came up with a non-identity perturbation applied.
+    perturbed_models: u64,
+    /// Weight rows actually rewritten across all perturbed models.
+    perturbed_weight_rows: u64,
 }
 
 impl Registry {
@@ -133,14 +141,63 @@ impl Registry {
     /// Only an empty name list is a hard error: a server with nothing
     /// configured to serve is a deployment bug, not a degraded state.
     pub fn load(names: &[String]) -> Result<Registry, String> {
+        Registry::load_perturbed(names, None)
+    }
+
+    /// [`Registry::load`] with an optional perturbation applied to every
+    /// model as it comes up (the robustness harness path). Event
+    /// families (`jitter`, `drop`) become the model's
+    /// [`NoiseConfig`]; weight families (`wgauss`, `wstuck`,
+    /// `wbitflip`) rewrite the converted weights through per-row seeded
+    /// streams, so a given `(spec, model)` pair always serves the same
+    /// bits. An identity spec (or `None`) loads clean models and counts
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Only an empty name list is a hard error, as for
+    /// [`Registry::load`].
+    pub fn load_perturbed(
+        names: &[String],
+        spec: Option<&PerturbSpec>,
+    ) -> Result<Registry, String> {
         if names.is_empty() {
             return Err("registry needs at least one model name".to_string());
         }
-        let slots = names.iter().map(|name| Registry::load_one(name)).collect();
-        Ok(Registry { slots })
+        let spec = spec.filter(|s| !s.is_identity());
+        let mut perturbed_models = 0u64;
+        let mut perturbed_weight_rows = 0u64;
+        let slots = names
+            .iter()
+            .map(|name| {
+                let slot = Registry::load_one(name, spec);
+                if spec.is_some() && matches!(slot, ModelSlot::Ready(_)) {
+                    perturbed_models += 1;
+                    if let ModelSlot::Ready(m) = &slot {
+                        perturbed_weight_rows += m.perturbed_weight_rows;
+                    }
+                }
+                slot
+            })
+            .collect();
+        Ok(Registry {
+            slots,
+            perturbed_models,
+            perturbed_weight_rows,
+        })
     }
 
-    fn load_one(name: &str) -> ModelSlot {
+    /// Models loaded with a non-identity perturbation applied.
+    pub fn perturbed_models(&self) -> u64 {
+        self.perturbed_models
+    }
+
+    /// Weight rows rewritten across all perturbed models.
+    pub fn perturbed_weight_rows(&self) -> u64 {
+        self.perturbed_weight_rows
+    }
+
+    fn load_one(name: &str, spec: Option<&PerturbSpec>) -> ModelSlot {
         let failed = |error: String| {
             eprintln!("[serve] model `{name}` UNAVAILABLE: {error}");
             ModelSlot::Failed {
@@ -152,16 +209,39 @@ impl Registry {
             return failed(format!("unknown scenario `{name}` (see /v1/models names)"));
         };
         eprintln!("[serve] loading model `{name}`…");
-        // catch_unwind: a panic in cache/train/convert must cost one
-        // slot, not the process. Nothing mutable outlives the closure.
+        // catch_unwind: a panic in cache/train/convert/perturb must cost
+        // one slot, not the process. Nothing mutable outlives the
+        // closure.
         let loaded = catch_unwind(AssertUnwindSafe(|| {
             let prepared = prepare(scenario);
-            let config = T2fsnnConfig::new(scenario.time_window());
-            T2fsnn::from_dnn(&prepared.dnn, config, scenario.initial_kernel())
-                .map(|model| (model, prepared))
+            let mut config = T2fsnnConfig::new(scenario.time_window());
+            if let Some(p) = spec {
+                if p.has_event() {
+                    config.noise = Some(NoiseConfig {
+                        jitter: p.event_jitter,
+                        drop_prob: p.event_drop,
+                        seed: p.seed,
+                    });
+                }
+            }
+            T2fsnn::from_dnn(&prepared.dnn, config, scenario.initial_kernel()).map(|mut model| {
+                let mut rows = 0u64;
+                if let Some(p) = spec {
+                    if p.has_weight() {
+                        let (changed, total) = model.perturb_weights(p);
+                        rows = changed;
+                        eprintln!(
+                            "[serve] model `{name}` perturbed: {changed}/{total} weight rows \
+                             rewritten by `{}`",
+                            p.render()
+                        );
+                    }
+                }
+                (model, prepared, rows)
+            })
         }));
         match loaded {
-            Ok(Ok((model, prepared))) => {
+            Ok(Ok((model, prepared, perturbed_weight_rows))) => {
                 eprintln!(
                     "[serve] model `{name}` ready: {} weighted layers, T = {}, window latency {} \
                      steps, DNN accuracy {:.1}%",
@@ -175,6 +255,7 @@ impl Registry {
                     model,
                     spec: prepared.test.spec.clone(),
                     dnn_accuracy: prepared.dnn_accuracy,
+                    perturbed_weight_rows,
                 }))
             }
             Ok(Err(e)) => failed(format!("cannot convert `{name}` for serving: {e}")),
@@ -292,6 +373,31 @@ mod tests {
         assert!(registry.get(Some("missing")).is_none());
         assert!(registry.any_ready());
         assert!(registry.health()[0].available);
+    }
+
+    #[test]
+    fn perturbed_load_is_deterministic_and_counted() {
+        let spec = PerturbSpec::parse("7:jitter=2,drop=0.1,wstuck=0.5").unwrap();
+        let names = ["tiny".to_string()];
+        let a = Registry::load_perturbed(&names, Some(&spec)).unwrap();
+        let b = Registry::load_perturbed(&names, Some(&spec)).unwrap();
+        assert_eq!(a.perturbed_models(), 1);
+        assert!(a.perturbed_weight_rows() > 0, "wstuck=0.5 must hit rows");
+        // Same spec, fresh load: the same rows are rewritten.
+        assert_eq!(a.perturbed_weight_rows(), b.perturbed_weight_rows());
+        // Event families flow into the model's noise config.
+        let model = a.get(None).unwrap();
+        let noise = model.model.config().noise.expect("noise config set");
+        assert_eq!(noise.jitter, 2);
+        assert_eq!(noise.seed, 7);
+        assert_eq!(model.perturbed_weight_rows, a.perturbed_weight_rows());
+        // An identity spec loads clean and counts nothing.
+        let clean = Registry::load_perturbed(&names, Some(&PerturbSpec::identity(7))).unwrap();
+        assert_eq!(clean.perturbed_models(), 0);
+        assert_eq!(clean.perturbed_weight_rows(), 0);
+        let clean_model = clean.get(None).unwrap();
+        assert!(clean_model.model.config().noise.is_none());
+        assert_eq!(clean_model.perturbed_weight_rows, 0);
     }
 
     #[test]

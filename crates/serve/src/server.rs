@@ -114,6 +114,10 @@ pub fn start(config: ServeConfig, registry: Registry) -> std::io::Result<ServerH
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let metrics = Metrics::new(config.max_batch);
+    metrics.set_perturbation(
+        registry.perturbed_models(),
+        registry.perturbed_weight_rows(),
+    );
     let jobs = Queue::new(config.queue_capacity);
     let workers = config.workers;
     let batcher_config = BatcherConfig {

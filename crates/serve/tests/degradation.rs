@@ -8,7 +8,11 @@
 //!   batch compositions (including mixed explicit/forced batches) and
 //!   worker counts {1, 2, 4};
 //! * an injected batch panic fails only its own batch's requests and
-//!   the batcher keeps serving (no respawn needed).
+//!   the batcher keeps serving (no respawn needed);
+//! * a registry loaded with a severity-0 perturbation serves bits
+//!   identical to a clean registry, and the forced-early-exit identity
+//!   holds on a perturbed model too (the ladder and the perturbation
+//!   subsystem compose).
 
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -21,6 +25,7 @@ use t2fsnn_serve::faults::Faults;
 use t2fsnn_serve::metrics::Metrics;
 use t2fsnn_serve::queue::Queue;
 use t2fsnn_serve::{Registry, ServeModel};
+use t2fsnn_tensor::perturb::PerturbSpec;
 use t2fsnn_tensor::{Tensor, ThreadPool};
 
 /// The tiny scenario model (as the registry loads it) plus a pool of
@@ -220,6 +225,127 @@ fn forced_early_exit_matches_explicit_across_batches_and_workers() {
                     .render()
                     .contains("t2fsnn_serve_forced_early_exit_total 4"),
                 "forced-EE counter should see the 4 deadline jobs"
+            );
+        }
+    }
+}
+
+/// The perturbation gate: a registry loaded under a severity-0 spec
+/// (every knob scaled to zero) serves responses bit-identical to a
+/// clean registry — the perturbed code path must be exactly the clean
+/// path when the knobs are zero, not merely close.
+#[test]
+fn severity_zero_perturbed_registry_serves_identical_bits() {
+    let (clean, images) = tiny();
+    let spec = PerturbSpec::parse("5:igauss=0.1,jitter=3,drop=0.2,wgauss=0.1,wbitflip=0.01")
+        .expect("spec")
+        .scaled(0.0);
+    assert!(spec.is_identity(), "severity 0 must scale to identity");
+    let registry =
+        Registry::load_perturbed(&["tiny".to_string()], Some(&spec)).expect("load perturbed");
+    assert_eq!(registry.perturbed_models(), 0, "identity counts nothing");
+    assert_eq!(registry.perturbed_weight_rows(), 0);
+    let perturbed = Arc::clone(registry.get(None).expect("tiny ready"));
+    let [c, h, w] = clean.image_dims();
+    let pool = ThreadPool::new(2);
+    for (i, image) in images.iter().enumerate() {
+        let tensor = Tensor::from_vec(vec![1, c, h, w], image.clone()).expect("tensor");
+        for options in [
+            InferOptions { early_exit: false },
+            InferOptions { early_exit: true },
+        ] {
+            let a = clean
+                .model
+                .infer_on(&tensor, options, &pool)
+                .expect("clean inference")
+                .remove(0);
+            let b = perturbed
+                .model
+                .infer_on(&tensor, options, &pool)
+                .expect("perturbed inference")
+                .remove(0);
+            assert_eq!(a, b, "image {i}: severity-0 bits differ (ee={options:?})");
+            assert_eq!(a.top_potential.to_bits(), b.top_potential.to_bits());
+        }
+    }
+}
+
+/// The ladder composes with the perturbation subsystem: on a model
+/// loaded with a non-identity event+weight perturbation, forced
+/// early-exit still equals explicit early-exit bit-for-bit across batch
+/// compositions and worker counts.
+#[test]
+fn forced_early_exit_matches_explicit_under_perturbation() {
+    let spec = PerturbSpec::parse("5:jitter=1,drop=0.05,wgauss=0.02").expect("spec");
+    let registry =
+        Registry::load_perturbed(&["tiny".to_string()], Some(&spec)).expect("load perturbed");
+    assert_eq!(registry.perturbed_models(), 1);
+    let model = Arc::clone(registry.get(None).expect("tiny ready"));
+    let data = t2fsnn_bench::Scenario::Tiny.dataset();
+    let feature: usize = data.images.dims()[1..].iter().product();
+    let images: Vec<Vec<f32>> = (0..6)
+        .map(|i| data.images.data()[i * feature..(i + 1) * feature].to_vec())
+        .collect();
+    let [c, h, w] = model.image_dims();
+
+    // Solo explicit-EE references, per worker count — the perturbed
+    // model must stay worker-invariant (per-image content-keyed
+    // streams), or the ladder identity below would be meaningless.
+    let mut references: Vec<ImageInference> = Vec::new();
+    for image in &images {
+        let tensor = Tensor::from_vec(vec![1, c, h, w], image.clone()).expect("tensor");
+        let mut per_worker: Vec<ImageInference> = [1usize, 2, 4]
+            .iter()
+            .map(|&workers| {
+                let pool = ThreadPool::new(workers);
+                model
+                    .model
+                    .infer_on(&tensor, InferOptions { early_exit: true }, &pool)
+                    .expect("solo inference")
+                    .remove(0)
+            })
+            .collect();
+        let canonical = per_worker.remove(0);
+        for other in &per_worker {
+            assert_eq!(
+                &canonical, other,
+                "perturbed solo early-exit differs across workers"
+            );
+        }
+        references.push(canonical);
+    }
+
+    for max_batch in [1usize, 3, 6] {
+        let queue = Queue::new(64);
+        let metrics = Metrics::new(8);
+        let now = Instant::now();
+        let mut receivers = Vec::new();
+        for (i, image) in images.iter().enumerate() {
+            let explicit = i % 2 == 0;
+            let deadline = (!explicit).then(|| now + Duration::from_secs(5));
+            let (job, rx) = make_job(&model, image.clone(), explicit, deadline);
+            assert!(queue.push(job).is_ok(), "queue push must succeed");
+            receivers.push((rx, explicit));
+        }
+        queue.close();
+        let config = BatcherConfig {
+            max_batch,
+            max_delay: Duration::from_micros(100),
+            force_ee_slack_us: u64::MAX,
+        };
+        batcher::run(&queue, &metrics, &config, None);
+        for (i, (rx, explicit)) in receivers.iter().enumerate() {
+            let outcome = rx
+                .try_recv()
+                .expect("answered")
+                .expect("executed, not shed");
+            assert_eq!(
+                outcome.degraded, !explicit,
+                "max_batch {max_batch}: job {i} degraded flag wrong"
+            );
+            assert_eq!(
+                &outcome.result, &references[i],
+                "max_batch {max_batch}: perturbed job {i} bits differ from explicit early-exit"
             );
         }
     }

@@ -371,6 +371,33 @@ impl SnnNetwork {
         &self.ops
     }
 
+    /// Visits every weight row of every weighted op, in order, as
+    /// `f(layer, row, weights)` — `layer` is the weighted op's ordinal
+    /// (0-based), `row` the output-neuron index, and `weights` the row's
+    /// mutable fan-in slice (`[I·K·K]` for convs, `[I]` for linears).
+    /// This is the mutation point for deterministic weight-fault
+    /// injection: callers key their RNG streams on `(layer, row)`, so
+    /// visit order carries no entropy.
+    pub fn for_each_weight_row(&mut self, mut f: impl FnMut(usize, usize, &mut [f32])) {
+        let mut layer = 0usize;
+        for op in &mut self.ops {
+            let weight = match op {
+                SnnOp::Conv { weight, .. } => weight,
+                SnnOp::Linear { weight, .. } => weight,
+                _ => continue,
+            };
+            let rows = weight.dims()[0];
+            let fan_in: usize = weight.dims()[1..].iter().product();
+            if fan_in > 0 {
+                for (row, slice) in weight.data_mut().chunks_exact_mut(fan_in).enumerate() {
+                    debug_assert!(row < rows);
+                    f(layer, row, slice);
+                }
+            }
+            layer += 1;
+        }
+    }
+
     /// Returns `true` if the network contains max-pooling ops (supported
     /// by the TTFS engine only — see [`SnnOp::MaxPool`]).
     pub fn has_max_pool(&self) -> bool {
@@ -626,5 +653,40 @@ mod tests {
         let (out, synops) = op.propagate(&input).unwrap();
         assert_eq!(synops, 0);
         assert_eq!(out.get(&[0, 0, 0, 0]), Some(0.25));
+    }
+
+    #[test]
+    fn weight_rows_visit_every_weighted_op_with_correct_fan_in() {
+        let spec = DatasetSpec::new("t", 1, 16, 16, 4);
+        let dnn = cnn_small(&mut rng(), &spec, PoolKind::Avg);
+        let mut snn = SnnNetwork::from_dnn(&dnn).unwrap();
+        // conv1 [8,1,3,3], conv2 [16,8,3,3], fc3 [64,256], fc4 [4,64].
+        let mut seen: Vec<(usize, usize, usize)> = Vec::new();
+        snn.for_each_weight_row(|layer, row, weights| {
+            seen.push((layer, row, weights.len()));
+        });
+        assert_eq!(seen.len(), 8 + 16 + 64 + 4);
+        assert_eq!(seen[0], (0, 0, 9));
+        assert_eq!(seen[8], (1, 0, 8 * 9));
+        assert_eq!(seen[8 + 16], (2, 0, 256));
+        assert_eq!(seen.last(), Some(&(3, 3, 64)));
+        // Rows arrive in (layer, row) order, each exactly once.
+        let mut expect = Vec::new();
+        for (layer, rows, fan_in) in [(0, 8, 9), (1, 16, 72), (2, 64, 256), (3, 4, 64)] {
+            for row in 0..rows {
+                expect.push((layer, row, fan_in));
+            }
+        }
+        assert_eq!(seen, expect);
+        // Writes through the callback land in the op's weights.
+        snn.for_each_weight_row(|layer, row, weights| {
+            if layer == 0 && row == 2 {
+                weights[0] = 42.0;
+            }
+        });
+        match &snn.ops()[0] {
+            SnnOp::Conv { weight, .. } => assert_eq!(weight.data()[2 * 9], 42.0),
+            _ => panic!("first op should be a conv"),
+        }
     }
 }

@@ -40,6 +40,7 @@ mod events;
 pub mod init;
 pub mod ops;
 mod parallel;
+pub mod perturb;
 pub mod profile;
 mod shape;
 pub mod simd;

@@ -10,7 +10,7 @@ verify:
 # (leading `-`), mirroring the CI workflow's continue-on-error: its
 # regression exit code is a signal for the baseline machine, not a
 # gate for whatever machine runs `just ci`.
-ci: fmt-check lint verify test-scalar pool-test bench-check serve-smoke-ci serve-chaos
+ci: fmt-check lint verify test-scalar pool-test bench-check serve-smoke-ci serve-chaos robustness-smoke
     -timeout 900 cargo run --release -p t2fsnn-bench --bin bench_smoke
 
 # The CI flavor of serve-smoke: same blocking correctness gates, no
@@ -28,6 +28,18 @@ serve-smoke-ci:
 serve-chaos:
     cargo build --release -p t2fsnn-serve -p t2fsnn-bench
     timeout 600 cargo run --release -p t2fsnn-bench --bin serve_load -- --chaos --requests 160
+
+# Robustness smoke (blocking): the perturbation determinism gates on
+# both paths. `repro_robustness` (quick grid) asserts severity-0 runs
+# are bit-identical to the clean baseline and perturbed inference is
+# batch/worker-invariant, then `serve_load --perturb` sweeps a scaled
+# spec through the serving path (event/weight families via
+# T2FSNN_SERVE_PERTURB, input families client-side) asserting the same
+# identity gates plus healthz and the perturbation-footprint metrics.
+robustness-smoke:
+    cargo build --release -p t2fsnn-serve -p t2fsnn-bench
+    timeout 600 env T2FSNN_QUICK=1 cargo run --release -p t2fsnn-bench --bin repro_robustness
+    timeout 600 env T2FSNN_QUICK=1 cargo run --release -p t2fsnn-bench --bin serve_load -- --perturb 9:igauss=0.15,jitter=2,drop=0.1,wgauss=0.05
 
 # Overload demo: drive ≥2x the measured full-window capacity with a
 # per-request deadline and record how the degradation ladder holds p99
@@ -114,6 +126,7 @@ repro-all:
     cargo run --release --bin repro_ef_sweep
     cargo run --release --bin repro_tau_sweep
     cargo run --release --bin repro_noise
+    cargo run --release --bin repro_robustness
 
 # Run every example.
 examples:
