@@ -18,6 +18,7 @@
 //! serve_load --smoke --record-label pr5-post
 //! serve_load --chaos                  # fault injection + invariant gates
 //! serve_load --overload               # deadline ladder under 2× load
+//! serve_load --churn                  # hot model lifecycle under traffic
 //! serve_load --perturb 9:igauss=0.15,jitter=2,drop=0.1,wgauss=0.05
 //! ```
 //!
@@ -44,6 +45,20 @@
 //! engages (forced early-exit, then shedding); it asserts that p99 of
 //! *answered* requests stays within the deadline and writes the demo to
 //! `results/serve_overload.json`.
+//!
+//! `--churn` is the model-lifecycle gate: four phases, each against its
+//! own spawned server. Phase 1 runtime-loads a second model, drives
+//! mixed traffic at two concurrencies, then reloads, unloads and
+//! re-loads it under traffic — gating zero transport failures,
+//! bit-identity of every `200` to its model's solo reference, and the
+//! echoed `version` field proving admission-time pinning. Phase 2
+//! exercises the per-model admission quota (`429` + counter). Phase 3
+//! injects a `canary_fail` fault into a reload and asserts the poisoned
+//! candidate never serves a byte (incumbent keeps answering v1
+//! bit-exact) while the next reload promotes cleanly. Phase 4 injects a
+//! `model_panic` burst to trip the per-model quarantine and gates the
+//! `500 → trip → 503 → probe → readmit → 200` arc with bit-identity
+//! after re-admission.
 //!
 //! `--perturb <spec>` sweeps the spec over severities {0, 0.5, 1}: each
 //! severity spawns the server with `T2FSNN_SERVE_PERTURB` set to the
@@ -90,6 +105,8 @@ struct InferRequest {
 /// generator checks; unknown fields are ignored by the shim).
 #[derive(Debug, Clone, Deserialize)]
 struct InferResponse {
+    model: String,
+    version: u64,
     label: usize,
     decision_step: Option<usize>,
     steps: usize,
@@ -291,6 +308,7 @@ struct Args {
     smoke: bool,
     chaos: bool,
     overload: bool,
+    churn: bool,
     perturb: Option<String>,
     record_label: Option<String>,
 }
@@ -307,6 +325,7 @@ fn parse_args() -> Args {
         smoke: false,
         chaos: false,
         overload: false,
+        churn: false,
         perturb: None,
         record_label: None,
     };
@@ -331,6 +350,7 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--chaos" => args.chaos = true,
             "--overload" => args.overload = true,
+            "--churn" => args.churn = true,
             "--perturb" => args.perturb = Some(value(&mut i)),
             "--record-label" => args.record_label = Some(value(&mut i)),
             other => {
@@ -338,18 +358,20 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: serve_load [--addr host:port] [--requests N] [--concurrency C] \
                      [--model NAME] [--early-exit 0|1] [--deadline-ms N] [--seed N] \
-                     [--smoke | --chaos | --overload | --perturb SPEC] [--record-label LABEL]"
+                     [--smoke | --chaos | --overload | --churn | --perturb SPEC] \
+                     [--record-label LABEL]"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
-    if args.addr.is_none() && !(args.smoke || args.chaos || args.overload || args.perturb.is_some())
+    if args.addr.is_none()
+        && !(args.smoke || args.chaos || args.overload || args.churn || args.perturb.is_some())
     {
         eprintln!(
-            "need --addr (drive a running server) or --smoke/--chaos/--overload/--perturb \
-             (spawn one)"
+            "need --addr (drive a running server) or --smoke/--chaos/--overload/--churn/\
+             --perturb (spawn one)"
         );
         std::process::exit(2);
     }
@@ -1552,8 +1574,728 @@ fn perturb_run(args: &Args, images: &[Vec<f32>], spec_text: &str) {
     }
 }
 
+/// Client-side mirror of one `/healthz` model entry (the lifecycle
+/// fields the churn gates read).
+#[derive(Debug, Clone, Deserialize)]
+struct HealthModelView {
+    name: String,
+    available: bool,
+    state: String,
+    version: u64,
+}
+
+/// Client-side mirror of the `/healthz` report.
+#[derive(Debug, Clone, Deserialize)]
+struct HealthView {
+    status: String,
+    models: Vec<HealthModelView>,
+}
+
+/// Fetches and parses `/healthz` (any status — a degraded report still
+/// carries the per-model states).
+fn fetch_health(addr: &str) -> Option<HealthView> {
+    let stats = RetryStats::default();
+    let mut rng = Rng64(0x4EA2);
+    let mut slot = None;
+    let (_, body) = request_with_retry(&mut slot, addr, "GET", "/healthz", b"", &mut rng, &stats)?;
+    serde_json::from_slice(&body).ok()
+}
+
+/// One model's current `/healthz` entry, if the slot exists yet.
+fn model_state(addr: &str, name: &str) -> Option<HealthModelView> {
+    fetch_health(addr)?
+        .models
+        .into_iter()
+        .find(|m| m.name == name)
+}
+
+/// Polls `/healthz` (50 ms cadence) until `name`'s entry satisfies
+/// `pred` or the timeout expires.
+fn wait_for_model(
+    addr: &str,
+    name: &str,
+    timeout: Duration,
+    pred: impl Fn(&HealthModelView) -> bool,
+) -> Option<HealthModelView> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(m) = model_state(addr, name) {
+            if pred(&m) {
+                return Some(m);
+            }
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Polls a `/metrics` counter until `pred(value)` holds (a missing line
+/// reads as 0) or the timeout expires; returns the satisfying value.
+fn wait_for_metric(
+    addr: &str,
+    name: &str,
+    timeout: Duration,
+    pred: impl Fn(u64) -> bool,
+) -> Option<u64> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let value = fetch_metrics(addr)
+            .and_then(|text| metric_value(&text, name))
+            .unwrap_or(0);
+        if pred(value) {
+            return Some(value);
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// `POST /admin/models/<name>/<action>` with retries; returns the
+/// terminal status and body.
+fn admin_model(addr: &str, name: &str, action: &str) -> Option<(u16, Vec<u8>)> {
+    let stats = RetryStats::default();
+    let mut rng = Rng64(0xAD31);
+    let mut slot = None;
+    let path = format!("/admin/models/{name}/{action}");
+    request_with_retry(&mut slot, addr, "POST", &path, b"", &mut rng, &stats)
+}
+
+/// Sequential single-connection traffic against one model until `stop`
+/// is raised; every terminal outcome (status + parsed `200` body) is
+/// recorded in order.
+fn drive_model_until(
+    addr: &str,
+    model: &str,
+    image: &[f32],
+    stop: &std::sync::atomic::AtomicBool,
+    seed: u64,
+) -> Vec<(Option<u16>, Option<InferResponse>)> {
+    let stats = RetryStats::default();
+    let mut rng = Rng64(seed);
+    let mut slot = None;
+    let body = serde_json::to_vec(&InferRequest {
+        model: Some(model.to_string()),
+        image: image.to_vec(),
+        early_exit: Some(true),
+        deadline_ms: None,
+    })
+    .expect("serialize churn request");
+    let mut out = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match request_with_retry(
+            &mut slot,
+            addr,
+            "POST",
+            "/v1/infer",
+            &body,
+            &mut rng,
+            &stats,
+        ) {
+            Some((status, resp)) => {
+                let parsed = (status == 200)
+                    .then(|| serde_json::from_slice(&resp).ok())
+                    .flatten();
+                out.push((Some(status), parsed));
+            }
+            None => out.push((None, None)),
+        }
+    }
+    out
+}
+
+/// One sequential inference request on a fresh connection; returns the
+/// terminal status and parsed `200` body.
+fn one_infer(
+    addr: &str,
+    model: &str,
+    image: &[f32],
+    seed: u64,
+) -> (Option<u16>, Option<InferResponse>) {
+    let stats = RetryStats::default();
+    let mut rng = Rng64(seed);
+    let mut slot = None;
+    let body = serde_json::to_vec(&InferRequest {
+        model: Some(model.to_string()),
+        image: image.to_vec(),
+        early_exit: Some(true),
+        deadline_ms: None,
+    })
+    .expect("serialize churn request");
+    match request_with_retry(
+        &mut slot,
+        addr,
+        "POST",
+        "/v1/infer",
+        &body,
+        &mut rng,
+        &stats,
+    ) {
+        Some((status, resp)) => {
+            let parsed = (status == 200)
+                .then(|| serde_json::from_slice(&resp).ok())
+                .flatten();
+            (Some(status), parsed)
+        }
+        None => (None, None),
+    }
+}
+
+/// Churn phase 1: clean lifecycle — runtime load of a second model,
+/// mixed traffic, reload / unload / re-load under traffic. Returns the
+/// tiny solo reference (reused by the fault phases: conversion is
+/// deterministic, so the bits hold across server processes).
+fn churn_phase_lifecycle(
+    failures: &mut Vec<String>,
+    tiny_images: &[Vec<f32>],
+    mnist_images: &[Vec<f32>],
+) -> Option<InferResponse> {
+    println!("[serve_load] churn phase 1: clean lifecycle (load / reload / unload under traffic)");
+    let mut spawned = spawn_server("tiny", &[]);
+    let addr = spawned.addr.clone();
+
+    let tiny_ref = solo_reference(&addr, "tiny", &tiny_images[0], true);
+    if tiny_ref.version != 1 {
+        failures.push(format!("boot tiny serves v{} (want v1)", tiny_ref.version));
+    }
+
+    // Runtime load of a model the server was not booted with: 202, the
+    // loader thread converts + canaries it, then /healthz flips ready.
+    match admin_model(&addr, "mnist-like", "load") {
+        Some((202, _)) => {}
+        other => failures.push(format!("load mnist-like not acknowledged 202: {other:?}")),
+    }
+    let Some(loaded) = wait_for_model(&addr, "mnist-like", Duration::from_secs(300), |m| {
+        m.state == "ready"
+    }) else {
+        failures.push("mnist-like never became ready after load".to_string());
+        shutdown_spawned(&mut spawned, &addr, failures);
+        return None;
+    };
+    println!("[serve_load] mnist-like promoted at v{}", loaded.version);
+    if loaded.version != 1 {
+        failures.push(format!(
+            "first mnist-like load is v{} (want v1)",
+            loaded.version
+        ));
+    }
+    let mnist_ref = solo_reference(&addr, "mnist-like", &mnist_images[0], true);
+
+    // Mixed traffic across both models at two concurrencies: every
+    // answer bit-identical to its model's solo reference and pinned to
+    // the expected version.
+    for &concurrency in &[2usize, 8] {
+        let report = closed_loop(&addr, 80, concurrency, 42, |i| {
+            let (model, image) = if i % 2 == 0 {
+                ("tiny", &tiny_images[0])
+            } else {
+                ("mnist-like", &mnist_images[0])
+            };
+            serde_json::to_vec(&InferRequest {
+                model: Some(model.to_string()),
+                image: image.clone(),
+                early_exit: Some(true),
+                deadline_ms: None,
+            })
+            .expect("serialize churn request")
+        });
+        print_report(&report, &format!("churn mixed c{concurrency}"));
+        if report.transport_errors() > 0 {
+            failures.push(format!(
+                "c{concurrency}: {} transport failures in mixed traffic",
+                report.transport_errors()
+            ));
+        }
+        if report.ok_count() != report.outcomes.len() {
+            failures.push(format!(
+                "c{concurrency}: only {}/{} mixed requests answered 200",
+                report.ok_count(),
+                report.outcomes.len()
+            ));
+        }
+        for (i, r) in report.responses() {
+            let want = if r.model == "tiny" {
+                &tiny_ref
+            } else {
+                &mnist_ref
+            };
+            if !r.same_bits(want) || r.version != 1 {
+                failures.push(format!(
+                    "c{concurrency}: response {i} (model {}, v{}) differs from its solo reference",
+                    r.model, r.version
+                ));
+            }
+        }
+    }
+
+    // Reload under traffic: v1 answers until the atomic swap, v2 after,
+    // both bit-identical (deterministic conversion), tiny untouched.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (tiny_out, mnist_out, promoted) = std::thread::scope(|scope| {
+        let tiny_t = scope.spawn(|| drive_model_until(&addr, "tiny", &tiny_images[0], &stop, 7));
+        let mnist_t =
+            scope.spawn(|| drive_model_until(&addr, "mnist-like", &mnist_images[0], &stop, 8));
+        std::thread::sleep(Duration::from_millis(100));
+        let promoted = match admin_model(&addr, "mnist-like", "reload") {
+            Some((202, _)) => wait_for_model(&addr, "mnist-like", Duration::from_secs(120), |m| {
+                m.state == "ready" && m.version >= 2
+            }),
+            _ => None,
+        };
+        // Keep traffic flowing briefly on the new version.
+        std::thread::sleep(Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        (
+            tiny_t.join().expect("tiny traffic"),
+            mnist_t.join().expect("mnist traffic"),
+            promoted,
+        )
+    });
+    match promoted {
+        Some(m) => println!("[serve_load] reload promoted mnist-like to v{}", m.version),
+        None => failures.push("reload of mnist-like was not promoted to v2".to_string()),
+    }
+    for (status, r) in &tiny_out {
+        match (status, r) {
+            (Some(200), Some(r)) if r.same_bits(&tiny_ref) && r.version == 1 => {}
+            other => failures.push(format!("tiny answer under reload broke: {other:?}")),
+        }
+    }
+    let versions: Vec<u64> = mnist_out
+        .iter()
+        .filter_map(|(_, r)| r.as_ref())
+        .map(|r| r.version)
+        .collect();
+    if !versions.contains(&1) || !versions.contains(&2) {
+        failures.push(format!(
+            "reload window saw versions {versions:?} (want both v1 and v2 answers)"
+        ));
+    }
+    for (i, (status, r)) in mnist_out.iter().enumerate() {
+        match (status, r) {
+            (Some(200), Some(r)) if r.same_bits(&mnist_ref) && (1..=2).contains(&r.version) => {}
+            other => failures.push(format!("mnist answer {i} under reload broke: {other:?}")),
+        }
+    }
+    println!(
+        "[serve_load] reload window: {} tiny + {} mnist answers, versions pinned",
+        tiny_out.len(),
+        mnist_out.len()
+    );
+
+    // Unload under traffic: a sequential client sees a monotone cutover
+    // from bit-exact 200s to terminal 503s (evicted or rejected at
+    // admission), and never a reordered or dropped answer.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (mnist_out, unloaded_ok) = std::thread::scope(|scope| {
+        let mnist_t =
+            scope.spawn(|| drive_model_until(&addr, "mnist-like", &mnist_images[0], &stop, 9));
+        std::thread::sleep(Duration::from_millis(100));
+        let ok = matches!(admin_model(&addr, "mnist-like", "unload"), Some((200, _)));
+        std::thread::sleep(Duration::from_millis(150));
+        stop.store(true, Ordering::Relaxed);
+        (mnist_t.join().expect("mnist traffic"), ok)
+    });
+    if !unloaded_ok {
+        failures.push("unload of mnist-like not acknowledged 200".to_string());
+    }
+    let mut seen_503 = false;
+    let mut ok_during_unload = 0usize;
+    for (i, (status, r)) in mnist_out.iter().enumerate() {
+        match (status, r) {
+            (Some(200), Some(r)) if r.same_bits(&mnist_ref) && r.version == 2 => {
+                ok_during_unload += 1;
+                if seen_503 {
+                    failures.push(format!("answer {i}: 200 after the unload cutover"));
+                }
+            }
+            (Some(503), _) => seen_503 = true,
+            other => failures.push(format!("mnist answer {i} under unload broke: {other:?}")),
+        }
+    }
+    if !seen_503 {
+        failures.push("unload under traffic never produced a 503".to_string());
+    }
+    println!(
+        "[serve_load] unload window: {ok_during_unload} bit-exact 200s, then 503s \
+         (monotone cutover)"
+    );
+    // The surviving model is untouched by its neighbor's unload.
+    let tiny_again = solo_reference(&addr, "tiny", &tiny_images[0], true);
+    if !tiny_again.same_bits(&tiny_ref) || tiny_again.version != 1 {
+        failures.push("tiny bits changed across the mnist-like unload".to_string());
+    }
+    match fetch_health(&addr) {
+        Some(h) => {
+            let m = h.models.iter().find(|m| m.name == "mnist-like");
+            if h.status != "degraded"
+                || !matches!(m, Some(m) if m.state == "unloaded" && !m.available)
+            {
+                failures.push(format!(
+                    "healthz after unload: status {} / {m:?} (want degraded + unloaded)",
+                    h.status
+                ));
+            }
+        }
+        None => failures.push("cannot fetch /healthz after unload".to_string()),
+    }
+
+    // Load again: a fresh version (the unload cleared the recorded
+    // digest), same bits.
+    match admin_model(&addr, "mnist-like", "load") {
+        Some((202, _)) => {}
+        other => failures.push(format!(
+            "re-load mnist-like not acknowledged 202: {other:?}"
+        )),
+    }
+    match wait_for_model(&addr, "mnist-like", Duration::from_secs(120), |m| {
+        m.state == "ready" && m.version >= 3
+    }) {
+        Some(m) => println!("[serve_load] re-load promoted mnist-like at v{}", m.version),
+        None => failures.push("mnist-like never became ready after re-load".to_string()),
+    }
+    let reloaded = solo_reference(&addr, "mnist-like", &mnist_images[0], true);
+    if !reloaded.same_bits(&mnist_ref) {
+        failures.push("re-loaded mnist-like bits differ from v1".to_string());
+    }
+    match fetch_health(&addr) {
+        Some(h) if h.status == "ok" => {}
+        other => failures.push(format!("healthz not ok after re-load: {other:?}")),
+    }
+
+    // Lifecycle counters: three promotions (load, reload, re-load), one
+    // unload, and a clean run has neither canary rejections nor trips.
+    if let Some(text) = fetch_metrics(&addr) {
+        let loads = metric_value(&text, "t2fsnn_serve_model_loads_total").unwrap_or(0);
+        let unloads = metric_value(&text, "t2fsnn_serve_model_unloads_total").unwrap_or(0);
+        let rejections = metric_value(&text, "t2fsnn_serve_canary_rejections_total").unwrap_or(0);
+        let trips = metric_value(&text, "t2fsnn_serve_quarantine_trips_total").unwrap_or(0);
+        println!(
+            "[serve_load] phase 1 metrics: {loads} loads, {unloads} unloads, \
+             {rejections} canary rejections, {trips} quarantine trips"
+        );
+        if loads != 3 || unloads != 1 || rejections != 0 || trips != 0 {
+            failures.push(format!(
+                "phase 1 counters off: loads {loads} (want 3), unloads {unloads} (want 1), \
+                 rejections {rejections} (want 0), trips {trips} (want 0)"
+            ));
+        }
+    } else {
+        failures.push("cannot fetch /metrics after phase 1".to_string());
+    }
+
+    shutdown_spawned(&mut spawned, &addr, failures);
+    Some(tiny_ref)
+}
+
+/// Churn phase 2: the per-model admission quota answers `429` with a
+/// labeled counter when one model's queued jobs exceed the cap.
+fn churn_phase_quota(
+    failures: &mut Vec<String>,
+    tiny_images: &[Vec<f32>],
+    tiny_ref: &InferResponse,
+) {
+    println!("[serve_load] churn phase 2: per-model admission quota");
+    // max_batch 1 + a 100 ms batch delay on every batch makes the queue
+    // hold jobs deterministically long; quota 2 then rejects the
+    // overflow of 6-wide closed-loop traffic.
+    let mut spawned = spawn_server(
+        "tiny",
+        &[
+            ("T2FSNN_SERVE_MAX_BATCH", "1".to_string()),
+            ("T2FSNN_SERVE_MODEL_QUOTA", "2".to_string()),
+            ("T2FSNN_SERVE_FAULTS", "7:batch_delay=1@100".to_string()),
+        ],
+    );
+    let addr = spawned.addr.clone();
+    let report = closed_loop(&addr, 18, 6, 42, |_| {
+        serde_json::to_vec(&InferRequest {
+            model: Some("tiny".to_string()),
+            image: tiny_images[0].clone(),
+            early_exit: Some(true),
+            deadline_ms: None,
+        })
+        .expect("serialize quota request")
+    });
+    print_report(&report, "churn quota");
+    let ok = report.ok_count();
+    let rejected = report.count_status(429);
+    if report.transport_errors() > 0 {
+        failures.push(format!(
+            "{} transport failures under quota pressure",
+            report.transport_errors()
+        ));
+    }
+    if rejected == 0 {
+        failures.push("quota never rejected despite 6-wide traffic into quota 2".to_string());
+    }
+    if ok + rejected != report.outcomes.len() {
+        failures.push(format!(
+            "quota outcomes: {ok} ok + {rejected} rejected != {} total",
+            report.outcomes.len()
+        ));
+    }
+    for (i, r) in report.responses() {
+        if !r.same_bits(tiny_ref) {
+            failures.push(format!(
+                "quota-phase response {i} differs from solo reference"
+            ));
+        }
+    }
+    match fetch_metrics(&addr) {
+        Some(text) => {
+            let counted = metric_value(
+                &text,
+                "t2fsnn_serve_model_quota_rejections_total{model=\"tiny\"}",
+            )
+            .unwrap_or(0);
+            println!("[serve_load] quota: {rejected} terminal 429s, labeled counter {counted}");
+            if counted == 0 {
+                failures.push("model_quota_rejections_total{model=\"tiny\"} is 0".to_string());
+            }
+        }
+        None => failures.push("cannot fetch /metrics after quota phase".to_string()),
+    }
+    shutdown_spawned(&mut spawned, &addr, failures);
+}
+
+/// Churn phase 3: a `canary_fail` burst poisons the first reload — the
+/// candidate must never serve a byte while the incumbent keeps
+/// answering bit-exact, and the next reload promotes cleanly.
+fn churn_phase_canary(
+    failures: &mut Vec<String>,
+    tiny_images: &[Vec<f32>],
+    tiny_ref: &InferResponse,
+) {
+    println!("[serve_load] churn phase 3: canary-gated promotion (injected rejection)");
+    let mut spawned = spawn_server(
+        "tiny",
+        &[("T2FSNN_SERVE_FAULTS", "7:canary_fail=1@1".to_string())],
+    );
+    let addr = spawned.addr.clone();
+    let solo = solo_reference(&addr, "tiny", &tiny_images[0], true);
+    if !solo.same_bits(tiny_ref) || solo.version != 1 {
+        failures.push("phase 3 boot bits differ from the phase 1 reference".to_string());
+    }
+
+    // First reload: the injected canary failure must reject it.
+    match admin_model(&addr, "tiny", "reload") {
+        Some((202, _)) => {}
+        other => failures.push(format!("poisoned reload not acknowledged 202: {other:?}")),
+    }
+    if wait_for_metric(
+        &addr,
+        "t2fsnn_serve_canary_rejections_total",
+        Duration::from_secs(60),
+        |v| v >= 1,
+    )
+    .is_none()
+    {
+        failures.push("injected canary failure was never counted as a rejection".to_string());
+    }
+    match model_state(&addr, "tiny") {
+        Some(m) if m.state == "ready" && m.version == 1 && m.available => {}
+        other => failures.push(format!(
+            "after rejected reload tiny should serve v1 ready, got {other:?}"
+        )),
+    }
+    // The failed canary never serves: the incumbent answers v1,
+    // bit-exact, for every request.
+    for i in 0..12u64 {
+        match one_infer(&addr, "tiny", &tiny_images[0], 0x3A00 + i) {
+            (Some(200), Some(r)) if r.same_bits(tiny_ref) && r.version == 1 => {}
+            other => failures.push(format!(
+                "post-rejection answer {i} not a v1 bit-exact 200: {other:?}"
+            )),
+        }
+    }
+    println!("[serve_load] rejected candidate never served; incumbent answered v1 bit-exact");
+
+    // Second reload: the one-shot burst is exhausted, promotion is
+    // clean, bits unchanged (deterministic conversion).
+    match admin_model(&addr, "tiny", "reload") {
+        Some((202, _)) => {}
+        other => failures.push(format!("clean reload not acknowledged 202: {other:?}")),
+    }
+    match wait_for_model(&addr, "tiny", Duration::from_secs(60), |m| {
+        m.state == "ready" && m.version >= 2
+    }) {
+        Some(m) => println!("[serve_load] clean reload promoted tiny to v{}", m.version),
+        None => failures.push("clean reload after burst exhaustion never promoted".to_string()),
+    }
+    match one_infer(&addr, "tiny", &tiny_images[0], 0x3B00) {
+        (Some(200), Some(r)) if r.same_bits(tiny_ref) && r.version >= 2 => {}
+        other => failures.push(format!(
+            "post-promotion answer not a bit-exact 200 on the new version: {other:?}"
+        )),
+    }
+    if let Some(text) = fetch_metrics(&addr) {
+        let rejections = metric_value(&text, "t2fsnn_serve_canary_rejections_total").unwrap_or(0);
+        let loads = metric_value(&text, "t2fsnn_serve_model_loads_total").unwrap_or(0);
+        println!("[serve_load] phase 3 metrics: {rejections} rejections, {loads} loads");
+        if rejections != 1 || loads != 1 {
+            failures.push(format!(
+                "phase 3 counters off: rejections {rejections} (want 1), loads {loads} (want 1)"
+            ));
+        }
+    } else {
+        failures.push("cannot fetch /metrics after phase 3".to_string());
+    }
+    shutdown_spawned(&mut spawned, &addr, failures);
+}
+
+/// Churn phase 4: a `model_panic` burst trips the per-model quarantine;
+/// the gate is the full `500 → trip → 503 → probe → readmit → 200` arc
+/// with bit-identity after re-admission.
+fn churn_phase_quarantine(
+    failures: &mut Vec<String>,
+    tiny_images: &[Vec<f32>],
+    tiny_ref: &InferResponse,
+) {
+    println!("[serve_load] churn phase 4: quarantine trip, probe, re-admission");
+    let mut spawned = spawn_server(
+        "tiny",
+        &[
+            ("T2FSNN_SERVE_FAULTS", "7:model_panic=1@3".to_string()),
+            ("T2FSNN_SERVE_QUARANTINE_THRESHOLD", "3".to_string()),
+            // Long enough that the fenced window is observable from the
+            // client before the probe readmits.
+            ("T2FSNN_SERVE_QUARANTINE_BACKOFF_MS", "1500".to_string()),
+        ],
+    );
+    let addr = spawned.addr.clone();
+
+    // No warm-up request: the burst poisons exactly the first three
+    // batch executions, which must each answer 500.
+    for i in 0..3u64 {
+        match one_infer(&addr, "tiny", &tiny_images[0], 0x4A00 + i) {
+            (Some(500), _) => {}
+            other => failures.push(format!(
+                "poisoned execution {i} should answer 500, got {other:?}"
+            )),
+        }
+    }
+    if wait_for_metric(
+        &addr,
+        "t2fsnn_serve_quarantine_trips_total",
+        Duration::from_secs(10),
+        |v| v >= 1,
+    )
+    .is_none()
+    {
+        failures.push("three consecutive panics never tripped the quarantine".to_string());
+    }
+    // Fenced: the model alone answers 503 while the breaker is open.
+    match one_infer(&addr, "tiny", &tiny_images[0], 0x4B00) {
+        (Some(503), _) => {}
+        other => failures.push(format!(
+            "quarantined model should answer 503, got {other:?}"
+        )),
+    }
+    match model_state(&addr, "tiny") {
+        Some(m) if m.state == "quarantined" && !m.available => {}
+        other => failures.push(format!("healthz during quarantine: {other:?}")),
+    }
+
+    // The seeded-backoff canary probe readmits; the exact fenced Arc
+    // returns, so the version and bits are unchanged.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut readmitted = None;
+    let mut seed = 0x4C00u64;
+    while Instant::now() < deadline {
+        match one_infer(&addr, "tiny", &tiny_images[0], seed) {
+            (Some(200), Some(r)) => {
+                readmitted = Some(r);
+                break;
+            }
+            (Some(503), _) => std::thread::sleep(Duration::from_millis(100)),
+            other => {
+                failures.push(format!("unexpected outcome while fenced: {other:?}"));
+                break;
+            }
+        }
+        seed += 1;
+    }
+    match &readmitted {
+        Some(r) if r.same_bits(tiny_ref) && r.version == 1 => {
+            println!(
+                "[serve_load] readmitted: v{} answers bit-exact again",
+                r.version
+            );
+        }
+        Some(r) => failures.push(format!(
+            "readmitted answer differs (v{}, bits changed: {})",
+            r.version,
+            !r.same_bits(tiny_ref)
+        )),
+        None => failures.push("model was never readmitted within 30 s".to_string()),
+    }
+    for i in 0..6u64 {
+        match one_infer(&addr, "tiny", &tiny_images[0], 0x4D00 + i) {
+            (Some(200), Some(r)) if r.same_bits(tiny_ref) && r.version == 1 => {}
+            other => failures.push(format!(
+                "post-readmission answer {i} not a v1 bit-exact 200: {other:?}"
+            )),
+        }
+    }
+    match model_state(&addr, "tiny") {
+        Some(m) if m.state == "ready" && m.available && m.version == 1 => {}
+        other => failures.push(format!("healthz after re-admission: {other:?}")),
+    }
+    if let Some(text) = fetch_metrics(&addr) {
+        let trips = metric_value(&text, "t2fsnn_serve_quarantine_trips_total").unwrap_or(0);
+        let probes = metric_value(&text, "t2fsnn_serve_quarantine_probes_total").unwrap_or(0);
+        let readmissions =
+            metric_value(&text, "t2fsnn_serve_quarantine_readmissions_total").unwrap_or(0);
+        let panics = metric_value(&text, "t2fsnn_serve_worker_panics_total").unwrap_or(0);
+        println!(
+            "[serve_load] phase 4 metrics: {trips} trips, {probes} probes, \
+             {readmissions} readmissions, {panics} batch panics"
+        );
+        if trips != 1 || probes < 1 || readmissions != 1 || panics != 3 {
+            failures.push(format!(
+                "phase 4 counters off: trips {trips} (want 1), probes {probes} (want ≥1), \
+                 readmissions {readmissions} (want 1), panics {panics} (want 3)"
+            ));
+        }
+    } else {
+        failures.push("cannot fetch /metrics after phase 4".to_string());
+    }
+    shutdown_spawned(&mut spawned, &addr, failures);
+}
+
+/// The `--churn` flow: the model-lifecycle gate (see the crate docs).
+fn churn_run() {
+    let tiny_images = scenario_images("tiny");
+    let mnist_images = scenario_images("mnist-like");
+    let mut failures: Vec<String> = Vec::new();
+    let tiny_ref = churn_phase_lifecycle(&mut failures, &tiny_images, &mnist_images);
+    if let Some(tiny_ref) = &tiny_ref {
+        churn_phase_quota(&mut failures, &tiny_images, tiny_ref);
+        churn_phase_canary(&mut failures, &tiny_images, tiny_ref);
+        churn_phase_quarantine(&mut failures, &tiny_images, tiny_ref);
+    } else {
+        failures.push("phase 1 aborted; fault phases skipped".to_string());
+    }
+    if failures.is_empty() {
+        println!("[serve_load] CHURN OK — lifecycle, quota, canary and quarantine gates held");
+    } else {
+        for f in &failures {
+            eprintln!("[serve_load] CHURN GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.churn {
+        churn_run();
+        return;
+    }
     let images = scenario_images(&args.model);
     if args.chaos {
         chaos_run(&args, &images);

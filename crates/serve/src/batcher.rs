@@ -58,6 +58,7 @@ use t2fsnn_snn::energy::TRUENORTH;
 use t2fsnn_tensor::{profile, Tensor};
 
 use crate::faults::{BatchFault, Faults};
+use crate::lifecycle::Breaker;
 use crate::metrics::Metrics;
 use crate::queue::Queue;
 use crate::registry::ServeModel;
@@ -113,6 +114,14 @@ pub enum JobError {
     },
     /// Inference failed or the batch panicked (`500`).
     Failed(String),
+    /// The job's model left service (unload or quarantine) while the
+    /// job was still queued; it is answered `503` without executing.
+    Evicted {
+        /// The model that left service.
+        model: String,
+        /// Why it left (`"unloaded"` / `"was quarantined"`).
+        reason: String,
+    },
 }
 
 /// What the batcher hands back per successful job.
@@ -221,6 +230,7 @@ pub fn run(
     metrics: &Metrics,
     config: &BatcherConfig,
     faults: Option<&Faults>,
+    breaker: Option<&Breaker<'_>>,
 ) {
     let mut full_estimator = ExecEstimator::default();
     let mut anytime_estimator = ExecEstimator::default();
@@ -303,6 +313,12 @@ pub fn run(
             }
         }
         let infer_us = execute(&batch, effective_ee, &degraded, metrics, faults);
+        // Attribute the outcome to the model's slot: the circuit
+        // breaker counts consecutive failures per model and fences a
+        // repeat offender off without touching other models' traffic.
+        if let Some(breaker) = breaker {
+            breaker.record(&batch[0].model, infer_us.is_some());
+        }
         if let Some(us) = infer_us {
             if effective_ee {
                 anytime_estimator.update(&batch[0].model, us);
@@ -343,6 +359,10 @@ fn execute(
         data.extend_from_slice(&job.image);
     }
     let fault = faults.and_then(Faults::batch_fault);
+    // The model-attributed burst kind: deterministic consecutive panics
+    // that drive the circuit breaker (distinct from the Bernoulli
+    // `panic` kind, which scatters failures across the run).
+    let model_fault = faults.is_some_and(Faults::model_panic_fault);
     if let Some(BatchFault::Delay(delay)) = fault {
         metrics.observe_fault_injected();
         std::thread::sleep(delay);
@@ -356,6 +376,10 @@ fn execute(
         if matches!(fault, Some(BatchFault::Panic)) {
             metrics.observe_fault_injected();
             panic!("injected batch-execution fault");
+        }
+        if model_fault {
+            metrics.observe_fault_injected();
+            panic!("injected model-execution fault");
         }
         Tensor::from_vec(vec![k, c, h, w], data)
             .and_then(|images| model.model.infer(&images, InferOptions { early_exit }))

@@ -8,13 +8,18 @@
 //! `T2FSNN_SERVE_WORKERS`, `T2FSNN_SERVE_EARLY_EXIT`,
 //! `T2FSNN_SERVE_READ_TIMEOUT_MS`, `T2FSNN_SERVE_MAX_BODY`,
 //! `T2FSNN_SERVE_DEADLINE_MS`, `T2FSNN_SERVE_FORCE_EE_SLACK_US`,
-//! `T2FSNN_SERVE_FAULTS`, `T2FSNN_SERVE_PERTURB` — plus the engine-wide
+//! `T2FSNN_SERVE_FAULTS`, `T2FSNN_SERVE_PERTURB`,
+//! `T2FSNN_SERVE_MODEL_QUOTA`, `T2FSNN_SERVE_QUARANTINE_THRESHOLD`,
+//! `T2FSNN_SERVE_QUARANTINE_BACKOFF_MS` — plus the engine-wide
 //! `T2FSNN_THREADS`/`T2FSNN_SIMD`/`T2FSNN_PROFILE`.
 //!
 //! A model that fails to load does not kill the process: its slot
 //! answers `503` and `/healthz` reports it, so a fleet can keep the
 //! healthy models serving. Only a bind failure (or zero configured
-//! model names) is fatal.
+//! model names) is fatal. At runtime the registry is mutable:
+//! `POST /admin/models/<name>/{load,unload,reload}` hot-swap model
+//! versions behind a canary gate, and a per-model circuit breaker
+//! quarantines a model that keeps failing (see the crate docs).
 
 use std::io::Write;
 

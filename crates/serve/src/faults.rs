@@ -10,8 +10,17 @@
 //! | `drop_resp`   | write half the response body, then drop the socket  | —            |
 //! | `panic`       | panic inside batch execution (tests `catch_unwind`) | —            |
 //! | `batch_delay` | sleep before executing a batch (inflates latency)   | sleep ms (default 10) |
+//! | `model_panic` | panic inside batch execution, *burst*: fires on `N` consecutive batches, then never again (trips the per-model circuit breaker) | burst length `N` (default 1) |
+//! | `canary_fail` | poison the next `N` runtime canary runs (reload promotions and quarantine probes), then never again | burst length `N` (default 1) |
 //!
 //! Example: `T2FSNN_SERVE_FAULTS=42:slow_read=0.05@40,drop_resp=0.02,panic=0.01`.
+//!
+//! The two lifecycle kinds (`model_panic`, `canary_fail`) are
+//! **one-shot bursts**, not per-event Bernoulli rates: the first draw
+//! that fires arms a burst of `N` consecutive hits, after which the
+//! kind is permanently exhausted for the process. That shape is what
+//! the lifecycle gates need — "this model fails exactly 3 batches,
+//! trips, then heals" is deterministic; a rate never stops firing.
 //!
 //! Every decision draws exactly one value per configured kind from one
 //! seeded ChaCha8 stream (the workspace's deterministic RNG shim), so a
@@ -68,6 +77,43 @@ struct Spec {
     panic_rate: f64,
     batch_delay_rate: f64,
     batch_delay: Duration,
+    model_panic_rate: f64,
+    model_panic_burst: u64,
+    canary_fail_rate: f64,
+    canary_fail_burst: u64,
+}
+
+/// State of a one-shot burst kind: unarmed → armed (counting down) →
+/// exhausted, never back.
+#[derive(Debug, Default)]
+struct Burst {
+    armed: bool,
+    remaining: u64,
+    exhausted: bool,
+}
+
+impl Burst {
+    /// One consultation: the first firing `roll` arms a burst of
+    /// `burst_len` consecutive hits (this consultation is the first);
+    /// once the burst drains the kind never fires again.
+    fn consult(&mut self, fired: bool, burst_len: u64) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if !self.armed {
+            if !fired {
+                return false;
+            }
+            self.armed = true;
+            self.remaining = burst_len.max(1);
+        }
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            self.armed = false;
+            self.exhausted = true;
+        }
+        true
+    }
 }
 
 impl Default for Spec {
@@ -80,6 +126,10 @@ impl Default for Spec {
             panic_rate: 0.0,
             batch_delay_rate: 0.0,
             batch_delay: Duration::from_millis(10),
+            model_panic_rate: 0.0,
+            model_panic_burst: 1,
+            canary_fail_rate: 0.0,
+            canary_fail_burst: 1,
         }
     }
 }
@@ -90,6 +140,8 @@ impl Default for Spec {
 pub struct Faults {
     spec: Spec,
     rng: Mutex<ChaCha8Rng>,
+    model_panic: Mutex<Burst>,
+    canary_fail: Mutex<Burst>,
 }
 
 impl Faults {
@@ -160,10 +212,22 @@ impl Faults {
                         spec.batch_delay = Duration::from_millis(ms);
                     }
                 }
+                "model_panic" => {
+                    spec.model_panic_rate = rate;
+                    if let Some(n) = param_ms {
+                        spec.model_panic_burst = n.max(1);
+                    }
+                }
+                "canary_fail" => {
+                    spec.canary_fail_rate = rate;
+                    if let Some(n) = param_ms {
+                        spec.canary_fail_burst = n.max(1);
+                    }
+                }
                 other => {
                     return Err(format!(
                         "unknown fault kind `{other}` (slow_read, abort_read, drop_resp, panic, \
-                         batch_delay)"
+                         batch_delay, model_panic, canary_fail)"
                     ))
                 }
             }
@@ -171,6 +235,8 @@ impl Faults {
         Ok(Faults {
             spec,
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+            model_panic: Mutex::new(Burst::default()),
+            canary_fail: Mutex::new(Burst::default()),
         })
     }
 
@@ -217,6 +283,24 @@ impl Faults {
             None
         }
     }
+
+    /// One-shot burst consultation for the model-attributed panic kind;
+    /// the batcher asks once per batch execution. Fires on `N`
+    /// consecutive batches once armed, then never again.
+    pub fn model_panic_fault(&self) -> bool {
+        let fired = self.roll(self.spec.model_panic_rate);
+        let mut burst = self.model_panic.lock().unwrap_or_else(|e| e.into_inner());
+        burst.consult(fired, self.spec.model_panic_burst)
+    }
+
+    /// One-shot burst consultation for the canary-poisoning kind; the
+    /// loader thread asks once per *runtime* canary (reload promotions
+    /// with an incumbent, and quarantine probes — never boot loads).
+    pub fn canary_fault(&self) -> bool {
+        let fired = self.roll(self.spec.canary_fail_rate);
+        let mut burst = self.canary_fail.lock().unwrap_or_else(|e| e.into_inner());
+        burst.consult(fired, self.spec.canary_fail_burst)
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +345,38 @@ mod tests {
         assert_eq!(seq_a, seq_b);
         assert!(seq_a.iter().any(|f| f == &Some(BatchFault::Panic)));
         assert!(seq_a.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn burst_kinds_fire_exactly_n_times_then_exhaust() {
+        let f = Faults::parse("5:model_panic=1@3,canary_fail=1").unwrap();
+        let hits: Vec<bool> = (0..8).map(|_| f.model_panic_fault()).collect();
+        assert_eq!(
+            hits,
+            [true, true, true, false, false, false, false, false],
+            "burst of 3, then exhausted forever"
+        );
+        assert!(f.canary_fault(), "default burst length is 1");
+        assert!(!f.canary_fault(), "exhausted after its single hit");
+        // Unconfigured burst kinds never fire and never draw.
+        let off = Faults::parse("5:panic=1").unwrap();
+        assert!(!off.model_panic_fault());
+        assert!(!off.canary_fault());
+    }
+
+    #[test]
+    fn burst_parse_accepts_count_params() {
+        let f = Faults::parse("9:canary_fail=0.5@4").unwrap();
+        assert!((f.spec.canary_fail_rate - 0.5).abs() < 1e-12);
+        assert_eq!(f.spec.canary_fail_burst, 4);
+        assert_eq!(f.spec.model_panic_burst, 1, "default burst");
+        assert!(
+            Faults::parse("9:model_panic=1@0")
+                .unwrap()
+                .spec
+                .model_panic_burst
+                >= 1
+        );
     }
 
     #[test]

@@ -33,6 +33,16 @@
 //! degrades to the TTFS anytime path before it sheds, batch panics are
 //! isolated to their own requests, and a model that fails to load
 //! answers `503` instead of killing the process.
+//!
+//! The registry is a *mutable* runtime component (see [`registry`] and
+//! [`lifecycle`]): `POST /admin/models/<name>/{load,unload,reload}`
+//! load, retire and hot-swap model versions under traffic. Promotion is
+//! canary-gated (a seeded golden-input battery, checked bit-exact
+//! against the recorded response digest) and atomic (an `Arc` slot
+//! swap; in-flight requests finish on the version they were admitted
+//! against), and a model that goes bad at runtime is quarantined by a
+//! per-model circuit breaker with deterministic seeded-backoff canary
+//! probes — `503` for that model only, everything else keeps serving.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,6 +50,7 @@
 pub mod batcher;
 pub mod faults;
 pub mod http;
+pub mod lifecycle;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
@@ -102,6 +113,17 @@ pub struct ServeConfig {
     /// weights deterministically. Robustness harness knob — a malformed
     /// spec fails startup loudly rather than silently serving clean.
     pub perturb: Option<String>,
+    /// Per-model admission quota: the maximum queued jobs any single
+    /// model may hold; overflow answers `429` with a per-model counter
+    /// (`T2FSNN_SERVE_MODEL_QUOTA`, default 0 = off).
+    pub model_quota: usize,
+    /// Consecutive batch-execution failures that trip a model's
+    /// quarantine (`T2FSNN_SERVE_QUARANTINE_THRESHOLD`, default 3).
+    pub quarantine_threshold: u32,
+    /// Base quarantine probe backoff in milliseconds; doubles per failed
+    /// probe with deterministic seeded jitter
+    /// (`T2FSNN_SERVE_QUARANTINE_BACKOFF_MS`, default 250).
+    pub quarantine_backoff_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +141,9 @@ impl Default for ServeConfig {
             default_deadline_ms: 0,
             force_ee_slack_us: 0,
             perturb: None,
+            model_quota: 0,
+            quarantine_threshold: 3,
+            quarantine_backoff_ms: 250,
         }
     }
 }
@@ -175,6 +200,15 @@ impl ServeConfig {
             if !v.trim().is_empty() {
                 config.perturb = Some(v.trim().to_string());
             }
+        }
+        if let Some(v) = env_parse::<usize>("T2FSNN_SERVE_MODEL_QUOTA") {
+            config.model_quota = v;
+        }
+        if let Some(v) = env_parse::<u32>("T2FSNN_SERVE_QUARANTINE_THRESHOLD") {
+            config.quarantine_threshold = v.max(1);
+        }
+        if let Some(v) = env_parse::<u64>("T2FSNN_SERVE_QUARANTINE_BACKOFF_MS") {
+            config.quarantine_backoff_ms = v.max(1);
         }
         config
     }

@@ -12,7 +12,9 @@
 //! batcher flushes its thread-local spans after every batch, so the
 //! endpoint sees them).
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use t2fsnn_tensor::profile;
 
@@ -30,8 +32,10 @@ const STATUSES: [u16; 9] = [200, 400, 404, 408, 413, 429, 500, 503, 504];
 /// much deadline budget a request had left when its batch started.
 const SLACK_BUCKETS_US: [u64; 8] = [500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
 
-/// The server's metric registry; shared by workers, batcher and the
-/// `/metrics` endpoint. All methods are `&self` and lock-free.
+/// The server's metric registry; shared by workers, batcher, loader and
+/// the `/metrics` endpoint. All methods are `&self`; everything on the
+/// hot path is lock-free (only the per-model quota-rejection map, an
+/// off-hot-path refusal counter, takes a mutex).
 pub struct Metrics {
     responses: [AtomicU64; 10],
     queue_depth: AtomicUsize,
@@ -59,6 +63,16 @@ pub struct Metrics {
     /// `slack_hist[i]` counts dispatches at or under
     /// `SLACK_BUCKETS_US[i]`; the extra slot is the overflow bucket.
     slack_hist: [AtomicU64; 9],
+    canary_rejections: AtomicU64,
+    quarantine_trips: AtomicU64,
+    quarantine_probes: AtomicU64,
+    quarantine_readmissions: AtomicU64,
+    model_loads: AtomicU64,
+    model_unloads: AtomicU64,
+    /// Per-model quota rejections, keyed by model name; a `BTreeMap`
+    /// keeps the exposition order deterministic. The lock is touched
+    /// only on the (rare, already-refused) overflow path and at render.
+    model_quota_rejections: Mutex<BTreeMap<String, u64>>,
 }
 
 impl Metrics {
@@ -86,6 +100,13 @@ impl Metrics {
             perturbed_models: AtomicU64::new(0),
             perturbed_weight_rows: AtomicU64::new(0),
             slack_hist: Default::default(),
+            canary_rejections: AtomicU64::new(0),
+            quarantine_trips: AtomicU64::new(0),
+            quarantine_probes: AtomicU64::new(0),
+            quarantine_readmissions: AtomicU64::new(0),
+            model_loads: AtomicU64::new(0),
+            model_unloads: AtomicU64::new(0),
+            model_quota_rejections: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -194,6 +215,50 @@ impl Metrics {
     /// Counts one injected fault firing (any kind).
     pub fn observe_fault_injected(&self) {
         self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a model version refused promotion by the canary battery
+    /// (the incumbent kept serving).
+    pub fn observe_canary_rejection(&self) {
+        self.canary_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a circuit-breaker trip: a model fenced off after repeated
+    /// execution failures.
+    pub fn observe_quarantine_trip(&self) {
+        self.quarantine_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a canary probe run against a quarantined model.
+    pub fn observe_quarantine_probe(&self) {
+        self.quarantine_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a quarantined model re-admitted to serving after a
+    /// passing probe.
+    pub fn observe_quarantine_readmission(&self) {
+        self.quarantine_readmissions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a model version promoted to serving (boot loads excluded;
+    /// this is the runtime lifecycle counter).
+    pub fn observe_model_load(&self) {
+        self.model_loads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a model explicitly unloaded via the admin endpoint.
+    pub fn observe_model_unload(&self) {
+        self.model_unloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request refused because its model's queued share hit
+    /// the per-model admission quota (`429`).
+    pub fn observe_model_quota_rejection(&self, model: &str) {
+        let mut map = self
+            .model_quota_rejections
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *map.entry(model.to_string()).or_insert(0) += 1;
     }
 
     /// Records the load-time perturbation footprint: how many models
@@ -346,6 +411,41 @@ impl Metrics {
             "t2fsnn_serve_perturbed_weight_rows_total {}\n",
             self.perturbed_weight_rows.load(Ordering::Relaxed)
         ));
+        out.push_str(&format!(
+            "t2fsnn_serve_canary_rejections_total {}\n",
+            self.canary_rejections.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_quarantine_trips_total {}\n",
+            self.quarantine_trips.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_quarantine_probes_total {}\n",
+            self.quarantine_probes.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_quarantine_readmissions_total {}\n",
+            self.quarantine_readmissions.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_model_loads_total {}\n",
+            self.model_loads.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "t2fsnn_serve_model_unloads_total {}\n",
+            self.model_unloads.load(Ordering::Relaxed)
+        ));
+        {
+            let map = self
+                .model_quota_rejections
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            for (model, count) in map.iter() {
+                out.push_str(&format!(
+                    "t2fsnn_serve_model_quota_rejections_total{{model=\"{model}\"}} {count}\n"
+                ));
+            }
+        }
         for (i, &bound) in SLACK_BUCKETS_US.iter().enumerate() {
             out.push_str(&format!(
                 "t2fsnn_serve_dispatch_slack_us_bucket{{le=\"{bound}\"}} {}\n",
@@ -434,6 +534,34 @@ mod tests {
         assert!(text.contains("t2fsnn_serve_dispatch_slack_us_bucket{le=\"500\"} 1"));
         assert!(text.contains("t2fsnn_serve_dispatch_slack_us_bucket{le=\"10000\"} 1"));
         assert!(text.contains("t2fsnn_serve_dispatch_slack_us_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn lifecycle_counters_render() {
+        let m = Metrics::new(2);
+        m.observe_canary_rejection();
+        m.observe_quarantine_trip();
+        m.observe_quarantine_probe();
+        m.observe_quarantine_probe();
+        m.observe_quarantine_readmission();
+        m.observe_model_load();
+        m.observe_model_load();
+        m.observe_model_unload();
+        m.observe_model_quota_rejection("tiny");
+        m.observe_model_quota_rejection("tiny");
+        m.observe_model_quota_rejection("mnist-like");
+        let text = m.render();
+        assert!(text.contains("t2fsnn_serve_canary_rejections_total 1"));
+        assert!(text.contains("t2fsnn_serve_quarantine_trips_total 1"));
+        assert!(text.contains("t2fsnn_serve_quarantine_probes_total 2"));
+        assert!(text.contains("t2fsnn_serve_quarantine_readmissions_total 1"));
+        assert!(text.contains("t2fsnn_serve_model_loads_total 2"));
+        assert!(text.contains("t2fsnn_serve_model_unloads_total 1"));
+        assert!(text.contains("t2fsnn_serve_model_quota_rejections_total{model=\"tiny\"} 2"));
+        assert!(text.contains("t2fsnn_serve_model_quota_rejections_total{model=\"mnist-like\"} 1"));
+        // Unhit models have no row at all (no spurious zero series).
+        let empty = Metrics::new(2);
+        assert!(!empty.render().contains("model_quota_rejections"));
     }
 
     #[test]

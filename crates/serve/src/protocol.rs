@@ -29,6 +29,10 @@ pub struct InferRequest {
 pub struct InferResponse {
     /// Model that served the request.
     pub model: String,
+    /// Version of the model that served the request. A request is
+    /// pinned at admission: a swap promoted mid-flight does not change
+    /// which version answers, and the echoed version proves it.
+    pub version: u64,
     /// Predicted class.
     pub label: usize,
     /// Global step (1-based) of the first output spike when the
@@ -69,6 +73,8 @@ pub struct InferResponse {
 pub struct ModelInfo {
     /// Registry name (scenario name).
     pub name: String,
+    /// Serving version (1-based, bumped by every promoted load).
+    pub version: u64,
     /// Input channels.
     pub channels: usize,
     /// Input height.
@@ -112,8 +118,26 @@ pub struct ModelHealth {
     /// Whether the model is loaded and serving; `false` means requests
     /// naming it are answered `503`.
     pub available: bool,
-    /// Load/convert failure message for an unavailable model.
+    /// Lifecycle state: `ready`, `loading`, `failed`, `unloaded` or
+    /// `quarantined`.
+    pub state: String,
+    /// Serving (or, while quarantined, fenced) version; 0 when no
+    /// version exists.
+    pub version: u64,
+    /// Load/convert/canary/quarantine message for an unavailable model.
     pub error: Option<String>,
+}
+
+/// `POST /admin/models/<name>/{load,unload,reload}` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LifecycleAck {
+    /// Model the action targeted.
+    pub model: String,
+    /// The action taken (`load`, `unload` or `reload`).
+    pub action: String,
+    /// Slot state right after the action was accepted (`loading` for
+    /// the asynchronous load path — poll `/healthz` for promotion).
+    pub state: String,
 }
 
 /// Any non-2xx response body.
@@ -157,6 +181,7 @@ mod tests {
     fn responses_round_trip() {
         let resp = InferResponse {
             model: "tiny".into(),
+            version: 2,
             label: 3,
             decision_step: Some(41),
             steps: 41,
@@ -174,9 +199,23 @@ mod tests {
         let bytes = serde_json::to_vec(&resp).unwrap();
         let back: InferResponse = serde_json::from_slice(&bytes).unwrap();
         assert_eq!(back.label, 3);
+        assert_eq!(back.version, 2);
         assert_eq!(back.decision_step, Some(41));
         assert_eq!(back.batch_size, 4);
         assert!(back.degraded);
+    }
+
+    #[test]
+    fn lifecycle_ack_round_trips() {
+        let ack = LifecycleAck {
+            model: "mnist-like".into(),
+            action: "reload".into(),
+            state: "loading".into(),
+        };
+        let bytes = serde_json::to_vec(&ack).unwrap();
+        let back: LifecycleAck = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back.model, "mnist-like");
+        assert_eq!(back.state, "loading");
     }
 
     #[test]
@@ -190,11 +229,15 @@ mod tests {
                 ModelHealth {
                     name: "tiny".into(),
                     available: true,
+                    state: "ready".into(),
+                    version: 1,
                     error: None,
                 },
                 ModelHealth {
                     name: "mnist-like".into(),
                     available: false,
+                    state: "failed".into(),
+                    version: 0,
                     error: Some("conversion failed".into()),
                 },
             ],

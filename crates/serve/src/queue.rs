@@ -147,6 +147,20 @@ impl<T> Queue<T> {
         drained
     }
 
+    /// Counts queued items matching `pred`, without removing anything —
+    /// the admission-quota primitive (a point-in-time census; callers
+    /// racing a concurrent push may briefly over- or under-count by the
+    /// in-flight item, which is fine for a soft quota).
+    pub fn count_matching(&self, pred: impl Fn(&T) -> bool) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .iter()
+            .filter(|item| pred(item))
+            .count()
+    }
+
     /// Items currently queued.
     pub fn len(&self) -> usize {
         self.inner
@@ -255,6 +269,17 @@ mod tests {
         assert_eq!(q.pop_blocking(), Some(5));
         assert!(q.is_empty());
         assert!(q.drain_matching(|_| true).is_empty());
+    }
+
+    #[test]
+    fn count_matching_is_a_nondestructive_census() {
+        let q = Queue::new(8);
+        for item in [1, 2, 3, 4, 5] {
+            q.push(item).unwrap();
+        }
+        assert_eq!(q.count_matching(|x| x % 2 == 0), 2);
+        assert_eq!(q.len(), 5, "counting removes nothing");
+        assert_eq!(q.pop_blocking(), Some(1), "order untouched");
     }
 
     #[test]

@@ -1,33 +1,53 @@
-//! The model registry: named, ready-to-serve T2FSNN models loaded from
-//! the bench crate's `T2FB` scenario cache.
+//! The model registry: named, versioned, ready-to-serve T2FSNN models
+//! loaded from the bench crate's `T2FB` scenario cache — a *mutable*
+//! runtime component, not a boot-time constant.
 //!
 //! [`Registry::load`] resolves scenario names through
 //! [`t2fsnn_bench::prepare`], which reads the cached trained+normalized
 //! network when warm and trains it when cold — a server on a fresh
 //! machine comes up self-contained, just slower on first boot. The
-//! DNN→SNN conversion happens once per model at load time.
+//! DNN→SNN conversion happens once per model *version* at load time.
+//!
+//! Lifecycle: every slot is a small state machine
+//! ([`SlotState`]) — `Ready`, `Loading` (a conversion/canary in flight;
+//! an incumbent version keeps serving), `Failed`, `Unloaded`
+//! (explicitly retired) and `Quarantined` (fenced off by the circuit
+//! breaker, kept around for canary probes). Promotion is an **atomic
+//! `Arc` swap** under a short [`RwLock`] write section: conversion,
+//! training and the canary battery all run *off-lock* on the loader
+//! thread, and the write lock is held only to exchange an
+//! `Option<Arc<ServeModel>>` — readers never block on a load. In-flight
+//! jobs hold their own `Arc` clone resolved at admission, so they
+//! finish on the version they were admitted against even across a
+//! swap.
 //!
 //! Loading is hardened: a model whose preparation or conversion fails
 //! (including by panic — the load runs under
-//! [`std::panic::catch_unwind`]) occupies a [`ModelSlot::Failed`] slot
-//! instead of killing the process. Requests for it are answered `503`
-//! with the load error, `/healthz` reports it unavailable, and every
-//! other model keeps serving.
+//! [`std::panic::catch_unwind`]) occupies a failed slot instead of
+//! killing the process, and a failed *re*load rolls back to the
+//! incumbent version. Requests for an unservable slot are answered
+//! `503` with the reason, `/healthz` reports its state, and every other
+//! model keeps serving.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
 
 use t2fsnn::{NoiseConfig, T2fsnn, T2fsnnConfig};
 use t2fsnn_bench::{prepare, Scenario};
 use t2fsnn_data::DatasetSpec;
 use t2fsnn_tensor::perturb::PerturbSpec;
 
+use crate::lifecycle;
 use crate::protocol::{ModelHealth, ModelInfo};
 
-/// One servable model.
+/// One servable model version.
 pub struct ServeModel {
     /// Registry name (the scenario name).
     pub name: String,
+    /// Monotonic per-slot version, starting at 1; responses echo it so
+    /// clients can verify which version answered.
+    pub version: u64,
     /// The converted, ready-to-run model.
     pub model: T2fsnn,
     /// Input/output specification of the scenario dataset.
@@ -54,6 +74,7 @@ impl ServeModel {
     pub fn info(&self) -> ModelInfo {
         ModelInfo {
             name: self.name.clone(),
+            version: self.version,
             channels: self.spec.channels,
             height: self.spec.height,
             width: self.spec.width,
@@ -78,63 +99,169 @@ pub fn scenario_by_name(name: &str) -> Option<Scenario> {
     .find(|s| s.name() == name)
 }
 
-/// One named registry slot: a model either serves or carries the reason
-/// it cannot.
-pub enum ModelSlot {
-    /// Loaded and serving.
-    Ready(Arc<ServeModel>),
-    /// Load or conversion failed; requests answer `503` with the error.
-    Failed {
-        /// The requested model name.
-        name: String,
-        /// Why the load failed.
-        error: String,
-    },
+/// Lifecycle state of one registry slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Loaded, canary-passed, serving.
+    Ready,
+    /// A load/reload is in flight on the loader thread; the incumbent
+    /// version (if any) keeps serving until the new one is promoted.
+    Loading,
+    /// Load, conversion or canary failed and there is no incumbent to
+    /// serve; requests answer `503` with the error.
+    Failed,
+    /// Explicitly retired via `POST /admin/models/<name>/unload`;
+    /// requests answer `503` until a load brings it back.
+    Unloaded,
+    /// Fenced off by the per-model circuit breaker after repeated
+    /// execution failures; only canary probes touch it until it
+    /// re-admits.
+    Quarantined,
 }
 
-impl ModelSlot {
-    /// The slot's registry name.
-    pub fn name(&self) -> &str {
+impl SlotState {
+    /// The state's wire string for `/healthz`.
+    pub fn as_str(self) -> &'static str {
         match self {
-            ModelSlot::Ready(m) => &m.name,
-            ModelSlot::Failed { name, .. } => name,
+            SlotState::Ready => "ready",
+            SlotState::Loading => "loading",
+            SlotState::Failed => "failed",
+            SlotState::Unloaded => "unloaded",
+            SlotState::Quarantined => "quarantined",
         }
     }
 }
 
+/// One named registry slot.
+struct Slot {
+    name: String,
+    /// The serving version; `None` while failed/unloaded/quarantined or
+    /// during an initial load.
+    current: Option<Arc<ServeModel>>,
+    state: SlotState,
+    /// The most recent load/canary/quarantine message.
+    error: Option<String>,
+    /// Canary response digest recorded when the serving version was
+    /// promoted; a reload's candidate must reproduce it bit-exact.
+    digest: Option<u32>,
+    /// Version number the next promoted load will carry.
+    next_version: u64,
+    /// Consecutive batch-execution failures (the breaker's counter).
+    failures: u32,
+    /// Quarantine trips so far (seeds the probe backoff jitter).
+    trips: u32,
+    /// Probes attempted since the current trip.
+    probes: u32,
+    /// When the next quarantine probe is due; `None` when one has been
+    /// handed out (or the slot is not quarantined).
+    next_probe_at: Option<Instant>,
+    /// The fenced-off version, kept for canary probes and re-admission
+    /// with its bits (and version) intact.
+    quarantined: Option<Arc<ServeModel>>,
+}
+
+impl Slot {
+    fn empty(name: &str) -> Slot {
+        Slot {
+            name: name.to_string(),
+            current: None,
+            state: SlotState::Failed,
+            error: None,
+            digest: None,
+            next_version: 1,
+            failures: 0,
+            trips: 0,
+            probes: 0,
+            next_probe_at: None,
+            quarantined: None,
+        }
+    }
+
+    /// Whether a request naming this slot would be served right now.
+    fn servable(&self) -> bool {
+        self.state != SlotState::Quarantined && self.current.is_some()
+    }
+
+    fn version(&self) -> u64 {
+        self.current
+            .as_deref()
+            .or(self.quarantined.as_deref())
+            .map_or(0, |m| m.version)
+    }
+}
+
 /// What a request's model name resolves to.
-pub enum Resolution<'a> {
-    /// A serving model.
-    Ready(&'a Arc<ServeModel>),
-    /// A configured model that failed to load (`503`).
+pub enum Resolution {
+    /// A serving model, pinned: the `Arc` is cloned out of the slot, so
+    /// the caller keeps this exact version across any later swap.
+    Ready(Arc<ServeModel>),
+    /// A configured model that cannot serve right now (`503`).
     Unavailable {
         /// The model's registry name.
-        name: &'a str,
-        /// The load error, echoed to the client.
-        error: &'a str,
+        name: String,
+        /// Why it cannot serve, echoed to the client.
+        error: String,
     },
     /// A name the registry never heard of (`404`).
     Unknown,
 }
 
-/// Named model slots. The first *configured* slot is the default for
-/// requests that name none — even when it failed to load, so a broken
-/// default answers `503` rather than silently serving a different
-/// model.
+/// When and how the per-model circuit breaker trips and probes.
+#[derive(Debug, Clone, Copy)]
+pub struct QuarantinePolicy {
+    /// Consecutive batch-execution failures that trip the quarantine.
+    pub threshold: u32,
+    /// Base probe backoff; doubles per failed probe (capped at `<< 6`)
+    /// plus deterministic seeded jitter of up to half the base.
+    pub backoff: Duration,
+    /// Seed of the backoff jitter stream (fixed → probe schedules are
+    /// machine-independent for a given trip history).
+    pub seed: u64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            threshold: 3,
+            backoff: Duration::from_millis(250),
+            seed: 0x51ED_CA4A,
+        }
+    }
+}
+
+/// What the loader thread needs to carry a load through off-lock.
+pub struct LoadTicket {
+    /// Slot name being (re)loaded.
+    pub name: String,
+    /// Version the candidate will carry if promoted.
+    pub version: u64,
+    /// Digest the candidate's canary battery must reproduce (`None` on
+    /// a first load — the digest is recorded at promotion).
+    pub expected_digest: Option<u32>,
+    /// Whether an incumbent version (serving or quarantined) exists —
+    /// i.e. whether a canary rejection has something to roll back to.
+    pub replaces_incumbent: bool,
+}
+
+/// Named, versioned model slots behind a read-mostly lock. The first
+/// *configured* slot is the default for requests that name none — even
+/// when it cannot serve, so a broken default answers `503` rather than
+/// silently serving a different model.
 pub struct Registry {
-    slots: Vec<ModelSlot>,
-    /// Models that came up with a non-identity perturbation applied.
-    perturbed_models: u64,
-    /// Weight rows actually rewritten across all perturbed models.
-    perturbed_weight_rows: u64,
+    slots: RwLock<Vec<Slot>>,
+    /// Perturbation applied to every load, boot and runtime alike (the
+    /// robustness harness path); `None` = clean.
+    perturb: Option<PerturbSpec>,
+    policy: QuarantinePolicy,
 }
 
 impl Registry {
-    /// Loads (training on a cold cache) every named scenario and
-    /// converts it for TTFS serving with the scenario's time window and
-    /// initial kernel. A model that fails to load — by error or by
-    /// panic — degrades to a [`ModelSlot::Failed`] slot; the registry
-    /// itself always comes up.
+    /// Loads (training on a cold cache) every named scenario, converts
+    /// it for TTFS serving with the scenario's time window and initial
+    /// kernel, and gates it behind the canary battery
+    /// ([`lifecycle::canary`]). A model that fails to load — by error,
+    /// panic or canary rejection — degrades to a failed slot; the
+    /// registry itself always comes up.
     ///
     /// # Errors
     ///
@@ -151,7 +278,8 @@ impl Registry {
     /// `wbitflip`) rewrite the converted weights through per-row seeded
     /// streams, so a given `(spec, model)` pair always serves the same
     /// bits. An identity spec (or `None`) loads clean models and counts
-    /// nothing.
+    /// nothing. The spec is remembered and applied identically to every
+    /// *runtime* load, so a reload reproduces the boot bits.
     ///
     /// # Errors
     ///
@@ -164,53 +292,98 @@ impl Registry {
         if names.is_empty() {
             return Err("registry needs at least one model name".to_string());
         }
-        let spec = spec.filter(|s| !s.is_identity());
-        let mut perturbed_models = 0u64;
-        let mut perturbed_weight_rows = 0u64;
+        let spec = spec.filter(|s| !s.is_identity()).copied();
         let slots = names
             .iter()
-            .map(|name| {
-                let slot = Registry::load_one(name, spec);
-                if spec.is_some() && matches!(slot, ModelSlot::Ready(_)) {
-                    perturbed_models += 1;
-                    if let ModelSlot::Ready(m) = &slot {
-                        perturbed_weight_rows += m.perturbed_weight_rows;
-                    }
-                }
-                slot
-            })
+            .map(|name| Registry::boot_slot(name, spec.as_ref()))
             .collect();
         Ok(Registry {
-            slots,
-            perturbed_models,
-            perturbed_weight_rows,
+            slots: RwLock::new(slots),
+            perturb: spec,
+            policy: QuarantinePolicy::default(),
         })
     }
 
-    /// Models loaded with a non-identity perturbation applied.
+    /// Replaces the breaker policy (call before serving starts).
+    pub fn set_quarantine_policy(&mut self, policy: QuarantinePolicy) {
+        self.policy = policy;
+    }
+
+    /// The perturbation spec every load applies (`None` = clean).
+    pub fn perturb_spec(&self) -> Option<PerturbSpec> {
+        self.perturb
+    }
+
+    /// Models currently serving with a non-identity perturbation.
     pub fn perturbed_models(&self) -> u64 {
-        self.perturbed_models
+        if self.perturb.is_none() {
+            return 0;
+        }
+        self.read().iter().filter(|s| s.servable()).count() as u64
     }
 
-    /// Weight rows rewritten across all perturbed models.
+    /// Weight rows rewritten across all serving perturbed models.
     pub fn perturbed_weight_rows(&self) -> u64 {
-        self.perturbed_weight_rows
+        self.read()
+            .iter()
+            .filter_map(|s| s.current.as_deref())
+            .map(|m| m.perturbed_weight_rows)
+            .sum()
     }
 
-    fn load_one(name: &str, spec: Option<&PerturbSpec>) -> ModelSlot {
-        let failed = |error: String| {
-            eprintln!("[serve] model `{name}` UNAVAILABLE: {error}");
-            ModelSlot::Failed {
-                name: name.to_string(),
-                error,
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Vec<Slot>> {
+        self.slots.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Vec<Slot>> {
+        self.slots.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Boot-time slot: convert + canary synchronously (the readiness
+    /// line must mean "these models serve"), no incumbent to fall back
+    /// to.
+    fn boot_slot(name: &str, spec: Option<&PerturbSpec>) -> Slot {
+        let mut slot = Slot::empty(name);
+        match Registry::convert_model(name, spec, 1) {
+            Ok(model) => match lifecycle::canary(&model, None) {
+                Ok(digest) => {
+                    slot.current = Some(Arc::new(model));
+                    slot.state = SlotState::Ready;
+                    slot.digest = Some(digest);
+                    slot.next_version = 2;
+                }
+                Err(e) => {
+                    let error = format!("canary rejected `{name}`: {e}");
+                    eprintln!("[serve] model `{name}` UNAVAILABLE: {error}");
+                    slot.error = Some(error);
+                }
+            },
+            Err(error) => {
+                eprintln!("[serve] model `{name}` UNAVAILABLE: {error}");
+                slot.error = Some(error);
             }
-        };
+        }
+        slot
+    }
+
+    /// Prepares (cache or train), converts and perturbs one model
+    /// version, entirely off any registry lock. A panic anywhere inside
+    /// costs this load, not the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns the preparation/conversion failure (or panic) message.
+    pub fn convert_model(
+        name: &str,
+        spec: Option<&PerturbSpec>,
+        version: u64,
+    ) -> Result<ServeModel, String> {
         let Some(scenario) = scenario_by_name(name) else {
-            return failed(format!("unknown scenario `{name}` (see /v1/models names)"));
+            return Err(format!("unknown scenario `{name}` (see /v1/models names)"));
         };
-        eprintln!("[serve] loading model `{name}`…");
+        eprintln!("[serve] loading model `{name}` v{version}…");
         // catch_unwind: a panic in cache/train/convert/perturb must cost
-        // one slot, not the process. Nothing mutable outlives the
+        // one load, not the process. Nothing mutable outlives the
         // closure.
         let loaded = catch_unwind(AssertUnwindSafe(|| {
             let prepared = prepare(scenario);
@@ -243,83 +416,341 @@ impl Registry {
         match loaded {
             Ok(Ok((model, prepared, perturbed_weight_rows))) => {
                 eprintln!(
-                    "[serve] model `{name}` ready: {} weighted layers, T = {}, window latency {} \
-                     steps, DNN accuracy {:.1}%",
+                    "[serve] model `{name}` v{version} converted: {} weighted layers, T = {}, \
+                     window latency {} steps, DNN accuracy {:.1}%",
                     model.weighted_count(),
                     scenario.time_window(),
                     model.total_steps(),
                     prepared.dnn_accuracy * 100.0
                 );
-                ModelSlot::Ready(Arc::new(ServeModel {
+                Ok(ServeModel {
                     name: name.to_string(),
+                    version,
                     model,
                     spec: prepared.test.spec.clone(),
                     dnn_accuracy: prepared.dnn_accuracy,
                     perturbed_weight_rows,
-                }))
+                })
             }
-            Ok(Err(e)) => failed(format!("cannot convert `{name}` for serving: {e}")),
-            Err(_) => failed(format!("panic while loading `{name}`")),
+            Ok(Err(e)) => Err(format!("cannot convert `{name}` for serving: {e}")),
+            Err(_) => Err(format!("panic while loading `{name}`")),
         }
     }
 
     /// Resolves a request's model name; `None` means the default (first
-    /// configured) slot.
-    pub fn resolve(&self, name: Option<&str>) -> Resolution<'_> {
+    /// configured) slot. A `Ready` resolution clones the slot's `Arc` —
+    /// the caller is pinned to that version from here on.
+    pub fn resolve(&self, name: Option<&str>) -> Resolution {
+        let slots = self.read();
         let slot = match name {
-            None => self.slots.first(),
-            Some(n) => self.slots.iter().find(|s| s.name() == n),
+            None => slots.first(),
+            Some(n) => slots.iter().find(|s| s.name == n),
         };
-        match slot {
-            Some(ModelSlot::Ready(m)) => Resolution::Ready(m),
-            Some(ModelSlot::Failed { name, error }) => Resolution::Unavailable { name, error },
-            None => Resolution::Unknown,
+        let Some(slot) = slot else {
+            return Resolution::Unknown;
+        };
+        if slot.servable() {
+            return Resolution::Ready(Arc::clone(slot.current.as_ref().expect("servable")));
+        }
+        let error = match slot.state {
+            SlotState::Quarantined => slot
+                .error
+                .clone()
+                .unwrap_or_else(|| "quarantined by the circuit breaker".to_string()),
+            SlotState::Loading => "still loading".to_string(),
+            SlotState::Unloaded => {
+                format!(
+                    "unloaded (POST /admin/models/{}/load restores it)",
+                    slot.name
+                )
+            }
+            _ => slot
+                .error
+                .clone()
+                .unwrap_or_else(|| "failed to load".to_string()),
+        };
+        Resolution::Unavailable {
+            name: slot.name.clone(),
+            error,
         }
     }
 
     /// Resolves to a *ready* model only (legacy accessor; prefer
     /// [`Registry::resolve`] where `503` vs `404` matters).
-    pub fn get(&self, name: Option<&str>) -> Option<&Arc<ServeModel>> {
+    pub fn get(&self, name: Option<&str>) -> Option<Arc<ServeModel>> {
         match self.resolve(name) {
             Resolution::Ready(m) => Some(m),
             _ => None,
         }
     }
 
-    /// Every ready (serving) model, in configured order.
-    pub fn models(&self) -> Vec<&Arc<ServeModel>> {
-        self.slots
+    /// Every serving model, in configured order.
+    pub fn models(&self) -> Vec<Arc<ServeModel>> {
+        self.read()
             .iter()
-            .filter_map(|s| match s {
-                ModelSlot::Ready(m) => Some(m),
-                ModelSlot::Failed { .. } => None,
-            })
+            .filter(|s| s.servable())
+            .filter_map(|s| s.current.clone())
             .collect()
+    }
+
+    /// Whether a slot with this name exists (in any state).
+    pub fn is_configured(&self, name: &str) -> bool {
+        self.read().iter().any(|s| s.name == name)
     }
 
     /// Whether at least one model serves.
     pub fn any_ready(&self) -> bool {
-        self.slots.iter().any(|s| matches!(s, ModelSlot::Ready(_)))
+        self.read().iter().any(Slot::servable)
     }
 
-    /// Per-slot availability for `/healthz`.
-    pub fn health(&self) -> Vec<ModelHealth> {
-        self.slots
+    /// One slot's `(state, version)` — version 0 when no version exists.
+    pub fn lifecycle_state(&self, name: &str) -> Option<(SlotState, u64)> {
+        self.read()
             .iter()
-            .map(|slot| match slot {
-                ModelSlot::Ready(m) => ModelHealth {
-                    name: m.name.clone(),
-                    available: true,
-                    error: None,
-                },
-                ModelSlot::Failed { name, error } => ModelHealth {
-                    name: name.clone(),
-                    available: false,
-                    error: Some(error.clone()),
-                },
+            .find(|s| s.name == name)
+            .map(|s| (s.state, s.version()))
+    }
+
+    /// Per-slot lifecycle report for `/healthz`.
+    pub fn health(&self) -> Vec<ModelHealth> {
+        self.read()
+            .iter()
+            .map(|slot| ModelHealth {
+                name: slot.name.clone(),
+                available: slot.servable(),
+                state: slot.state.as_str().to_string(),
+                version: slot.version(),
+                error: slot.error.clone(),
             })
             .collect()
     }
+
+    /// Marks a slot `Loading` (creating it for a never-configured name)
+    /// and hands the loader thread its ticket. The incumbent version,
+    /// if any, keeps serving until [`Registry::promote`].
+    ///
+    /// # Errors
+    ///
+    /// Refuses when a load for this slot is already in flight.
+    pub fn begin_load(&self, name: &str) -> Result<LoadTicket, String> {
+        let mut slots = self.write();
+        let slot = match slots.iter_mut().find(|s| s.name == name) {
+            Some(slot) => slot,
+            None => {
+                slots.push(Slot::empty(name));
+                slots.last_mut().expect("just pushed")
+            }
+        };
+        if slot.state == SlotState::Loading {
+            return Err(format!("a load of `{name}` is already in flight"));
+        }
+        let replaces_incumbent = slot.current.is_some() || slot.quarantined.is_some();
+        let ticket = LoadTicket {
+            name: name.to_string(),
+            version: slot.next_version,
+            expected_digest: slot.digest,
+            replaces_incumbent,
+        };
+        slot.next_version += 1;
+        slot.state = SlotState::Loading;
+        Ok(ticket)
+    }
+
+    /// Promotes a canary-passed candidate: the atomic swap. In-flight
+    /// jobs keep their pinned `Arc` to the old version; new admissions
+    /// resolve the new one. Clears any quarantine and breaker state.
+    ///
+    /// # Errors
+    ///
+    /// Refuses when the slot left `Loading` since [`Registry::begin_load`]
+    /// (e.g. an unload raced the load) — the candidate is discarded.
+    pub fn promote(&self, name: &str, model: ServeModel, digest: u32) -> Result<u64, String> {
+        let mut slots = self.write();
+        let slot = slots
+            .iter_mut()
+            .find(|s| s.name == name)
+            .ok_or_else(|| format!("slot `{name}` vanished during load"))?;
+        if slot.state != SlotState::Loading {
+            return Err(format!(
+                "slot `{name}` is {} (load superseded)",
+                slot.state.as_str()
+            ));
+        }
+        let version = model.version;
+        slot.current = Some(Arc::new(model));
+        slot.state = SlotState::Ready;
+        slot.error = None;
+        slot.digest = Some(digest);
+        slot.failures = 0;
+        slot.probes = 0;
+        slot.next_probe_at = None;
+        slot.quarantined = None;
+        Ok(version)
+    }
+
+    /// Rejects an in-flight load (conversion failure or canary
+    /// rejection) and rolls back: an incumbent keeps serving
+    /// (`Ready`), a quarantined version stays fenced (`Quarantined`),
+    /// otherwise the slot is `Failed`. The error is surfaced in
+    /// `/healthz` either way.
+    pub fn reject_load(&self, name: &str, error: String) {
+        let mut slots = self.write();
+        let Some(slot) = slots.iter_mut().find(|s| s.name == name) else {
+            return;
+        };
+        if slot.state != SlotState::Loading {
+            return;
+        }
+        slot.state = if slot.current.is_some() {
+            SlotState::Ready
+        } else if slot.quarantined.is_some() {
+            SlotState::Quarantined
+        } else {
+            SlotState::Failed
+        };
+        slot.error = Some(error);
+    }
+
+    /// Retires a slot: the serving (or quarantined) version is dropped,
+    /// requests answer `503` until a load brings the slot back, and the
+    /// recorded digest is cleared so that a later load records a fresh
+    /// reference (an unload+load is the operator's escape hatch for an
+    /// intentionally changed artifact). Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Refuses a name that was never configured (`404` material).
+    pub fn unload(&self, name: &str) -> Result<(), String> {
+        let mut slots = self.write();
+        let slot = slots
+            .iter_mut()
+            .find(|s| s.name == name)
+            .ok_or_else(|| format!("model `{name}` is not configured"))?;
+        slot.current = None;
+        slot.quarantined = None;
+        slot.state = SlotState::Unloaded;
+        slot.error = None;
+        slot.digest = None;
+        slot.failures = 0;
+        slot.probes = 0;
+        slot.next_probe_at = None;
+        Ok(())
+    }
+
+    /// The circuit breaker's input: one batch execution outcome
+    /// attributed to `name`. Success resets the consecutive-failure
+    /// counter; `threshold` consecutive failures on a `Ready` slot trip
+    /// the quarantine (the serving version is fenced off for probing
+    /// and the first probe is scheduled). Returns the trip ordinal when
+    /// this call tripped.
+    pub fn record_execution(&self, name: &str, ok: bool) -> Option<u32> {
+        let mut slots = self.write();
+        let slot = slots.iter_mut().find(|s| s.name == name)?;
+        if ok {
+            slot.failures = 0;
+            return None;
+        }
+        slot.failures += 1;
+        if slot.state != SlotState::Ready || slot.failures < self.policy.threshold {
+            return None;
+        }
+        slot.trips += 1;
+        slot.failures = 0;
+        slot.probes = 0;
+        slot.quarantined = slot.current.take();
+        slot.state = SlotState::Quarantined;
+        slot.error = Some(format!(
+            "quarantined after {} consecutive execution failures (trip {})",
+            self.policy.threshold, slot.trips
+        ));
+        let now = Instant::now();
+        schedule_probe(slot, now, &self.policy);
+        Some(slot.trips)
+    }
+
+    /// Claims the next due quarantine probe, if any: returns the slot
+    /// name, the fenced version and its recorded digest, and unarms the
+    /// timer so the probe runs exactly once. The loader thread reports
+    /// back via [`Registry::readmit`] or [`Registry::probe_failed`].
+    pub fn due_probe(&self, now: Instant) -> Option<(String, Arc<ServeModel>, Option<u32>)> {
+        let mut slots = self.write();
+        let slot = slots.iter_mut().find(|s| {
+            s.state == SlotState::Quarantined
+                && s.quarantined.is_some()
+                && s.next_probe_at.is_some_and(|at| now >= at)
+        })?;
+        slot.next_probe_at = None;
+        Some((
+            slot.name.clone(),
+            Arc::clone(slot.quarantined.as_ref().expect("quarantined version")),
+            slot.digest,
+        ))
+    }
+
+    /// A probe's canary passed: the fenced version — bits and version
+    /// number intact — goes back to serving. Returns its version.
+    pub fn readmit(&self, name: &str) -> Option<u64> {
+        let mut slots = self.write();
+        let slot = slots
+            .iter_mut()
+            .find(|s| s.name == name && s.state == SlotState::Quarantined)?;
+        slot.current = slot.quarantined.take();
+        slot.state = SlotState::Ready;
+        slot.error = None;
+        slot.failures = 0;
+        slot.probes = 0;
+        slot.next_probe_at = None;
+        slot.current.as_deref().map(|m| m.version)
+    }
+
+    /// A probe's canary failed: escalate the backoff and schedule the
+    /// next probe.
+    pub fn probe_failed(&self, name: &str, now: Instant, error: String) {
+        let mut slots = self.write();
+        let Some(slot) = slots
+            .iter_mut()
+            .find(|s| s.name == name && s.state == SlotState::Quarantined)
+        else {
+            return;
+        };
+        slot.probes += 1;
+        slot.error = Some(format!(
+            "quarantined (probe {} failed: {error})",
+            slot.probes
+        ));
+        schedule_probe(slot, now, &self.policy);
+    }
+}
+
+/// Deterministic seeded backoff: base `<< min(probes, 6)` plus jitter
+/// of up to half that from a SplitMix64 stream keyed on
+/// `(seed, name, trip, probe)` — the schedule depends only on the trip
+/// history, never on wall-clock or thread timing.
+fn schedule_probe(slot: &mut Slot, now: Instant, policy: &QuarantinePolicy) {
+    let base_ms = (policy.backoff.as_millis() as u64).max(1) << slot.probes.min(6);
+    let key = policy
+        .seed
+        .wrapping_add(fnv1a(slot.name.as_bytes()))
+        .wrapping_add(u64::from(slot.trips) << 32)
+        .wrapping_add(u64::from(slot.probes));
+    let jitter = splitmix64(key) % (base_ms / 2 + 1);
+    slot.next_probe_at = Some(now + Duration::from_millis(base_ms + jitter));
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -357,6 +788,8 @@ mod tests {
         let health = registry.health();
         assert_eq!(health.len(), 1);
         assert!(!health[0].available);
+        assert_eq!(health[0].state, "failed");
+        assert_eq!(health[0].version, 0);
         assert!(health[0].error.is_some());
     }
 
@@ -365,14 +798,19 @@ mod tests {
         let registry = Registry::load(&["tiny".to_string()]).unwrap();
         let model = registry.get(None).unwrap();
         assert_eq!(model.name, "tiny");
+        assert_eq!(model.version, 1);
         assert_eq!(model.input_len(), 16 * 16);
         let info = model.info();
         assert_eq!(info.classes, 4);
+        assert_eq!(info.version, 1);
         assert!(info.weighted_layers >= 2);
         assert_eq!(registry.get(Some("tiny")).unwrap().name, "tiny");
         assert!(registry.get(Some("missing")).is_none());
         assert!(registry.any_ready());
-        assert!(registry.health()[0].available);
+        let health = registry.health();
+        assert!(health[0].available);
+        assert_eq!(health[0].state, "ready");
+        assert_eq!(health[0].version, 1);
     }
 
     #[test]
@@ -410,5 +848,145 @@ mod tests {
             Resolution::Unavailable { .. } => {}
             _ => panic!("expected Unavailable"),
         }
+    }
+
+    #[test]
+    fn reload_promotes_a_new_version_and_rejection_rolls_back() {
+        let registry = Registry::load(&["tiny".to_string()]).unwrap();
+        let v1 = registry.get(None).unwrap();
+        assert_eq!(v1.version, 1);
+
+        // Reload: the incumbent serves while Loading, and the recorded
+        // digest gates the candidate.
+        let ticket = registry.begin_load("tiny").unwrap();
+        assert_eq!(ticket.version, 2);
+        assert!(ticket.replaces_incumbent);
+        let expected = ticket.expected_digest.expect("boot digest recorded");
+        assert!(registry.begin_load("tiny").is_err(), "double load refused");
+        assert_eq!(
+            registry.lifecycle_state("tiny"),
+            Some((SlotState::Loading, 1))
+        );
+        assert!(
+            registry.get(None).is_some(),
+            "incumbent serves while loading"
+        );
+
+        // A rejected candidate rolls back to the incumbent.
+        registry.reject_load("tiny", "canary rejected: injected".to_string());
+        assert_eq!(
+            registry.lifecycle_state("tiny"),
+            Some((SlotState::Ready, 1))
+        );
+        let still_v1 = registry.get(None).unwrap();
+        assert!(Arc::ptr_eq(&v1, &still_v1), "old Arc keeps serving");
+        assert!(registry.health()[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("canary"));
+
+        // A promoted candidate swaps atomically; pinned Arcs survive.
+        let ticket = registry.begin_load("tiny").unwrap();
+        assert_eq!(ticket.version, 3);
+        let model = Registry::convert_model("tiny", None, ticket.version).expect("tiny converts");
+        let digest = crate::lifecycle::canary(&model, ticket.expected_digest)
+            .expect("same scenario, same bits");
+        assert_eq!(digest, expected, "deterministic conversion, same digest");
+        registry.promote("tiny", model, digest).unwrap();
+        let v3 = registry.get(None).unwrap();
+        assert_eq!(v3.version, 3);
+        assert_eq!(v1.version, 1, "pinned old version intact");
+    }
+
+    #[test]
+    fn unload_retires_and_load_restores() {
+        let registry = Registry::load(&["tiny".to_string()]).unwrap();
+        registry.unload("tiny").unwrap();
+        assert!(!registry.any_ready());
+        assert_eq!(
+            registry.lifecycle_state("tiny"),
+            Some((SlotState::Unloaded, 0))
+        );
+        match registry.resolve(Some("tiny")) {
+            Resolution::Unavailable { error, .. } => assert!(error.contains("unloaded")),
+            _ => panic!("expected Unavailable"),
+        }
+        assert!(registry.unload("nope").is_err());
+        // A fresh load has no digest to match (unload cleared it) and
+        // brings the slot back at the next version.
+        let ticket = registry.begin_load("tiny").unwrap();
+        assert_eq!(ticket.expected_digest, None);
+        assert!(!ticket.replaces_incumbent);
+        let model = Registry::convert_model("tiny", None, ticket.version).unwrap();
+        let digest = crate::lifecycle::canary(&model, None).unwrap();
+        registry.promote("tiny", model, digest).unwrap();
+        assert!(registry.any_ready());
+        assert_eq!(registry.get(None).unwrap().version, 2);
+    }
+
+    #[test]
+    fn unload_during_load_supersedes_the_promotion() {
+        let registry = Registry::load(&["tiny".to_string()]).unwrap();
+        let ticket = registry.begin_load("tiny").unwrap();
+        registry.unload("tiny").unwrap();
+        let model = Registry::convert_model("tiny", None, ticket.version).unwrap();
+        let digest = crate::lifecycle::canary(&model, None).unwrap();
+        assert!(registry.promote("tiny", model, digest).is_err());
+        assert_eq!(
+            registry.lifecycle_state("tiny"),
+            Some((SlotState::Unloaded, 0))
+        );
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_readmits_deterministically() {
+        let mut registry = Registry::load(&["tiny".to_string()]).unwrap();
+        registry.set_quarantine_policy(QuarantinePolicy {
+            threshold: 3,
+            backoff: Duration::from_millis(50),
+            seed: 9,
+        });
+        let v1 = registry.get(None).unwrap();
+        // Successes reset the counter; only consecutive failures trip.
+        assert_eq!(registry.record_execution("tiny", false), None);
+        assert_eq!(registry.record_execution("tiny", false), None);
+        assert_eq!(registry.record_execution("tiny", true), None);
+        assert_eq!(registry.record_execution("tiny", false), None);
+        assert_eq!(registry.record_execution("tiny", false), None);
+        let tripped = registry.record_execution("tiny", false);
+        assert_eq!(tripped, Some(1));
+        assert_eq!(
+            registry.lifecycle_state("tiny"),
+            Some((SlotState::Quarantined, 1))
+        );
+        assert!(registry.get(Some("tiny")).is_none());
+        assert!(!registry.any_ready());
+
+        // The probe is due after the deterministic backoff, not before.
+        let now = Instant::now();
+        assert!(registry.due_probe(now).is_none());
+        let later = now + Duration::from_millis(200);
+        let (name, fenced, digest) = registry.due_probe(later).expect("probe due");
+        assert_eq!(name, "tiny");
+        assert!(
+            Arc::ptr_eq(&fenced, &v1),
+            "probes run on the fenced version"
+        );
+        assert!(digest.is_some());
+        // Claimed: no double probe until the outcome is reported.
+        assert!(registry.due_probe(later).is_none());
+
+        // A failed probe escalates; a passed probe re-admits v1 intact.
+        registry.probe_failed("tiny", later, "still broken".to_string());
+        let next = later + Duration::from_millis(400);
+        let (_, _, _) = registry.due_probe(next).expect("escalated probe due");
+        assert_eq!(registry.readmit("tiny"), Some(1));
+        assert_eq!(
+            registry.lifecycle_state("tiny"),
+            Some((SlotState::Ready, 1))
+        );
+        let back = registry.get(Some("tiny")).unwrap();
+        assert!(Arc::ptr_eq(&back, &v1), "re-admission preserves the bits");
     }
 }

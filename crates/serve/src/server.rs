@@ -16,6 +16,14 @@
 //!   ever dies by panic (its batches already run under `catch_unwind`,
 //!   so this is a backstop, exercised only by tests), the supervisor
 //!   respawns it and counts `t2fsnn_serve_batcher_respawns_total`.
+//! * **loader** — the model-lifecycle thread: executes
+//!   `POST /admin/models/<name>/{load,reload}` commands (prepare →
+//!   convert → canary → promote, all off the request path; the admin
+//!   response is an immediate `202` and `/healthz` tracks progress) and
+//!   runs the quarantine probe schedule. Exactly one loader means loads
+//!   are serialized — no concurrent conversions fighting over cores —
+//!   and the registry's `Loading` guard makes duplicate commands
+//!   no-ops.
 //!
 //! Readiness: `GET /healthz` reports per-model availability and queue
 //! saturation, answering `503` while draining or when no model serves —
@@ -37,10 +45,15 @@ use std::time::{Duration, Instant};
 use crate::batcher::{self, BatcherConfig, InferJob, JobError};
 use crate::faults::{Faults, ReadFault, ResponseFault};
 use crate::http::{Conn, HttpError, Request};
+use crate::lifecycle;
 use crate::metrics::Metrics;
-use crate::protocol::{ErrorResponse, HealthReport, InferRequest, InferResponse, ModelInfo};
+use crate::protocol::{
+    ErrorResponse, HealthReport, InferRequest, InferResponse, LifecycleAck, ModelInfo,
+};
 use crate::queue::{PushError, Queue};
-use crate::registry::{Registry, Resolution};
+use crate::registry::{
+    scenario_by_name, QuarantinePolicy, Registry, Resolution, ServeModel, SlotState,
+};
 use crate::ServeConfig;
 
 /// How long a connection worker waits for its batch to answer before
@@ -50,12 +63,22 @@ const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
 /// Accept-poll interval while idle; bounds shutdown-flag latency.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
+/// How long the loader thread waits for a lifecycle command before
+/// checking the quarantine probe schedule and the shutdown flag.
+const LOADER_POLL: Duration = Duration::from_millis(25);
+
+/// One queued lifecycle command for the loader thread.
+struct LoadCommand {
+    name: String,
+}
+
 /// Shared server state.
 struct Ctx {
     config: ServeConfig,
     registry: Registry,
     metrics: Metrics,
     jobs: Queue<InferJob>,
+    lifecycle: Queue<LoadCommand>,
     shutdown: AtomicBool,
     faults: Option<Faults>,
 }
@@ -95,9 +118,13 @@ impl ServerHandle {
 }
 
 fn initiate_shutdown(ctx: &Ctx) {
+    // Flag before the queue closes: the loader's wait returns
+    // immediately on a closed queue, and the flag is what tells it to
+    // exit instead of spinning.
     ctx.shutdown.store(true, Ordering::SeqCst);
     // Stop admissions; the batcher drains what was already accepted.
     ctx.jobs.close();
+    ctx.lifecycle.close();
 }
 
 /// Binds and starts the server threads. Fault injection is read from
@@ -107,12 +134,17 @@ fn initiate_shutdown(ctx: &Ctx) {
 ///
 /// Returns the bind error, or `InvalidInput` for a malformed fault
 /// spec (a chaos run must fail loudly, not silently run fault-free).
-pub fn start(config: ServeConfig, registry: Registry) -> std::io::Result<ServerHandle> {
+pub fn start(config: ServeConfig, mut registry: Registry) -> std::io::Result<ServerHandle> {
     let faults =
         Faults::from_env().map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    registry.set_quarantine_policy(QuarantinePolicy {
+        threshold: config.quarantine_threshold.max(1),
+        backoff: Duration::from_millis(config.quarantine_backoff_ms.max(1)),
+        ..QuarantinePolicy::default()
+    });
     let metrics = Metrics::new(config.max_batch);
     metrics.set_perturbation(
         registry.perturbed_models(),
@@ -130,6 +162,9 @@ pub fn start(config: ServeConfig, registry: Registry) -> std::io::Result<ServerH
         registry,
         metrics,
         jobs,
+        // Lifecycle commands are rare operator actions; a short queue
+        // refuses floods with `429` instead of buffering them.
+        lifecycle: Queue::new(16),
         shutdown: AtomicBool::new(false),
         faults,
     });
@@ -167,7 +202,128 @@ pub fn start(config: ServeConfig, registry: Registry) -> std::io::Result<ServerH
                 .expect("spawn batcher supervisor thread"),
         );
     }
+    {
+        let ctx = Arc::clone(&ctx);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-loader".into())
+                .spawn(move || loader_loop(&ctx))
+                .expect("spawn loader thread"),
+        );
+    }
     Ok(ServerHandle { addr, ctx, threads })
+}
+
+/// The loader thread: serialized lifecycle loads and the quarantine
+/// probe schedule, all off the request path.
+fn loader_loop(ctx: &Arc<Ctx>) {
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let commands = ctx
+            .lifecycle
+            .collect_matching(Instant::now() + LOADER_POLL, 1, |_| true);
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        for command in commands {
+            perform_load(ctx, &command.name);
+        }
+        let now = Instant::now();
+        while let Some((name, fenced, digest)) = ctx.registry.due_probe(now) {
+            run_probe(ctx, &name, &fenced, digest);
+        }
+    }
+}
+
+/// One lifecycle load, end to end: ticket → convert (cache or train) →
+/// canary → promote, with rollback on any failure. Runs on the loader
+/// thread only; the registry lock is held just for the O(1) ticket and
+/// swap operations.
+fn perform_load(ctx: &Ctx, name: &str) {
+    let ticket = match ctx.registry.begin_load(name) {
+        Ok(ticket) => ticket,
+        Err(e) => {
+            eprintln!("[serve] load of `{name}` skipped: {e}");
+            return;
+        }
+    };
+    let spec = ctx.registry.perturb_spec();
+    match Registry::convert_model(name, spec.as_ref(), ticket.version) {
+        Err(error) => {
+            eprintln!("[serve] model `{name}` load failed: {error}");
+            ctx.registry.reject_load(name, error);
+        }
+        Ok(model) => {
+            // The canary_fail burst poisons *runtime* re-promotions
+            // only: a boot-shaped first load has no incumbent to
+            // protect, so it does not consume burst hits.
+            let injected =
+                ticket.replaces_incumbent && ctx.faults.as_ref().is_some_and(Faults::canary_fault);
+            let verdict = if injected {
+                ctx.metrics.observe_fault_injected();
+                Err("injected canary failure (fault spec)".to_string())
+            } else {
+                lifecycle::canary(&model, ticket.expected_digest)
+            };
+            match verdict {
+                Ok(digest) => {
+                    let version = model.version;
+                    match ctx.registry.promote(name, model, digest) {
+                        Ok(_) => {
+                            ctx.metrics.observe_model_load();
+                            eprintln!(
+                                "[serve] model `{name}` v{version} promoted (canary digest \
+                                 {digest:#010x})"
+                            );
+                        }
+                        Err(e) => eprintln!("[serve] model `{name}` v{version} discarded: {e}"),
+                    }
+                }
+                Err(e) => {
+                    ctx.metrics.observe_canary_rejection();
+                    eprintln!(
+                        "[serve] model `{name}` v{} canary REJECTED: {e}",
+                        ticket.version
+                    );
+                    ctx.registry
+                        .reject_load(name, format!("canary rejected: {e}"));
+                }
+            }
+        }
+    }
+    // Lifecycle ops change which perturbed models serve.
+    ctx.metrics.set_perturbation(
+        ctx.registry.perturbed_models(),
+        ctx.registry.perturbed_weight_rows(),
+    );
+}
+
+/// One quarantine probe: a canary re-run on the fenced version — never
+/// live traffic. A pass re-admits the exact fenced `Arc` (bits and
+/// version unchanged); a failure escalates the deterministic backoff.
+fn run_probe(ctx: &Ctx, name: &str, fenced: &Arc<ServeModel>, digest: Option<u32>) {
+    ctx.metrics.observe_quarantine_probe();
+    let injected = ctx.faults.as_ref().is_some_and(Faults::canary_fault);
+    let verdict = if injected {
+        ctx.metrics.observe_fault_injected();
+        Err("injected canary failure (fault spec)".to_string())
+    } else {
+        lifecycle::canary(fenced, digest).map(|_| ())
+    };
+    match verdict {
+        Ok(()) => {
+            if let Some(version) = ctx.registry.readmit(name) {
+                ctx.metrics.observe_quarantine_readmission();
+                eprintln!("[serve] model `{name}` v{version} re-admitted after canary probe");
+            }
+        }
+        Err(e) => {
+            eprintln!("[serve] {} failed: {e}", lifecycle::describe_probe(fenced));
+            ctx.registry.probe_failed(name, Instant::now(), e);
+        }
+    }
 }
 
 /// Runs the batcher, respawning it if it ever dies by panic. Batch
@@ -180,11 +336,17 @@ fn supervise_batcher(ctx: &Arc<Ctx>, config: &BatcherConfig) {
         let handle = std::thread::Builder::new()
             .name("serve-batcher".into())
             .spawn(move || {
+                let breaker = lifecycle::Breaker {
+                    registry: &child_ctx.registry,
+                    jobs: &child_ctx.jobs,
+                    metrics: &child_ctx.metrics,
+                };
                 batcher::run(
                     &child_ctx.jobs,
                     &child_ctx.metrics,
                     &child_config,
                     child_ctx.faults.as_ref(),
+                    Some(&breaker),
                 )
             })
             .expect("spawn batcher thread");
@@ -339,8 +501,90 @@ fn route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
             initiate_shutdown(ctx);
             (200, b"{\"status\":\"shutting down\"}".to_vec())
         }
+        ("POST", path) if path.starts_with("/admin/models/") => admin_model_route(ctx, path),
         ("GET" | "POST", _) => (404, ErrorResponse::json("no such endpoint")),
         _ => (405, ErrorResponse::json("method not allowed")),
+    }
+}
+
+/// `POST /admin/models/<name>/{load,unload,reload}` — the lifecycle
+/// control surface. Loads are asynchronous (`202`; the loader thread
+/// converts, canaries and promotes — poll `/healthz`); unloads take
+/// effect immediately, evicting the model's queued jobs to `503` in
+/// admission order while in-flight batches finish on their pinned
+/// version.
+fn admin_model_route(ctx: &Ctx, path: &str) -> (u16, Vec<u8>) {
+    let rest = &path["/admin/models/".len()..];
+    let Some((name, action)) = rest.rsplit_once('/') else {
+        return (
+            404,
+            ErrorResponse::json("expected /admin/models/<name>/<load|unload|reload>"),
+        );
+    };
+    if name.is_empty() || name.contains('/') {
+        return (404, ErrorResponse::json(format!("bad model name `{name}`")));
+    }
+    match action {
+        "load" | "reload" => {
+            if scenario_by_name(name).is_none() && !ctx.registry.is_configured(name) {
+                return (
+                    404,
+                    ErrorResponse::json(format!(
+                        "unknown model `{name}` (not a scenario; see GET /v1/models)"
+                    )),
+                );
+            }
+            // A plain `load` of an already-serving model is a no-op
+            // (idempotent); `reload` always converts a fresh version.
+            if action == "load" {
+                if let Some((SlotState::Ready, _)) = ctx.registry.lifecycle_state(name) {
+                    return lifecycle_ack(name, action, "ready", 200);
+                }
+            }
+            let command = LoadCommand {
+                name: name.to_string(),
+            };
+            match ctx.lifecycle.push(command) {
+                Ok(()) => lifecycle_ack(name, action, "loading", 202),
+                Err(PushError::Full(_)) => (
+                    429,
+                    ErrorResponse::json("lifecycle queue full — retry with backoff"),
+                ),
+                Err(PushError::Closed(_)) => (503, ErrorResponse::json("server is shutting down")),
+            }
+        }
+        "unload" => match ctx.registry.unload(name) {
+            Ok(()) => {
+                ctx.metrics.observe_model_unload();
+                let evicted =
+                    lifecycle::drain_model_jobs(&ctx.jobs, name, "was unloaded", &ctx.metrics);
+                if evicted > 0 {
+                    eprintln!("[serve] unload of `{name}` evicted {evicted} queued jobs");
+                }
+                eprintln!("[serve] model `{name}` unloaded");
+                lifecycle_ack(name, action, "unloaded", 200)
+            }
+            Err(e) => (404, ErrorResponse::json(e)),
+        },
+        _ => (
+            404,
+            ErrorResponse::json(format!(
+                "unknown lifecycle action `{action}` (load, unload, reload)"
+            )),
+        ),
+    }
+}
+
+/// Serialized [`LifecycleAck`] with its status code.
+fn lifecycle_ack(model: &str, action: &str, state: &str, code: u16) -> (u16, Vec<u8>) {
+    let ack = LifecycleAck {
+        model: model.to_string(),
+        action: action.to_string(),
+        state: state.to_string(),
+    };
+    match serde_json::to_vec(&ack) {
+        Ok(body) => (code, body),
+        Err(e) => (500, ErrorResponse::json(format!("serialization: {e}"))),
     }
 }
 
@@ -426,13 +670,29 @@ fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
             )),
         );
     }
+    // Per-model admission quota: one hot model may only hold a bounded
+    // share of the queue, so it cannot starve the rest. The census and
+    // the push are not atomic — a racing admission can overshoot by one
+    // — which is fine for a fairness quota (a soft bound, not an
+    // invariant).
+    let quota = ctx.config.model_quota;
+    if quota > 0 && ctx.jobs.count_matching(|j| j.model.name == model.name) >= quota {
+        ctx.metrics.observe_model_quota_rejection(&model.name);
+        return (
+            429,
+            ErrorResponse::json(format!(
+                "model `{}` admission quota ({quota}) full — retry with backoff",
+                model.name
+            )),
+        );
+    }
     let early_exit = parsed.early_exit.unwrap_or(ctx.config.early_exit);
     let enqueued = Instant::now();
     let deadline =
         deadline_budget_ms(ctx, request, &parsed).map(|ms| enqueued + Duration::from_millis(ms));
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = InferJob {
-        model: Arc::clone(model),
+        model: Arc::clone(&model),
         image: parsed.image,
         early_exit,
         deadline,
@@ -459,6 +719,7 @@ fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
             ctx.metrics.observe_latency_us(latency_us);
             let response = InferResponse {
                 model: model.name.clone(),
+                version: model.version,
                 label: outcome.result.label,
                 decision_step: outcome.result.decision_step,
                 steps: outcome.result.steps,
@@ -491,6 +752,12 @@ fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
             )),
         ),
         Ok(Err(JobError::Failed(message))) => (500, ErrorResponse::json(message)),
+        // The eviction itself was already counted (model_unavailable)
+        // by the drain; this arm only shapes the answer.
+        Ok(Err(JobError::Evicted { model, reason })) => (
+            503,
+            ErrorResponse::json(format!("model `{model}` {reason} while request was queued")),
+        ),
         Err(_) => (500, ErrorResponse::json("inference timed out")),
     }
 }

@@ -12,7 +12,10 @@
 //! * a registry loaded with a severity-0 perturbation serves bits
 //!   identical to a clean registry, and the forced-early-exit identity
 //!   holds on a perturbed model too (the ladder and the perturbation
-//!   subsystem compose).
+//!   subsystem compose);
+//! * unloading a model mid-flight evicts exactly its queued jobs to
+//!   `503` in admission order, while the other models' jobs are neither
+//!   reordered nor dropped and keep their bit-exact answers.
 
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -32,7 +35,7 @@ use t2fsnn_tensor::{Tensor, ThreadPool};
 /// request images from its own dataset.
 fn tiny() -> (Arc<ServeModel>, Vec<Vec<f32>>) {
     let registry = Registry::load(&["tiny".to_string()]).expect("load tiny");
-    let model = Arc::clone(registry.get(None).expect("tiny ready"));
+    let model = registry.get(None).expect("tiny ready");
     let data = t2fsnn_bench::Scenario::Tiny.dataset();
     let feature: usize = data.images.dims()[1..].iter().product();
     let images = (0..8)
@@ -118,7 +121,7 @@ fn batcher_sheds_only_expired_jobs() {
             max_delay: Duration::from_micros(100),
             force_ee_slack_us: 0,
         };
-        batcher::run(&queue, &metrics, &config, None);
+        batcher::run(&queue, &metrics, &config, None, None);
         let mut sheds = 0;
         for (i, (rx, doomed)) in receivers.iter().enumerate() {
             match rx.try_recv().expect("every admitted job must be answered") {
@@ -131,6 +134,9 @@ fn batcher_sheds_only_expired_jobs() {
                     panic!("round {round}: job {i} answered late despite huge slack")
                 }
                 Err(JobError::Failed(e)) => panic!("round {round}: job {i} failed: {e}"),
+                Err(JobError::Evicted { .. }) => {
+                    panic!("round {round}: job {i} evicted with no lifecycle op")
+                }
             }
         }
         let rendered = metrics.render();
@@ -200,7 +206,7 @@ fn forced_early_exit_matches_explicit_across_batches_and_workers() {
             max_delay: Duration::from_micros(100),
             force_ee_slack_us: u64::MAX,
         };
-        batcher::run(&queue, &metrics, &config, None);
+        batcher::run(&queue, &metrics, &config, None, None);
         for (i, (rx, explicit)) in receivers.iter().enumerate() {
             let outcome = rx
                 .try_recv()
@@ -245,7 +251,7 @@ fn severity_zero_perturbed_registry_serves_identical_bits() {
         Registry::load_perturbed(&["tiny".to_string()], Some(&spec)).expect("load perturbed");
     assert_eq!(registry.perturbed_models(), 0, "identity counts nothing");
     assert_eq!(registry.perturbed_weight_rows(), 0);
-    let perturbed = Arc::clone(registry.get(None).expect("tiny ready"));
+    let perturbed = registry.get(None).expect("tiny ready");
     let [c, h, w] = clean.image_dims();
     let pool = ThreadPool::new(2);
     for (i, image) in images.iter().enumerate() {
@@ -280,7 +286,7 @@ fn forced_early_exit_matches_explicit_under_perturbation() {
     let registry =
         Registry::load_perturbed(&["tiny".to_string()], Some(&spec)).expect("load perturbed");
     assert_eq!(registry.perturbed_models(), 1);
-    let model = Arc::clone(registry.get(None).expect("tiny ready"));
+    let model = registry.get(None).expect("tiny ready");
     let data = t2fsnn_bench::Scenario::Tiny.dataset();
     let feature: usize = data.images.dims()[1..].iter().product();
     let images: Vec<Vec<f32>> = (0..6)
@@ -333,7 +339,7 @@ fn forced_early_exit_matches_explicit_under_perturbation() {
             max_delay: Duration::from_micros(100),
             force_ee_slack_us: u64::MAX,
         };
-        batcher::run(&queue, &metrics, &config, None);
+        batcher::run(&queue, &metrics, &config, None, None);
         for (i, (rx, explicit)) in receivers.iter().enumerate() {
             let outcome = rx
                 .try_recv()
@@ -372,7 +378,7 @@ fn injected_batch_panic_fails_only_its_batch() {
         max_delay: Duration::from_micros(100),
         force_ee_slack_us: 0,
     };
-    batcher::run(&queue, &metrics, &config, Some(&faults));
+    batcher::run(&queue, &metrics, &config, Some(&faults), None);
     for (i, rx) in receivers.iter().enumerate() {
         match rx.try_recv().expect("every job answered despite panics") {
             Err(JobError::Failed(message)) => {
@@ -381,6 +387,7 @@ fn injected_batch_panic_fails_only_its_batch() {
             Ok(_) => panic!("job {i}: expected Failed, got a successful outcome"),
             Err(JobError::Shed { .. }) => panic!("job {i}: expected Failed, got Shed"),
             Err(JobError::Late { .. }) => panic!("job {i}: expected Failed, got Late"),
+            Err(JobError::Evicted { .. }) => panic!("job {i}: expected Failed, got Evicted"),
         }
     }
     let rendered = metrics.render();
@@ -388,4 +395,105 @@ fn injected_batch_panic_fails_only_its_batch() {
         rendered.contains("t2fsnn_serve_worker_panics_total 3"),
         "three batches of two must have panicked: {rendered}"
     );
+}
+
+/// A second "model" for multi-model queue tests: the tiny scenario
+/// loaded again under a different registry name, so jobs are
+/// distinguishable by `model.name` while executing identically.
+fn tiny_as(name: &str) -> Arc<ServeModel> {
+    let registry = Registry::load(&["tiny".to_string()]).expect("load tiny");
+    let arc = registry.get(None).expect("tiny ready");
+    drop(registry);
+    let mut model = Arc::try_unwrap(arc)
+        .unwrap_or_else(|_| panic!("registry dropped; this must be the only Arc"));
+    model.name = name.to_string();
+    Arc::new(model)
+}
+
+/// Unload-under-load contract: draining a model's queued jobs answers
+/// exactly that model's jobs `Evicted` (→ `503`) in admission order,
+/// and the surviving jobs for other models are neither reordered nor
+/// dropped — each is then executed and answers its own image's bits.
+#[test]
+fn unload_drains_only_the_named_model_in_admission_order() {
+    let (keeper, images) = tiny();
+    let doomed_model = tiny_as("tiny-b");
+    let queue = Queue::new(64);
+    let metrics = Metrics::new(8);
+
+    // Solo references for the surviving model's jobs.
+    let [c, h, w] = keeper.image_dims();
+    let references: Vec<ImageInference> = images
+        .iter()
+        .map(|image| {
+            let tensor = Tensor::from_vec(vec![1, c, h, w], image.clone()).expect("tensor");
+            keeper
+                .model
+                .infer(&tensor, InferOptions { early_exit: true })
+                .expect("solo inference")
+                .remove(0)
+        })
+        .collect();
+
+    // Interleave the two models' jobs: even indices tiny, odd tiny-b.
+    let mut keeper_rx = Vec::new();
+    let mut doomed_rx = Vec::new();
+    for i in 0..12 {
+        let image = images[(i / 2) % images.len()].clone();
+        if i % 2 == 0 {
+            let (job, rx) = make_job(&keeper, image, true, None);
+            assert!(queue.push(job).is_ok());
+            keeper_rx.push((rx, (i / 2) % images.len()));
+        } else {
+            let (job, rx) = make_job(&doomed_model, image, true, None);
+            assert!(queue.push(job).is_ok());
+            doomed_rx.push((rx, i));
+        }
+    }
+
+    // The unload path: evict tiny-b's queued jobs, touch nothing else.
+    let evicted =
+        t2fsnn_serve::lifecycle::drain_model_jobs(&queue, "tiny-b", "was unloaded", &metrics);
+    assert_eq!(evicted, doomed_rx.len(), "exactly tiny-b's jobs evicted");
+    assert_eq!(queue.len(), keeper_rx.len(), "no survivor dropped");
+
+    // Evictions answered immediately, in admission order: because the
+    // drain replies in FIFO match order and each receiver is checked in
+    // admission order, every receiver must already hold its answer.
+    for (rx, i) in &doomed_rx {
+        match rx.try_recv().expect("evicted job answered synchronously") {
+            Err(JobError::Evicted { model, reason }) => {
+                assert_eq!(model, "tiny-b", "job {i}");
+                assert_eq!(reason, "was unloaded", "job {i}");
+            }
+            Ok(_) => panic!("job {i}: expected Evicted, got a successful outcome"),
+            Err(e) => panic!("job {i}: expected Evicted, got {e:?}"),
+        }
+    }
+    assert!(
+        metrics
+            .render()
+            .contains(&format!("t2fsnn_serve_model_unavailable_total {evicted}")),
+        "evictions must count as model-unavailable refusals"
+    );
+
+    // The survivors run as if the unload never happened: all answered,
+    // none shed, each with its own image's solo bits.
+    queue.close();
+    let config = BatcherConfig {
+        max_batch: 4,
+        max_delay: Duration::from_micros(100),
+        force_ee_slack_us: 0,
+    };
+    batcher::run(&queue, &metrics, &config, None, None);
+    for (rx, image_index) in &keeper_rx {
+        let outcome = rx
+            .try_recv()
+            .expect("surviving job answered")
+            .expect("surviving job executed");
+        assert_eq!(
+            &outcome.result, &references[*image_index],
+            "surviving job for image {image_index} lost bit-identity"
+        );
+    }
 }

@@ -10,7 +10,7 @@ verify:
 # (leading `-`), mirroring the CI workflow's continue-on-error: its
 # regression exit code is a signal for the baseline machine, not a
 # gate for whatever machine runs `just ci`.
-ci: fmt-check lint verify test-scalar pool-test bench-check serve-smoke-ci serve-chaos robustness-smoke
+ci: fmt-check lint verify test-scalar pool-test bench-check serve-smoke-ci serve-chaos robustness-smoke serve-lifecycle
     -timeout 900 cargo run --release -p t2fsnn-bench --bin bench_smoke
 
 # The CI flavor of serve-smoke: same blocking correctness gates, no
@@ -40,6 +40,19 @@ robustness-smoke:
     cargo build --release -p t2fsnn-serve -p t2fsnn-bench
     timeout 600 env T2FSNN_QUICK=1 cargo run --release -p t2fsnn-bench --bin repro_robustness
     timeout 600 env T2FSNN_QUICK=1 cargo run --release -p t2fsnn-bench --bin serve_load -- --perturb 9:igauss=0.15,jitter=2,drop=0.1,wgauss=0.05
+
+# Lifecycle smoke (blocking): the hot model-lifecycle gates. Four
+# phases, each against its own spawned server — clean load / reload /
+# unload / re-load under traffic (zero transport failures, every 200
+# bit-identical to its model's solo reference, the echoed `version`
+# proving admission-time pinning), the per-model admission quota (429 +
+# labeled counter), an injected `canary_fail` reload rejection (the
+# poisoned candidate never serves; the incumbent answers v1 bit-exact),
+# and an injected `model_panic` burst tripping the per-model quarantine
+# (500 → trip → 503 → seeded canary probe → readmit → bit-exact 200).
+serve-lifecycle:
+    cargo build --release -p t2fsnn-serve -p t2fsnn-bench
+    timeout 900 env T2FSNN_QUICK=1 cargo run --release -p t2fsnn-bench --bin serve_load -- --churn
 
 # Overload demo: drive ≥2x the measured full-window capacity with a
 # per-request deadline and record how the degradation ladder holds p99
