@@ -94,4 +94,7 @@ fn main() {
     // With T2FSNN_PROFILE=1: where the wall-clock went, per phase/op
     // (written to stderr so harnesses that capture stdout still show it).
     t2fsnn_tensor::profile::eprint_report("repro_fig6");
+    // With T2FSNN_TRACE=<path>: the flight recorder's span tree as
+    // Chrome trace-event JSON (open in Perfetto / chrome://tracing).
+    t2fsnn_tensor::trace::export_env_trace();
 }

@@ -20,6 +20,7 @@
 //! serve_load --overload               # deadline ladder under 2× load
 //! serve_load --churn                  # hot model lifecycle under traffic
 //! serve_load --perturb 9:igauss=0.15,jitter=2,drop=0.1,wgauss=0.05
+//! serve_load --obs                    # observability read-only gates
 //! ```
 //!
 //! `--smoke` is the CI correctness gate: it spawns the sibling
@@ -69,6 +70,20 @@
 //! is bit-identical between solo and batched/concurrent execution,
 //! `/healthz` stays `ok`, the perturbation-footprint metrics match the
 //! spec, and every server shuts down cleanly.
+//!
+//! `--obs` is the observability CI gate. Part A runs the sibling
+//! `repro_fig6` (quick grid) with `T2FSNN_TRACE` pointing at a scratch
+//! file and validates the exported flight-recorder JSON: well-formed
+//! Chrome trace-event structure, `ttfs/*` engine-phase spans present,
+//! span ids populated, and at least one parent/child link. Part B
+//! spawns two servers — tracing + structured logging off and on —
+//! and drives the same request stream against both in interleaved
+//! rounds (one warm-up, three counted), gating the read-only contract:
+//! every per-image response bit-identical across the halves, a
+//! `timing: true` request answered with a usable breakdown whose trace
+//! id is then found in `/debug/trace`, `/debug/slow` serving its
+//! threshold body, and the traced half's best-of-3 throughput within
+//! 3 % of the untraced half.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -99,6 +114,17 @@ struct InferRequest {
     image: Vec<f32>,
     early_exit: Option<bool>,
     deadline_ms: Option<u64>,
+    timing: Option<bool>,
+}
+
+/// Client-side mirror of the response's opt-in `timing` breakdown.
+#[derive(Debug, Clone, Deserialize)]
+struct TimingView {
+    trace: u64,
+    batch_trace: u64,
+    queue_us: u64,
+    infer_us: u64,
+    total_us: u64,
 }
 
 /// Client-side mirror of the server's `InferResponse` (the fields the
@@ -119,6 +145,7 @@ struct InferResponse {
     queue_us: u64,
     infer_us: u64,
     degraded: bool,
+    timing: Option<TimingView>,
 }
 
 impl InferResponse {
@@ -309,6 +336,7 @@ struct Args {
     chaos: bool,
     overload: bool,
     churn: bool,
+    obs: bool,
     perturb: Option<String>,
     record_label: Option<String>,
 }
@@ -326,6 +354,7 @@ fn parse_args() -> Args {
         chaos: false,
         overload: false,
         churn: false,
+        obs: false,
         perturb: None,
         record_label: None,
     };
@@ -351,6 +380,7 @@ fn parse_args() -> Args {
             "--chaos" => args.chaos = true,
             "--overload" => args.overload = true,
             "--churn" => args.churn = true,
+            "--obs" => args.obs = true,
             "--perturb" => args.perturb = Some(value(&mut i)),
             "--record-label" => args.record_label = Some(value(&mut i)),
             other => {
@@ -358,7 +388,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: serve_load [--addr host:port] [--requests N] [--concurrency C] \
                      [--model NAME] [--early-exit 0|1] [--deadline-ms N] [--seed N] \
-                     [--smoke | --chaos | --overload | --churn | --perturb SPEC] \
+                     [--smoke | --chaos | --overload | --churn | --obs | --perturb SPEC] \
                      [--record-label LABEL]"
                 );
                 std::process::exit(2);
@@ -367,11 +397,16 @@ fn parse_args() -> Args {
         i += 1;
     }
     if args.addr.is_none()
-        && !(args.smoke || args.chaos || args.overload || args.churn || args.perturb.is_some())
+        && !(args.smoke
+            || args.chaos
+            || args.overload
+            || args.churn
+            || args.obs
+            || args.perturb.is_some())
     {
         eprintln!(
             "need --addr (drive a running server) or --smoke/--chaos/--overload/--churn/\
-             --perturb (spawn one)"
+             --obs/--perturb (spawn one)"
         );
         std::process::exit(2);
     }
@@ -632,6 +667,7 @@ fn run_load(
             image: images[i % images.len()].clone(),
             early_exit: Some(early_exit),
             deadline_ms,
+            timing: None,
         })
         .expect("serialize request")
     })
@@ -656,6 +692,49 @@ fn metric_value(text: &str, name: &str) -> Option<u64> {
     })
 }
 
+/// Parses `<name>{le="<edge>"} <count>` lines into ordered
+/// `(upper_edge_us, count)` pairs. The server's histograms are
+/// **per-bucket** (each line carries only its own slot's count, not a
+/// cumulative tally); `+Inf` maps to `u64::MAX`.
+fn histogram_buckets(text: &str, name: &str) -> Vec<(u64, u64)> {
+    let prefix = format!("{name}{{le=\"");
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix(&prefix)?;
+            let (edge, rest) = rest.split_once("\"}")?;
+            let edge = if edge == "+Inf" {
+                u64::MAX
+            } else {
+                edge.parse().ok()?
+            };
+            Some((edge, rest.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Lower edge (µs) of the bucket holding the `q`-quantile sample of a
+/// per-bucket histogram — i.e. the previous bucket's upper edge, 0 for
+/// the first. Every sample in that bucket is ≥ this edge, so it is a
+/// sound lower bound for any client-side measurement of the same
+/// population.
+fn histogram_quantile_lower_us(buckets: &[(u64, u64)], q: f64) -> u64 {
+    let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil().max(1.0)) as u64;
+    let mut seen = 0u64;
+    let mut lower = 0u64;
+    for &(edge, count) in buckets {
+        seen += count;
+        if seen >= rank {
+            return lower;
+        }
+        lower = edge;
+    }
+    lower
+}
+
 /// A solo reference response (batch of one), retried until it lands —
 /// under fault injection a reference fetch may need several attempts,
 /// but injection never changes response *bits*, so any clean `200` is
@@ -668,6 +747,7 @@ fn solo_reference(addr: &str, model: &str, image: &[f32], early_exit: bool) -> I
         image: image.to_vec(),
         early_exit: Some(early_exit),
         deadline_ms: None,
+        timing: None,
     })
     .expect("serialize solo request");
     for _ in 0..20 {
@@ -938,7 +1018,14 @@ fn smoke_or_plain(args: &Args, images: &[Vec<f32>]) {
         record_baseline(label, &report, args.requests, args.concurrency);
     }
 
-    // Metrics snapshot (and the batch histogram cross-check).
+    // Metrics snapshot + the latency cross-check: the server's own
+    // `latency_us` histogram observed the very 200s this client just
+    // timed (plus the one solo reference). Client wall latency includes
+    // transport on top of the server's admission-to-answer interval, so
+    // each client quantile must be at least the *lower edge* of the
+    // histogram bucket holding the server-side quantile — a sound,
+    // machine-speed-independent bound tying the client's reported
+    // p50/p95/p99 to the serving-path instrumentation.
     if let Some(text) = fetch_metrics(&addr) {
         for line in text.lines().filter(|l| {
             l.starts_with("t2fsnn_serve_batch_size_total")
@@ -952,6 +1039,31 @@ fn smoke_or_plain(args: &Args, images: &[Vec<f32>]) {
         }) {
             println!("[metrics] {line}");
         }
+        let buckets = histogram_buckets(&text, "t2fsnn_serve_latency_us_bucket");
+        let observed: u64 = buckets.iter().map(|(_, c)| c).sum();
+        if observed < report.ok_count() as u64 {
+            failures.push(format!(
+                "latency histogram observed only {observed} requests, client saw {} 200s",
+                report.ok_count()
+            ));
+        }
+        let ok_latencies = report.ok_latencies_us();
+        for (q, name) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            let client = quantile_us(&ok_latencies, q);
+            let server_lower = histogram_quantile_lower_us(&buckets, q);
+            println!(
+                "[serve_load] {name} cross-check: client wall {client} µs vs server \
+                 histogram bucket lower edge {server_lower} µs"
+            );
+            if client < server_lower {
+                failures.push(format!(
+                    "client {name} {client} µs below the server histogram's {name} \
+                     bucket lower edge {server_lower} µs"
+                ));
+            }
+        }
+    } else if args.smoke {
+        failures.push("cannot fetch /metrics after load".to_string());
     }
 
     // Graceful shutdown over the ctrl channel.
@@ -1025,18 +1137,21 @@ fn chaos_run(args: &Args, images: &[Vec<f32>]) {
                 image: images[i % images.len()].clone(),
                 early_exit: Some(true),
                 deadline_ms: None,
+                timing: None,
             },
             ChaosKind::Malformed => InferRequest {
                 model: Some(model.clone()),
                 image: vec![0.0; 7],
                 early_exit: Some(true),
                 deadline_ms: None,
+                timing: None,
             },
             ChaosKind::Doomed => InferRequest {
                 model: Some(model.clone()),
                 image: images[i % images.len()].clone(),
                 early_exit: Some(true),
                 deadline_ms: Some(0),
+                timing: None,
             },
         };
         serde_json::to_vec(&request).expect("serialize chaos request")
@@ -1492,6 +1607,7 @@ fn perturb_run(args: &Args, images: &[Vec<f32>], spec_text: &str) {
                 image: view[i % view.len()].clone(),
                 early_exit: Some(true),
                 deadline_ms: None,
+                timing: None,
             })
             .expect("serialize perturb request")
         });
@@ -1682,6 +1798,7 @@ fn drive_model_until(
         image: image.to_vec(),
         early_exit: Some(true),
         deadline_ms: None,
+        timing: None,
     })
     .expect("serialize churn request");
     let mut out = Vec::new();
@@ -1723,6 +1840,7 @@ fn one_infer(
         image: image.to_vec(),
         early_exit: Some(true),
         deadline_ms: None,
+        timing: None,
     })
     .expect("serialize churn request");
     match request_with_retry(
@@ -1799,6 +1917,7 @@ fn churn_phase_lifecycle(
                 image: image.clone(),
                 early_exit: Some(true),
                 deadline_ms: None,
+                timing: None,
             })
             .expect("serialize churn request")
         });
@@ -2017,6 +2136,7 @@ fn churn_phase_quota(
             image: tiny_images[0].clone(),
             early_exit: Some(true),
             deadline_ms: None,
+            timing: None,
         })
         .expect("serialize quota request")
     });
@@ -2290,6 +2410,356 @@ fn churn_run() {
     }
 }
 
+/// Client-side mirror of a Chrome trace-event document (the subset the
+/// `--obs` validator checks; field names match the JSON keys).
+#[derive(Deserialize)]
+#[allow(non_snake_case)]
+struct ChromeTrace {
+    displayTimeUnit: String,
+    traceEvents: Vec<ChromeEvent>,
+}
+
+#[derive(Deserialize)]
+struct ChromeEvent {
+    name: String,
+    ph: String,
+    ts: Option<f64>,
+    dur: Option<f64>,
+    args: Option<ChromeArgs>,
+}
+
+#[derive(Deserialize)]
+struct ChromeArgs {
+    span: Option<u64>,
+    parent: Option<u64>,
+}
+
+/// Obs part A: run the sibling `repro_fig6` (quick grid) with
+/// `T2FSNN_TRACE` pointing at a scratch file and validate the exported
+/// flight-recorder JSON — well-formed Chrome trace-event structure,
+/// engine-phase spans present, and at least one parent/child link. The
+/// ring keeps the newest events, so the expected keys are the
+/// tail-biased inner-loop spans, not the whole run.
+fn obs_fig6_trace(failures: &mut Vec<String>) {
+    let trace_path =
+        std::env::temp_dir().join(format!("t2fsnn_obs_trace_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&trace_path);
+    let exe = std::env::current_exe().expect("current_exe");
+    let fig6 = exe.with_file_name("repro_fig6");
+    if !fig6.exists() {
+        eprintln!(
+            "[serve_load] FATAL: {} not found — build it first \
+             (cargo build --release -p t2fsnn-bench)",
+            fig6.display()
+        );
+        std::process::exit(2);
+    }
+    println!(
+        "[serve_load] obs A: repro_fig6 (quick) with T2FSNN_TRACE={}",
+        trace_path.display()
+    );
+    let status = Command::new(&fig6)
+        .env("T2FSNN_QUICK", "1")
+        .env("T2FSNN_TRACE", &trace_path)
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn repro_fig6");
+    if !status.success() {
+        failures.push(format!("repro_fig6 exited with {status}"));
+        return;
+    }
+    let bytes = match std::fs::read(&trace_path) {
+        Ok(b) => b,
+        Err(e) => {
+            failures.push(format!("no trace file written by repro_fig6: {e}"));
+            return;
+        }
+    };
+    let doc: ChromeTrace = match serde_json::from_slice(&bytes) {
+        Ok(d) => d,
+        Err(e) => {
+            failures.push(format!("trace export is not well-formed Chrome JSON: {e}"));
+            return;
+        }
+    };
+    if doc.displayTimeUnit != "ms" {
+        failures.push(format!(
+            "displayTimeUnit `{}` (want `ms`)",
+            doc.displayTimeUnit
+        ));
+    }
+    let spans: Vec<&ChromeEvent> = doc.traceEvents.iter().filter(|e| e.ph == "X").collect();
+    println!(
+        "[serve_load] obs A: {} events ({} complete spans) in the export",
+        doc.traceEvents.len(),
+        spans.len()
+    );
+    if spans.is_empty() {
+        failures.push("trace export has no complete (ph=X) spans".to_string());
+        return;
+    }
+    for e in &spans {
+        if e.ts.is_none() || e.dur.is_none_or(|d| d < 0.0) {
+            failures.push(format!("span `{}` lacks a sane ts/dur", e.name));
+            break;
+        }
+        match &e.args {
+            Some(a) if a.span.unwrap_or(0) != 0 => {}
+            _ => {
+                failures.push(format!("span `{}` lacks a recorder span id", e.name));
+                break;
+            }
+        }
+    }
+    if !spans.iter().any(|e| e.name.starts_with("ttfs/")) {
+        let mut names: Vec<&str> = spans.iter().map(|e| e.name.as_str()).collect();
+        names.dedup();
+        names.truncate(12);
+        failures.push(format!(
+            "no ttfs/* engine-phase span in the export (saw {names:?})"
+        ));
+    }
+    if !spans
+        .iter()
+        .any(|e| e.args.as_ref().is_some_and(|a| a.parent.unwrap_or(0) != 0))
+    {
+        failures.push("no span carries a parent link (tree never nested)".to_string());
+    }
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+/// One `--obs` serving half: a live server spawned with tracing +
+/// structured logging either on (the production default, plus
+/// `T2FSNN_LOG=debug`) or off, driven round by round so the two halves
+/// interleave on the same machine state instead of each absorbing a
+/// different slice of system drift.
+struct ObsHalf {
+    spawned: SpawnedServer,
+    addr: String,
+    label: &'static str,
+    best_rps: f64,
+    responses: Vec<InferResponse>,
+}
+
+impl ObsHalf {
+    fn spawn(args: &Args, trace_on: bool) -> ObsHalf {
+        // The overhead gate isolates the flight recorder (the always-on
+        // production default); the profile aggregate is a separate
+        // opt-in sink with its own per-span TLS cost and is covered by
+        // the bit-identity property test, not this throughput budget.
+        let env: Vec<(&str, String)> = if trace_on {
+            vec![("T2FSNN_LOG", "debug".to_string())]
+        } else {
+            vec![
+                ("T2FSNN_SERVE_TRACE", "0".to_string()),
+                ("T2FSNN_LOG", "off".to_string()),
+            ]
+        };
+        let spawned = spawn_server(&args.model, &env);
+        let addr = spawned.addr.clone();
+        ObsHalf {
+            spawned,
+            addr,
+            label: if trace_on { "trace-on" } else { "trace-off" },
+            best_rps: 0.0,
+            responses: Vec::new(),
+        }
+    }
+
+    /// One closed-loop round; when `counted`, keeps the best throughput
+    /// and the round's per-image responses (warm-up rounds only heat
+    /// caches and allocator arenas).
+    fn round(
+        &mut self,
+        args: &Args,
+        images: &[Vec<f32>],
+        round: u64,
+        counted: bool,
+        failures: &mut Vec<String>,
+    ) {
+        let requests = args.requests.max(200);
+        let concurrency = args.concurrency.max(4);
+        let report = run_load(
+            &self.addr,
+            images,
+            requests,
+            concurrency,
+            &args.model,
+            true,
+            None,
+            args.seed + round,
+        );
+        let tag = if counted { "" } else { " warm-up" };
+        print_report(&report, &format!("obs {}{tag} r{round}", self.label));
+        if report.ok_count() != report.outcomes.len() {
+            failures.push(format!(
+                "{} r{round}: only {}/{} requests answered 200",
+                self.label,
+                report.ok_count(),
+                report.outcomes.len()
+            ));
+        }
+        if !counted {
+            return;
+        }
+        let rps = report.ok_count() as f64 / report.wall.as_secs_f64().max(1e-9);
+        self.best_rps = self.best_rps.max(rps);
+        let mut by_image: Vec<Option<InferResponse>> = vec![None; images.len()];
+        for (i, r) in report.responses() {
+            by_image[i % images.len()].get_or_insert_with(|| r.clone());
+        }
+        self.responses = by_image.into_iter().flatten().collect();
+    }
+}
+
+/// The traced half's endpoint checks: a `timing: true` request must
+/// answer with a usable breakdown, the flight recorder must hold that
+/// very trace id, and `/debug/slow` must serve its threshold body.
+fn obs_tagged_checks(addr: &str, args: &Args, images: &[Vec<f32>], failures: &mut Vec<String>) {
+    let body = serde_json::to_vec(&InferRequest {
+        model: Some(args.model.clone()),
+        image: images[0].clone(),
+        early_exit: Some(true),
+        deadline_ms: None,
+        timing: Some(true),
+    })
+    .expect("serialize tagged request");
+    let stats = RetryStats::default();
+    let mut rng = Rng64(0x0B5);
+    let mut slot = None;
+    match request_with_retry(
+        &mut slot,
+        addr,
+        "POST",
+        "/v1/infer",
+        &body,
+        &mut rng,
+        &stats,
+    ) {
+        Some((200, resp)) => match serde_json::from_slice::<InferResponse>(&resp) {
+            Ok(parsed) => match parsed.timing {
+                Some(t) if t.trace != 0 && t.total_us > 0 => {
+                    println!(
+                        "[serve_load] obs B: tagged request trace {} (batch trace {}): \
+                         queue {} µs + infer {} µs of {} µs total",
+                        t.trace, t.batch_trace, t.queue_us, t.infer_us, t.total_us
+                    );
+                    let needle = format!("\"trace\":{}", t.trace);
+                    match request_with_retry(
+                        &mut slot,
+                        addr,
+                        "GET",
+                        "/debug/trace",
+                        b"",
+                        &mut rng,
+                        &stats,
+                    ) {
+                        Some((200, trace_body)) => {
+                            let text = String::from_utf8_lossy(&trace_body);
+                            if !text.contains(&needle) {
+                                failures
+                                    .push(format!("trace id {} absent from /debug/trace", t.trace));
+                            }
+                            if !text.contains("serve/request") {
+                                failures.push("no serve/request span in /debug/trace".to_string());
+                            }
+                        }
+                        other => {
+                            failures.push(format!("/debug/trace not 200: {other:?}"));
+                        }
+                    }
+                }
+                other => failures.push(format!(
+                    "timing opt-in answered without a usable breakdown: {other:?}"
+                )),
+            },
+            Err(e) => failures.push(format!("tagged response unparsable: {e}")),
+        },
+        other => failures.push(format!("tagged request failed: {other:?}")),
+    }
+    match request_with_retry(&mut slot, addr, "GET", "/debug/slow", b"", &mut rng, &stats) {
+        Some((200, body)) if String::from_utf8_lossy(&body).contains("threshold_us") => {}
+        other => failures.push(format!("/debug/slow not usable: {other:?}")),
+    }
+}
+
+/// The `--obs` flow (the observability CI gate): validate the
+/// repro-path flight-recorder export, then prove the serving path's
+/// read-only contract end to end — responses bit-identical with
+/// tracing+logging on vs off, a tagged request's trace id queryable
+/// from `/debug/trace`, and best-of-3 interleaved throughput overhead
+/// under 3 %.
+fn obs_run(args: &Args, images: &[Vec<f32>]) {
+    let mut failures: Vec<String> = Vec::new();
+
+    obs_fig6_trace(&mut failures);
+
+    println!("[serve_load] obs B: interleaved serve rounds, tracing off vs on");
+    let mut off = ObsHalf::spawn(args, false);
+    let mut on = ObsHalf::spawn(args, true);
+    // Warm-up round per half (uncounted), then three counted rounds,
+    // alternating halves so drift lands on both sides evenly.
+    off.round(args, images, 0, false, &mut failures);
+    on.round(args, images, 0, false, &mut failures);
+    for round in 1..=3u64 {
+        off.round(args, images, round, true, &mut failures);
+        on.round(args, images, round, true, &mut failures);
+    }
+
+    obs_tagged_checks(&on.addr.clone(), args, images, &mut failures);
+
+    // Bit-identity across the halves: both streams cycled the same
+    // images, so the per-image responses must match byte for byte.
+    let paired = off.responses.len().min(on.responses.len());
+    if paired == 0 {
+        failures.push("no paired responses to bit-check across the halves".to_string());
+    }
+    let diverged = off
+        .responses
+        .iter()
+        .zip(on.responses.iter())
+        .filter(|(a, b)| !a.same_bits(b))
+        .count();
+    if diverged > 0 {
+        failures.push(format!(
+            "{diverged}/{paired} per-image responses differ between tracing off and on"
+        ));
+    } else {
+        println!("[serve_load] obs B: {paired} per-image responses bit-identical across halves");
+    }
+
+    // Throughput overhead: tracing on must stay within 3 % of off
+    // (best-of-3, interleaved, after warm-up — a single noisy round
+    // cannot fail the gate).
+    let overhead = 1.0 - on.best_rps / off.best_rps.max(1e-9);
+    println!(
+        "[serve_load] obs B: throughput {:.1} ok/s off vs {:.1} ok/s on ({:+.2} % overhead)",
+        off.best_rps,
+        on.best_rps,
+        overhead * 100.0
+    );
+    if overhead > 0.03 {
+        failures.push(format!(
+            "tracing overhead {:.2} % exceeds the 3 % budget",
+            overhead * 100.0
+        ));
+    }
+
+    let off_addr = off.addr.clone();
+    shutdown_spawned(&mut off.spawned, &off_addr, &mut failures);
+    let on_addr = on.addr.clone();
+    shutdown_spawned(&mut on.spawned, &on_addr, &mut failures);
+
+    if failures.is_empty() {
+        println!("[serve_load] OBS OK — flight recorder, bit-identity and overhead gates held");
+    } else {
+        for f in &failures {
+            eprintln!("[serve_load] OBS GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.churn {
@@ -2301,6 +2771,8 @@ fn main() {
         chaos_run(&args, &images);
     } else if args.overload {
         overload_run(&args, &images);
+    } else if args.obs {
+        obs_run(&args, &images);
     } else if let Some(spec) = args.perturb.clone() {
         perturb_run(&args, &images, &spec);
     } else {

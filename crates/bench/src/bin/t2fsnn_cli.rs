@@ -233,5 +233,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // With T2FSNN_PROFILE=1 / T2FSNN_TRACE=<path>: the per-phase time
+    // table on stderr and the flight recorder as Chrome trace JSON.
+    t2fsnn_tensor::profile::eprint_report("t2fsnn_cli");
+    t2fsnn_tensor::trace::export_env_trace();
     ExitCode::SUCCESS
 }

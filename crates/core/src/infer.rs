@@ -40,7 +40,7 @@
 
 use serde::{Deserialize, Serialize};
 use t2fsnn_snn::{OpExecutor, SnnOp};
-use t2fsnn_tensor::{profile, Result, SpikeBatch, Tensor, TensorError, ThreadPool};
+use t2fsnn_tensor::{trace, Result, SpikeBatch, Tensor, TensorError, ThreadPool};
 
 use crate::network::T2fsnn;
 use crate::pipeline::{apply_gate, build_segments, delivered_value, noise_streams, Segment};
@@ -294,7 +294,7 @@ impl T2fsnn {
             // Input fire window: [0, T). Decided images are terminated —
             // their pixels stop spiking.
             if t < t_window {
-                let _s = profile::span("ttfs/input_window");
+                let _s = trace::span("ttfs/input_window");
                 let mut any = 0u64;
                 let mut drive_data = vec![0.0f32; n * drive_feature];
                 for (img, slot) in drive_data.chunks_exact_mut(drive_feature).enumerate() {
@@ -358,7 +358,7 @@ impl T2fsnn {
                 let threshold = theta0 * fire_tables[i][local];
                 let mut count = 0u64;
                 {
-                    let _s = profile::span("ttfs/fire_scan");
+                    let _s = trace::span("ttfs/fire_scan");
                     let feature: usize = potentials[i].dims()[1..].iter().product();
                     let feature_dims = potentials[i].dims()[1..].to_vec();
                     fire_ev.begin(&feature_dims);
@@ -403,7 +403,7 @@ impl T2fsnn {
                     }
                 }
                 if count > 0 {
-                    let _s = profile::span("ttfs/segment_propagate");
+                    let _s = trace::span("ttfs/segment_propagate");
                     let seg = &segments[i + 1];
                     propagate_pre_ops_events(ops, &mut executor, seg, &mut fire_ev, &mut gates)?;
                     executor.synops_events_by_image(ops, seg.weighted, &fire_ev, &mut synop_buf)?;
@@ -423,7 +423,7 @@ impl T2fsnn {
             // Output fire phase (early exit): the first step whose
             // decaying threshold is crossed decides the image.
             if opts.early_exit && t >= ee_start && t < ee_start + t_window {
-                let _s = profile::span("ttfs/early_exit");
+                let _s = trace::span("ttfs/early_exit");
                 let threshold = theta0 * fire_tables[l_count - 1][t - ee_start];
                 let out = &potentials[l_count - 1];
                 let classes = out.dims()[1];

@@ -218,7 +218,7 @@ pub fn optimize_kernel<R: Rng + ?Sized>(
             message: "cannot optimize a kernel against zero activations".to_string(),
         });
     }
-    let _s = t2fsnn_tensor::profile::span("go/optimize_kernel");
+    let _s = t2fsnn_tensor::trace::span("go/optimize_kernel");
     let values = subsample(values, MAX_OPT_VALUES);
     let values = values.as_slice();
     let loss_values = subsample(values, MAX_LOSS_VALUES);
@@ -293,7 +293,7 @@ impl GoCalibration {
     ///
     /// Propagates forward-pass errors.
     pub fn collect(dnn: &mut Network, images: &Tensor) -> Result<Self> {
-        let _s = t2fsnn_tensor::profile::span("go/collect_activations");
+        let _s = t2fsnn_tensor::trace::span("go/collect_activations");
         let pixels: Vec<f32> = images.iter().copied().collect();
         // The last weighted layer never fires, so it is skipped.
         let activations = weighted_layer_activations(dnn, images)?;

@@ -13,7 +13,7 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use t2fsnn_snn::{CurvePoint, OpExecutor, SimEngine, SnnOp};
-use t2fsnn_tensor::{perturb, profile, Result, SpikeBatch, Tensor, TensorError};
+use t2fsnn_tensor::{perturb, trace, Result, SpikeBatch, Tensor, TensorError};
 
 use crate::network::{NoiseConfig, T2fsnn};
 
@@ -390,7 +390,7 @@ impl T2fsnn {
         for t in 0..total_steps {
             // Input fire window: [0, T).
             if t < t_window {
-                let _s = profile::span("ttfs/input_window");
+                let _s = trace::span("ttfs/input_window");
                 let mut any = 0u64;
                 let drive = Tensor::from_vec(
                     drive_dims.clone(),
@@ -447,7 +447,7 @@ impl T2fsnn {
                 let threshold = theta0 * eps;
                 let mut count = 0u64;
                 {
-                    let _s = profile::span("ttfs/fire_scan");
+                    let _s = trace::span("ttfs/fire_scan");
                     // Emit spikes straight into the event list (a spike
                     // dropped by noise still counts but delivers no PSP,
                     // exactly as the dense tensor's 0.0 entry did). The
@@ -489,7 +489,7 @@ impl T2fsnn {
                     }
                 }
                 if count > 0 {
-                    let _s = profile::span("ttfs/segment_propagate");
+                    let _s = trace::span("ttfs/segment_propagate");
                     layer_hists[i][local] += count;
                     synop_mults += count;
                     propagate_segment_events(
@@ -506,7 +506,7 @@ impl T2fsnn {
             }
 
             if (t + 1) % config.record_every == 0 || t + 1 == total_steps {
-                let _s = profile::span("ttfs/record");
+                let _s = trace::span("ttfs/record");
                 let accuracy = output_accuracy(&potentials[l_count - 1], labels)?;
                 curve.push(CurvePoint {
                     step: t + 1,

@@ -108,16 +108,16 @@ pub fn train<R: Rng + ?Sized>(
         for (images, labels) in shuffled.batches(config.batch_size) {
             network.zero_grad();
             let logits = {
-                let _s = t2fsnn_tensor::profile::span("train/forward");
+                let _s = t2fsnn_tensor::trace::span("train/forward");
                 network.forward(&images, true)?
             };
             let (loss, grad) = ops::cross_entropy(&logits, &labels)?;
             {
-                let _s = t2fsnn_tensor::profile::span("train/backward");
+                let _s = t2fsnn_tensor::trace::span("train/backward");
                 network.backward(&grad)?;
             }
             {
-                let _s = t2fsnn_tensor::profile::span("train/optim_step");
+                let _s = t2fsnn_tensor::trace::span("train/optim_step");
                 sgd.step(network);
             }
             loss_sum += loss;

@@ -55,7 +55,7 @@ use std::time::{Duration, Instant};
 
 use t2fsnn::{ImageInference, InferOptions};
 use t2fsnn_snn::energy::TRUENORTH;
-use t2fsnn_tensor::{profile, Tensor};
+use t2fsnn_tensor::{profile, trace, Tensor};
 
 use crate::faults::{BatchFault, Faults};
 use crate::lifecycle::Breaker;
@@ -137,6 +137,11 @@ pub struct JobOutcome {
     /// Whether the degradation ladder forced the anytime early-exit
     /// path on this job (it asked for a full-window answer).
     pub degraded: bool,
+    /// Trace id of the micro-batch that executed the job (its
+    /// `serve/batch_*` and engine-phase spans carry it); 0 when tracing
+    /// is off. Lets a request's span tree cross-link to the shared
+    /// batch execution it rode in.
+    pub batch_trace: u64,
 }
 
 impl JobOutcome {
@@ -312,7 +317,34 @@ pub fn run(
                 metrics.observe_forced_early_exit();
             }
         }
-        let infer_us = execute(&batch, effective_ee, &degraded, metrics, faults);
+        // One trace id per batch: `serve/batch_form` covers pop-to-
+        // dispatch (shedding + company gathering), `serve/batch_exec`
+        // (inside `execute`) wraps inference, and every engine-phase
+        // span on this thread nests under it. Requests cross-link via
+        // `JobOutcome::batch_trace`.
+        let batch_trace = if trace::enabled() {
+            trace::next_trace_id()
+        } else {
+            0
+        };
+        if batch_trace != 0 {
+            trace::record_complete(
+                "serve/batch_form",
+                now,
+                dispatched.saturating_duration_since(now),
+                batch_trace,
+                0,
+                batch.len() as u64,
+            );
+        }
+        let infer_us = execute(
+            &batch,
+            effective_ee,
+            &degraded,
+            metrics,
+            faults,
+            batch_trace,
+        );
         // Attribute the outcome to the model's slot: the circuit
         // breaker counts consecutive failures per model and fences a
         // repeat offender off without touching other models' traffic.
@@ -349,7 +381,13 @@ fn execute(
     degraded: &[bool],
     metrics: &Metrics,
     faults: Option<&Faults>,
+    batch_trace: u64,
 ) -> Option<u64> {
+    // Tag inference (and the engine-phase spans it opens on this
+    // thread) with the batch's trace id; guards drop in reverse order,
+    // closing the exec span before the scope restores the context.
+    let _batch_scope = trace::trace_scope(batch_trace);
+    let _exec_span = trace::span_with_aux("serve/batch_exec", batch.len() as u64);
     let model = Arc::clone(&batch[0].model);
     let k = batch.len();
     metrics.observe_batch(k);
@@ -408,6 +446,7 @@ fn execute(
                     queue_us,
                     infer_us,
                     degraded: was_forced,
+                    batch_trace,
                 }));
             }
             Some(infer_us)
@@ -452,6 +491,7 @@ mod tests {
             queue_us: 0,
             infer_us: 0,
             degraded: false,
+            batch_trace: 0,
         }
     }
 

@@ -10,8 +10,12 @@
 //! `T2FSNN_SERVE_DEADLINE_MS`, `T2FSNN_SERVE_FORCE_EE_SLACK_US`,
 //! `T2FSNN_SERVE_FAULTS`, `T2FSNN_SERVE_PERTURB`,
 //! `T2FSNN_SERVE_MODEL_QUOTA`, `T2FSNN_SERVE_QUARANTINE_THRESHOLD`,
-//! `T2FSNN_SERVE_QUARANTINE_BACKOFF_MS` — plus the engine-wide
-//! `T2FSNN_THREADS`/`T2FSNN_SIMD`/`T2FSNN_PROFILE`.
+//! `T2FSNN_SERVE_QUARANTINE_BACKOFF_MS`, `T2FSNN_SERVE_TRACE`,
+//! `T2FSNN_SERVE_SLOW_US` — plus the engine-wide
+//! `T2FSNN_THREADS`/`T2FSNN_SIMD`/`T2FSNN_PROFILE` and the
+//! observability pair `T2FSNN_TRACE` (flight recorder, exported at
+//! `GET /debug/trace`) / `T2FSNN_LOG` (structured JSON-lines log level
+//! on stderr).
 //!
 //! A model that fails to load does not kill the process: its slot
 //! answers `503` and `/healthz` reports it, so a fleet can keep the
@@ -24,6 +28,7 @@
 use std::io::Write;
 
 use t2fsnn_serve::{start, Registry, ServeConfig};
+use t2fsnn_tensor::log;
 use t2fsnn_tensor::perturb::PerturbSpec;
 
 fn main() {
@@ -34,24 +39,31 @@ fn main() {
         None => None,
         Some(Ok(spec)) => Some(spec),
         Some(Err(e)) => {
-            eprintln!("[serve] FATAL: bad T2FSNN_SERVE_PERTURB: {e}");
+            log::error(
+                "startup_failed",
+                &[("error", (&format!("bad T2FSNN_SERVE_PERTURB: {e}")).into())],
+            );
             std::process::exit(2);
         }
     };
     let registry = match Registry::load_perturbed(&config.models, perturb.as_ref()) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("[serve] FATAL: {e}");
+            log::error("startup_failed", &[("error", (&e.to_string()).into())]);
             std::process::exit(2);
         }
     };
     if !registry.any_ready() {
-        eprintln!("[serve] WARNING: no model loaded; every inference will answer 503");
+        log::warn(
+            "no_model_ready",
+            &[("effect", "every inference will answer 503".into())],
+        );
     }
     let handle = match start(config.clone(), registry) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("[serve] FATAL: cannot start on {}: {e}", config.addr);
+            let error = format!("cannot start on {}: {e}", config.addr);
+            log::error("startup_failed", &[("error", (&error).into())]);
             std::process::exit(2);
         }
     };

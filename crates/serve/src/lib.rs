@@ -24,8 +24,19 @@
 //!    closes. Per-request override via the `early_exit` field.
 //!
 //! `/metrics` exposes queue depth, the batch-size histogram,
-//! latency quantiles, response counters and — when `T2FSNN_PROFILE` is
-//! set — the per-phase profiler table.
+//! latency quantiles, per-model per-stage latency histograms, response
+//! counters and — when `T2FSNN_PROFILE` is set — the per-phase profiler
+//! table.
+//!
+//! Observability is end-to-end and strictly read-only: every request
+//! gets a trace id, its admission → queue wait → batch formation →
+//! engine execution → respond phases land as spans in the
+//! [`t2fsnn_tensor::trace`] flight recorder (`GET /debug/trace` exports
+//! Chrome trace JSON), slow requests are captured as exemplars
+//! (`GET /debug/slow`, see [`obs`]), responses carry an opt-in `timing`
+//! breakdown, and lifecycle prints go through the structured JSON
+//! logger ([`t2fsnn_tensor::log`], `T2FSNN_LOG`). Responses are
+//! bit-identical with tracing on or off.
 //!
 //! Robustness is first-class (see [`batcher`] for the degradation
 //! ladder, [`faults`] for the deterministic fault-injection layer, and
@@ -52,6 +63,7 @@ pub mod faults;
 pub mod http;
 pub mod lifecycle;
 pub mod metrics;
+pub mod obs;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
@@ -124,6 +136,16 @@ pub struct ServeConfig {
     /// probe with deterministic seeded jitter
     /// (`T2FSNN_SERVE_QUARANTINE_BACKOFF_MS`, default 250).
     pub quarantine_backoff_ms: u64,
+    /// Whether the server turns the span flight recorder on at startup
+    /// so `/debug/trace` and slow-request exemplars always have data
+    /// (`T2FSNN_SERVE_TRACE`, default on; `0` disables). Tracing is
+    /// read-only — responses are bit-identical either way.
+    pub trace: bool,
+    /// Slow-request exemplar threshold in microseconds: a request whose
+    /// end-to-end latency reaches it is captured in the bounded
+    /// `/debug/slow` ring (`T2FSNN_SERVE_SLOW_US`, default 50 000;
+    /// 0 disables capture).
+    pub slow_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -144,6 +166,8 @@ impl Default for ServeConfig {
             model_quota: 0,
             quarantine_threshold: 3,
             quarantine_backoff_ms: 250,
+            trace: true,
+            slow_us: 50_000,
         }
     }
 }
@@ -209,6 +233,12 @@ impl ServeConfig {
         }
         if let Some(v) = env_parse::<u64>("T2FSNN_SERVE_QUARANTINE_BACKOFF_MS") {
             config.quarantine_backoff_ms = v.max(1);
+        }
+        if let Ok(v) = std::env::var("T2FSNN_SERVE_TRACE") {
+            config.trace = v.trim() != "0";
+        }
+        if let Some(v) = env_parse::<u64>("T2FSNN_SERVE_SLOW_US") {
+            config.slow_us = v;
         }
         config
     }

@@ -189,9 +189,13 @@ impl Breaker<'_> {
     pub fn record(&self, model: &ServeModel, ok: bool) {
         if let Some(trip) = self.registry.record_execution(&model.name, ok) {
             self.metrics.observe_quarantine_trip();
-            eprintln!(
-                "[serve] model `{}` v{} QUARANTINED (trip {trip}); probing via canary",
-                model.name, model.version
+            t2fsnn_tensor::log::warn(
+                "model_quarantined",
+                &[
+                    ("model", (&model.name).into()),
+                    ("version", model.version.into()),
+                    ("trip", trip.into()),
+                ],
             );
             drain_model_jobs(self.jobs, &model.name, "was quarantined", self.metrics);
         }

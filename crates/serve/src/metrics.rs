@@ -3,14 +3,15 @@
 //!
 //! Tracked: response counts per status, queue depth/rejections, the
 //! batch-size histogram, request latency (histogram buckets → p50/p95/
-//! p99 upper-bound estimates), early-exit decisions, the robustness
-//! counters (deadline sheds, late answers, forced early-exits, worker
-//! panics, batcher respawns, per-model-unavailable refusals, injected
-//! faults, the load-time perturbation footprint) with a
-//! slack-at-dispatch histogram, and — when
-//! `T2FSNN_PROFILE` is enabled — the per-phase profiler table (the
-//! batcher flushes its thread-local spans after every batch, so the
-//! endpoint sees them).
+//! p99 upper-bound estimates), per-model per-stage latency histograms
+//! (queue wait / batch execution / end-to-end), early-exit decisions,
+//! the robustness counters (deadline sheds, late answers, forced
+//! early-exits, worker panics, batcher respawns, per-model-unavailable
+//! refusals, injected faults, the load-time perturbation footprint)
+//! with a slack-at-dispatch histogram, and — when `T2FSNN_PROFILE` is
+//! enabled — the per-phase profiler table ([`profile::entries`] drains
+//! every live thread, so the endpoint never misses the batcher's
+//! spans).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -31,6 +32,36 @@ const STATUSES: [u16; 9] = [200, 400, 404, 408, 413, 429, 500, 503, 504];
 /// Slack-at-dispatch histogram bucket upper bounds, microseconds: how
 /// much deadline budget a request had left when its batch started.
 const SLACK_BUCKETS_US: [u64; 8] = [500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
+
+/// The per-request lifecycle stages broken out per model in
+/// `t2fsnn_serve_request_stage_us_*`: time queued before the batch
+/// started, time the batch spent in inference, and end-to-end latency.
+const STAGES: [&str; 3] = ["queue", "exec", "total"];
+
+/// One stage's histogram over [`LATENCY_BUCKETS_US`] plus sum/count.
+/// Plain integers — it lives behind the per-registry stage mutex.
+#[derive(Default, Clone)]
+struct StageHist {
+    buckets: [u64; LATENCY_BUCKETS_US.len() + 1],
+    sum_us: u64,
+    count: u64,
+}
+
+impl StageHist {
+    fn observe(&mut self, us: u64) {
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[slot] += 1;
+        self.sum_us += us;
+        self.count += 1;
+    }
+}
+
+/// One model's stage histograms, indexed like [`STAGES`].
+#[derive(Default, Clone)]
+struct ModelStages([StageHist; STAGES.len()]);
 
 /// The server's metric registry; shared by workers, batcher, loader and
 /// the `/metrics` endpoint. All methods are `&self`; everything on the
@@ -73,6 +104,9 @@ pub struct Metrics {
     /// keeps the exposition order deterministic. The lock is touched
     /// only on the (rare, already-refused) overflow path and at render.
     model_quota_rejections: Mutex<BTreeMap<String, u64>>,
+    /// Per-model per-stage latency histograms; one short uncontended
+    /// lock per completed request (all three stages land in one take).
+    request_stages: Mutex<BTreeMap<String, ModelStages>>,
 }
 
 impl Metrics {
@@ -107,6 +141,7 @@ impl Metrics {
             model_loads: AtomicU64::new(0),
             model_unloads: AtomicU64::new(0),
             model_quota_rejections: Mutex::new(BTreeMap::new()),
+            request_stages: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -259,6 +294,23 @@ impl Metrics {
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         *map.entry(model.to_string()).or_insert(0) += 1;
+    }
+
+    /// Records one completed request's stage breakdown against its
+    /// model: queue wait, batch execution and end-to-end latency, all
+    /// in one lock take.
+    pub fn observe_request_stages(&self, model: &str, queue_us: u64, infer_us: u64, total_us: u64) {
+        let mut map = self
+            .request_stages
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let stages = match map.get_mut(model) {
+            Some(s) => s,
+            None => map.entry(model.to_string()).or_default(),
+        };
+        stages.0[0].observe(queue_us);
+        stages.0[1].observe(infer_us);
+        stages.0[2].observe(total_us);
     }
 
     /// Records the load-time perturbation footprint: how many models
@@ -446,6 +498,38 @@ impl Metrics {
                 ));
             }
         }
+        {
+            let map = self
+                .request_stages
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            for (model, stages) in map.iter() {
+                for (stage, hist) in STAGES.iter().zip(&stages.0) {
+                    for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+                        out.push_str(&format!(
+                            "t2fsnn_serve_request_stage_us_bucket{{model=\"{model}\",\
+                             stage=\"{stage}\",le=\"{bound}\"}} {}\n",
+                            hist.buckets[i]
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "t2fsnn_serve_request_stage_us_bucket{{model=\"{model}\",\
+                         stage=\"{stage}\",le=\"+Inf\"}} {}\n",
+                        hist.buckets[LATENCY_BUCKETS_US.len()]
+                    ));
+                    out.push_str(&format!(
+                        "t2fsnn_serve_request_stage_us_sum{{model=\"{model}\",\
+                         stage=\"{stage}\"}} {}\n",
+                        hist.sum_us
+                    ));
+                    out.push_str(&format!(
+                        "t2fsnn_serve_request_stage_us_count{{model=\"{model}\",\
+                         stage=\"{stage}\"}} {}\n",
+                        hist.count
+                    ));
+                }
+            }
+        }
         for (i, &bound) in SLACK_BUCKETS_US.iter().enumerate() {
             out.push_str(&format!(
                 "t2fsnn_serve_dispatch_slack_us_bucket{{le=\"{bound}\"}} {}\n",
@@ -562,6 +646,31 @@ mod tests {
         // Unhit models have no row at all (no spurious zero series).
         let empty = Metrics::new(2);
         assert!(!empty.render().contains("model_quota_rejections"));
+    }
+
+    #[test]
+    fn stage_histograms_render_per_model() {
+        let m = Metrics::new(2);
+        m.observe_request_stages("tiny", 90, 400, 520);
+        m.observe_request_stages("tiny", 30_000, 400, 31_000);
+        m.observe_request_stages("mnist-like", 10, 10, 10_000_000);
+        let text = m.render();
+        assert!(text.contains(
+            "t2fsnn_serve_request_stage_us_bucket{model=\"tiny\",stage=\"queue\",le=\"100\"} 1"
+        ));
+        assert!(text.contains(
+            "t2fsnn_serve_request_stage_us_bucket{model=\"tiny\",stage=\"exec\",le=\"500\"} 2"
+        ));
+        assert!(text
+            .contains("t2fsnn_serve_request_stage_us_sum{model=\"tiny\",stage=\"queue\"} 30090"));
+        assert!(
+            text.contains("t2fsnn_serve_request_stage_us_count{model=\"tiny\",stage=\"total\"} 2")
+        );
+        // Overflow lands in +Inf; untouched models get no series.
+        assert!(text.contains(
+            "t2fsnn_serve_request_stage_us_bucket{model=\"mnist-like\",stage=\"total\",le=\"+Inf\"} 1"
+        ));
+        assert!(!Metrics::new(2).render().contains("request_stage"));
     }
 
     #[test]

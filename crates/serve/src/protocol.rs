@@ -22,6 +22,29 @@ pub struct InferRequest {
     /// no header, and no `T2FSNN_SERVE_DEADLINE_MS` server default)
     /// means no deadline.
     pub deadline_ms: Option<u64>,
+    /// Opt-in: `true` asks for a [`Timing`] breakdown in the response.
+    /// Purely observational — the computed answer is bit-identical with
+    /// or without it.
+    pub timing: Option<bool>,
+}
+
+/// Per-request observability breakdown, present in [`InferResponse`]
+/// only when the request set `timing: true`. Wall-clock figures, never
+/// part of the model answer — bit-identity checks exclude it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Timing {
+    /// The request's trace id — filter `/debug/trace` by
+    /// `args.trace == <this>` to see the request's span tree.
+    pub trace: u64,
+    /// Trace id of the micro-batch that executed the request (its
+    /// engine-phase spans are tagged with it); 0 when tracing is off.
+    pub batch_trace: u64,
+    /// Microseconds queued before the batch started.
+    pub queue_us: u64,
+    /// Microseconds the batch spent in inference.
+    pub infer_us: u64,
+    /// End-to-end microseconds from admission to response assembly.
+    pub total_us: u64,
 }
 
 /// `POST /v1/infer` response body.
@@ -66,6 +89,9 @@ pub struct InferResponse {
     /// bit-identical to the same request explicitly sent with
     /// `early_exit: true`.
     pub degraded: bool,
+    /// Observability breakdown; present only when the request asked via
+    /// `timing: true`. Omitted (`null`) otherwise.
+    pub timing: Option<Timing>,
 }
 
 /// One entry of `GET /v1/models`.
@@ -167,6 +193,7 @@ mod tests {
         assert_eq!(req.model, None);
         assert_eq!(req.early_exit, None);
         assert_eq!(req.deadline_ms, None);
+        assert_eq!(req.timing, None);
         assert_eq!(req.image, vec![0.5, 1.0]);
     }
 
@@ -195,6 +222,7 @@ mod tests {
             queue_us: 1500,
             infer_us: 900,
             degraded: true,
+            timing: None,
         };
         let bytes = serde_json::to_vec(&resp).unwrap();
         let back: InferResponse = serde_json::from_slice(&bytes).unwrap();
@@ -203,6 +231,29 @@ mod tests {
         assert_eq!(back.decision_step, Some(41));
         assert_eq!(back.batch_size, 4);
         assert!(back.degraded);
+        assert!(back.timing.is_none());
+    }
+
+    /// The timing breakdown is additive: old clients that don't know
+    /// the field must still parse responses carrying it, and a
+    /// request-side `timing: true` must round-trip.
+    #[test]
+    fn timing_breakdown_round_trips() {
+        let req: InferRequest =
+            serde_json::from_str(r#"{"image": [0.5], "timing": true}"#).unwrap();
+        assert_eq!(req.timing, Some(true));
+        let timing = Timing {
+            trace: 42,
+            batch_trace: 43,
+            queue_us: 120,
+            infer_us: 800,
+            total_us: 950,
+        };
+        let bytes = serde_json::to_vec(&timing).unwrap();
+        let back: Timing = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back.trace, 42);
+        assert_eq!(back.batch_trace, 43);
+        assert_eq!(back.total_us, 950);
     }
 
     #[test]

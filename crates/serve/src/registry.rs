@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 use t2fsnn::{NoiseConfig, T2fsnn, T2fsnnConfig};
 use t2fsnn_bench::{prepare, Scenario};
 use t2fsnn_data::DatasetSpec;
+use t2fsnn_tensor::log;
 use t2fsnn_tensor::perturb::PerturbSpec;
 
 use crate::lifecycle;
@@ -354,12 +355,18 @@ impl Registry {
                 }
                 Err(e) => {
                     let error = format!("canary rejected `{name}`: {e}");
-                    eprintln!("[serve] model `{name}` UNAVAILABLE: {error}");
+                    log::error(
+                        "model_unavailable",
+                        &[("model", name.into()), ("error", (&error).into())],
+                    );
                     slot.error = Some(error);
                 }
             },
             Err(error) => {
-                eprintln!("[serve] model `{name}` UNAVAILABLE: {error}");
+                log::error(
+                    "model_unavailable",
+                    &[("model", name.into()), ("error", (&error).into())],
+                );
                 slot.error = Some(error);
             }
         }
@@ -381,7 +388,10 @@ impl Registry {
         let Some(scenario) = scenario_by_name(name) else {
             return Err(format!("unknown scenario `{name}` (see /v1/models names)"));
         };
-        eprintln!("[serve] loading model `{name}` v{version}…");
+        log::info(
+            "model_loading",
+            &[("model", name.into()), ("version", version.into())],
+        );
         // catch_unwind: a panic in cache/train/convert/perturb must cost
         // one load, not the process. Nothing mutable outlives the
         // closure.
@@ -403,10 +413,15 @@ impl Registry {
                     if p.has_weight() {
                         let (changed, total) = model.perturb_weights(p);
                         rows = changed;
-                        eprintln!(
-                            "[serve] model `{name}` perturbed: {changed}/{total} weight rows \
-                             rewritten by `{}`",
-                            p.render()
+                        let spec_text = p.render();
+                        log::info(
+                            "model_perturbed",
+                            &[
+                                ("model", name.into()),
+                                ("rows_rewritten", changed.into()),
+                                ("rows_total", total.into()),
+                                ("spec", (&spec_text).into()),
+                            ],
                         );
                     }
                 }
@@ -415,13 +430,16 @@ impl Registry {
         }));
         match loaded {
             Ok(Ok((model, prepared, perturbed_weight_rows))) => {
-                eprintln!(
-                    "[serve] model `{name}` v{version} converted: {} weighted layers, T = {}, \
-                     window latency {} steps, DNN accuracy {:.1}%",
-                    model.weighted_count(),
-                    scenario.time_window(),
-                    model.total_steps(),
-                    prepared.dnn_accuracy * 100.0
+                log::info(
+                    "model_converted",
+                    &[
+                        ("model", name.into()),
+                        ("version", version.into()),
+                        ("weighted_layers", model.weighted_count().into()),
+                        ("time_window", scenario.time_window().into()),
+                        ("latency_steps", model.total_steps().into()),
+                        ("dnn_accuracy", f64::from(prepared.dnn_accuracy).into()),
+                    ],
                 );
                 Ok(ServeModel {
                     name: name.to_string(),

@@ -42,13 +42,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use t2fsnn_tensor::{log, trace};
+
 use crate::batcher::{self, BatcherConfig, InferJob, JobError};
 use crate::faults::{Faults, ReadFault, ResponseFault};
 use crate::http::{Conn, HttpError, Request};
 use crate::lifecycle;
 use crate::metrics::Metrics;
+use crate::obs::{SlowExemplar, SlowLog};
 use crate::protocol::{
-    ErrorResponse, HealthReport, InferRequest, InferResponse, LifecycleAck, ModelInfo,
+    ErrorResponse, HealthReport, InferRequest, InferResponse, LifecycleAck, ModelInfo, Timing,
 };
 use crate::queue::{PushError, Queue};
 use crate::registry::{
@@ -81,6 +84,8 @@ struct Ctx {
     lifecycle: Queue<LoadCommand>,
     shutdown: AtomicBool,
     faults: Option<Faults>,
+    /// Slow-request exemplars behind `GET /debug/slow`.
+    slow: SlowLog,
 }
 
 /// A running server; dropping it does **not** stop the threads — call
@@ -137,6 +142,11 @@ fn initiate_shutdown(ctx: &Ctx) {
 pub fn start(config: ServeConfig, mut registry: Registry) -> std::io::Result<ServerHandle> {
     let faults =
         Faults::from_env().map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    // The flight recorder is on by default while serving so
+    // `/debug/trace` and the slow-request exemplars always have data;
+    // `T2FSNN_SERVE_TRACE=0` opts out. Tracing is read-only — the
+    // bit-identity property tests pin that responses cannot change.
+    trace::set_enabled(config.trace);
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -167,6 +177,7 @@ pub fn start(config: ServeConfig, mut registry: Registry) -> std::io::Result<Ser
         lifecycle: Queue::new(16),
         shutdown: AtomicBool::new(false),
         faults,
+        slow: SlowLog::default(),
     });
     // Connections queue: accepted streams waiting for a worker. Sized
     // past the worker count so short bursts park instead of bouncing.
@@ -245,14 +256,20 @@ fn perform_load(ctx: &Ctx, name: &str) {
     let ticket = match ctx.registry.begin_load(name) {
         Ok(ticket) => ticket,
         Err(e) => {
-            eprintln!("[serve] load of `{name}` skipped: {e}");
+            log::warn(
+                "load_skipped",
+                &[("model", name.into()), ("reason", (&e).into())],
+            );
             return;
         }
     };
     let spec = ctx.registry.perturb_spec();
     match Registry::convert_model(name, spec.as_ref(), ticket.version) {
         Err(error) => {
-            eprintln!("[serve] model `{name}` load failed: {error}");
+            log::error(
+                "model_load_failed",
+                &[("model", name.into()), ("error", (&error).into())],
+            );
             ctx.registry.reject_load(name, error);
         }
         Ok(model) => {
@@ -273,19 +290,35 @@ fn perform_load(ctx: &Ctx, name: &str) {
                     match ctx.registry.promote(name, model, digest) {
                         Ok(_) => {
                             ctx.metrics.observe_model_load();
-                            eprintln!(
-                                "[serve] model `{name}` v{version} promoted (canary digest \
-                                 {digest:#010x})"
+                            let digest_hex = format!("{digest:#010x}");
+                            log::info(
+                                "model_promoted",
+                                &[
+                                    ("model", name.into()),
+                                    ("version", version.into()),
+                                    ("canary_digest", (&digest_hex).into()),
+                                ],
                             );
                         }
-                        Err(e) => eprintln!("[serve] model `{name}` v{version} discarded: {e}"),
+                        Err(e) => log::warn(
+                            "model_discarded",
+                            &[
+                                ("model", name.into()),
+                                ("version", version.into()),
+                                ("reason", (&e).into()),
+                            ],
+                        ),
                     }
                 }
                 Err(e) => {
                     ctx.metrics.observe_canary_rejection();
-                    eprintln!(
-                        "[serve] model `{name}` v{} canary REJECTED: {e}",
-                        ticket.version
+                    log::warn(
+                        "canary_rejected",
+                        &[
+                            ("model", name.into()),
+                            ("version", ticket.version.into()),
+                            ("reason", (&e).into()),
+                        ],
                     );
                     ctx.registry
                         .reject_load(name, format!("canary rejected: {e}"));
@@ -316,11 +349,18 @@ fn run_probe(ctx: &Ctx, name: &str, fenced: &Arc<ServeModel>, digest: Option<u32
         Ok(()) => {
             if let Some(version) = ctx.registry.readmit(name) {
                 ctx.metrics.observe_quarantine_readmission();
-                eprintln!("[serve] model `{name}` v{version} re-admitted after canary probe");
+                log::info(
+                    "quarantine_readmitted",
+                    &[("model", name.into()), ("version", version.into())],
+                );
             }
         }
         Err(e) => {
-            eprintln!("[serve] {} failed: {e}", lifecycle::describe_probe(fenced));
+            let probe = lifecycle::describe_probe(fenced);
+            log::warn(
+                "quarantine_probe_failed",
+                &[("probe", (&probe).into()), ("reason", (&e).into())],
+            );
             ctx.registry.probe_failed(name, Instant::now(), e);
         }
     }
@@ -355,7 +395,7 @@ fn supervise_batcher(ctx: &Arc<Ctx>, config: &BatcherConfig) {
             Ok(()) => break,
             Err(_) => {
                 ctx.metrics.observe_batcher_respawn();
-                eprintln!("[serve] batcher thread died; respawning");
+                log::error("batcher_respawned", &[]);
             }
         }
     }
@@ -489,6 +529,13 @@ fn route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
             ctx.metrics.set_queue_depth(ctx.jobs.len());
             (200, ctx.metrics.render().into_bytes())
         }
+        // Flight-recorder export: the retained spans as Chrome
+        // trace-event JSON (load in Perfetto / chrome://tracing). Empty
+        // when tracing is off (`T2FSNN_SERVE_TRACE=0`).
+        ("GET", "/debug/trace") => (200, trace::chrome_trace_json().into_bytes()),
+        // Slow-request exemplars: trace ids + stage breakdown of the
+        // most recent requests over the `slow_us` threshold.
+        ("GET", "/debug/slow") => (200, ctx.slow.to_json(ctx.config.slow_us)),
         ("GET", "/v1/models") => {
             let infos: Vec<ModelInfo> = ctx.registry.models().iter().map(|m| m.info()).collect();
             match serde_json::to_vec(&infos) {
@@ -559,9 +606,12 @@ fn admin_model_route(ctx: &Ctx, path: &str) -> (u16, Vec<u8>) {
                 let evicted =
                     lifecycle::drain_model_jobs(&ctx.jobs, name, "was unloaded", &ctx.metrics);
                 if evicted > 0 {
-                    eprintln!("[serve] unload of `{name}` evicted {evicted} queued jobs");
+                    log::warn(
+                        "unload_evicted_jobs",
+                        &[("model", name.into()), ("evicted", evicted.into())],
+                    );
                 }
-                eprintln!("[serve] model `{name}` unloaded");
+                log::info("model_unloaded", &[("model", name.into())]);
                 lifecycle_ack(name, action, "unloaded", 200)
             }
             Err(e) => (404, ErrorResponse::json(e)),
@@ -635,9 +685,24 @@ fn deadline_budget_ms(ctx: &Ctx, request: &Request, parsed: &InferRequest) -> Op
 }
 
 fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
-    let parsed: InferRequest = match serde_json::from_slice(&request.body) {
-        Ok(p) => p,
-        Err(e) => return (400, ErrorResponse::json(format!("bad request body: {e}"))),
+    // One trace per request: the `serve/request` root span covers
+    // admission to response assembly on this worker thread; phases
+    // measured elsewhere (queue wait, batch execution) are recorded
+    // retroactively under it, and the batch's own trace is cross-linked
+    // via the exec span's aux value.
+    let trace_id = if trace::enabled() {
+        trace::next_trace_id()
+    } else {
+        0
+    };
+    let _trace = trace::trace_scope(trace_id);
+    let root = trace::span("serve/request");
+    let parsed: InferRequest = {
+        let _parse = trace::span("serve/parse");
+        match serde_json::from_slice(&request.body) {
+            Ok(p) => p,
+            Err(e) => return (400, ErrorResponse::json(format!("bad request body: {e}"))),
+        }
     };
     let model = match ctx.registry.resolve(parsed.model.as_deref()) {
         Resolution::Ready(m) => m,
@@ -687,6 +752,7 @@ fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
         );
     }
     let early_exit = parsed.early_exit.unwrap_or(ctx.config.early_exit);
+    let want_timing = parsed.timing.unwrap_or(false);
     let enqueued = Instant::now();
     let deadline =
         deadline_budget_ms(ctx, request, &parsed).map(|ms| enqueued + Duration::from_millis(ms));
@@ -717,6 +783,66 @@ fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
         Ok(Ok(outcome)) => {
             let latency_us = enqueued.elapsed().as_micros() as u64;
             ctx.metrics.observe_latency_us(latency_us);
+            ctx.metrics.observe_request_stages(
+                &model.name,
+                outcome.queue_us,
+                outcome.infer_us,
+                latency_us,
+            );
+            if trace_id != 0 {
+                // Queue wait and batch execution happened off this
+                // thread; reconstruct them under the request root from
+                // the batcher's measurements. The exec span's aux is
+                // the batch's own trace id — follow it to the shared
+                // `serve/batch_exec` tree with the engine phases.
+                trace::record_complete(
+                    "serve/queue_wait",
+                    enqueued,
+                    Duration::from_micros(outcome.queue_us),
+                    trace_id,
+                    root.id(),
+                    0,
+                );
+                trace::record_complete(
+                    "serve/exec",
+                    enqueued + Duration::from_micros(outcome.queue_us),
+                    Duration::from_micros(outcome.infer_us),
+                    trace_id,
+                    root.id(),
+                    outcome.batch_trace,
+                );
+            }
+            if ctx.config.slow_us > 0 && latency_us >= ctx.config.slow_us {
+                ctx.slow.record(SlowExemplar {
+                    trace: trace_id,
+                    batch_trace: outcome.batch_trace,
+                    model: model.name.clone(),
+                    total_us: latency_us,
+                    queue_us: outcome.queue_us,
+                    infer_us: outcome.infer_us,
+                    batch_size: outcome.batch_size,
+                    degraded: outcome.degraded,
+                });
+                log::debug(
+                    "slow_request",
+                    &[
+                        ("model", (&model.name).into()),
+                        ("trace", trace_id.into()),
+                        ("total_us", latency_us.into()),
+                        ("queue_us", outcome.queue_us.into()),
+                        ("infer_us", outcome.infer_us.into()),
+                        ("batch_size", outcome.batch_size.into()),
+                    ],
+                );
+            }
+            let timing = want_timing.then_some(Timing {
+                trace: trace_id,
+                batch_trace: outcome.batch_trace,
+                queue_us: outcome.queue_us,
+                infer_us: outcome.infer_us,
+                total_us: latency_us,
+            });
+            let _respond = trace::span("serve/respond");
             let response = InferResponse {
                 model: model.name.clone(),
                 version: model.version,
@@ -733,6 +859,7 @@ fn infer_route(ctx: &Ctx, request: &Request) -> (u16, Vec<u8>) {
                 queue_us: outcome.queue_us,
                 infer_us: outcome.infer_us,
                 degraded: outcome.degraded,
+                timing,
             };
             match serde_json::to_vec(&response) {
                 Ok(body) => (200, body),

@@ -62,6 +62,7 @@ fn infer_body_deadline(
         image: image.to_vec(),
         early_exit,
         deadline_ms,
+        timing: None,
     })
     .unwrap()
 }

@@ -33,7 +33,7 @@
 use serde::{Deserialize, Serialize};
 use t2fsnn_tensor::ops::sparse::{self, PoolScratch};
 use t2fsnn_tensor::ops::{avg_pool2d_pm, max_pool2d_pm};
-use t2fsnn_tensor::{profile, Result, SpikeBatch, Tensor, TensorError};
+use t2fsnn_tensor::{trace, Result, SpikeBatch, Tensor, TensorError};
 
 use crate::network::SnnOp;
 
@@ -307,10 +307,10 @@ impl OpExecutor {
             .as_ref()
             .expect("conv op has a transposed filter");
         if use_events {
-            let _s = profile::span("op/conv_scatter_events");
+            let _s = trace::span("op/conv_scatter_events");
             sparse::conv2d_scatter_events_pm(&self.scratch, filter_t, kernel, spec)
         } else {
-            let _s = profile::span("op/conv_dense_walk");
+            let _s = trace::span("op/conv_dense_walk");
             sparse::conv2d_scatter_pm(pm_signal, filter_t, kernel, spec)
         }
     }
@@ -342,7 +342,7 @@ impl OpExecutor {
                     .as_ref()
                     .expect("conv op has a transposed filter");
                 if use_events {
-                    let _s = profile::span("op/conv_scatter_events");
+                    let _s = trace::span("op/conv_scatter_events");
                     sparse::conv2d_scatter_events_pm_acc(
                         &self.scratch,
                         filter_t,
@@ -351,7 +351,7 @@ impl OpExecutor {
                         potential,
                     )?
                 } else {
-                    let _s = profile::span("op/conv_dense_walk");
+                    let _s = trace::span("op/conv_dense_walk");
                     sparse::conv2d_scatter_pm_acc(signal, filter_t, kernel, *spec, potential)?
                 }
             }
@@ -361,10 +361,10 @@ impl OpExecutor {
                     .as_ref()
                     .expect("linear op has a transposed weight");
                 if use_events {
-                    let _s = profile::span("op/linear_events");
+                    let _s = trace::span("op/linear_events");
                     sparse::linear_scatter_events_acc(&self.scratch, weight_t, potential)?
                 } else {
-                    let _s = profile::span("op/linear_dense");
+                    let _s = trace::span("op/linear_dense");
                     sparse::linear_scatter_t_acc(signal, weight_t, potential)?
                 }
             }
@@ -402,7 +402,7 @@ impl OpExecutor {
             SnnOp::Conv { weight, spec, .. } => {
                 let kernel = (weight.dims()[2], weight.dims()[3]);
                 if events.density() > GEMM_DENSITY {
-                    let _s = profile::span("op/conv_gemm_pm");
+                    let _s = trace::span("op/conv_gemm_pm");
                     let dense = events.to_dense();
                     let weight_r = self.filter_r[i]
                         .as_ref()
@@ -410,7 +410,7 @@ impl OpExecutor {
                     sparse::conv2d_gemm_pm_acc(&dense, weight_r, kernel, *spec, potential)?;
                     sparse::conv2d_synops_events(events, weight.dims()[0], kernel, *spec)?
                 } else {
-                    let _s = profile::span("op/conv_scatter_events");
+                    let _s = trace::span("op/conv_scatter_events");
                     let filter_t = self.filter_t[i]
                         .as_ref()
                         .expect("conv op has a transposed filter");
@@ -420,7 +420,7 @@ impl OpExecutor {
                 }
             }
             SnnOp::Linear { .. } => {
-                let _s = profile::span("op/linear_events");
+                let _s = trace::span("op/linear_events");
                 let weight_t = self.weight_t[i]
                     .as_ref()
                     .expect("linear op has a transposed weight");
@@ -552,7 +552,7 @@ impl OpExecutor {
         if scale == 0.0 {
             return Ok(());
         }
-        let _s = profile::span("op/bias_inject");
+        let _s = trace::span("op/bias_inject");
         let c = bias.dims()[0];
         let ok = match &ops[i] {
             SnnOp::Conv { .. } => drive.rank() == 4 && drive.dims()[3] == c,
@@ -585,7 +585,7 @@ impl OpExecutor {
         window: usize,
         stride: usize,
     ) -> Result<()> {
-        let _s = profile::span("op/pool_events");
+        let _s = trace::span("op/pool_events");
         sparse::avg_pool2d_events(
             events,
             window,
@@ -611,7 +611,7 @@ impl OpExecutor {
         stride: usize,
         gate: &mut Tensor,
     ) -> Result<()> {
-        let _s = profile::span("op/pool_events");
+        let _s = trace::span("op/pool_events");
         sparse::max_pool2d_events(
             events,
             window,

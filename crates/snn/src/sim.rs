@@ -21,7 +21,7 @@
 //!   [`Coding::batch_divisible`]` == false` and run on one thread.
 
 use serde::{Deserialize, Serialize};
-use t2fsnn_tensor::{profile, Result, SpikeBatch, Tensor, TensorError, ThreadPool};
+use t2fsnn_tensor::{trace, Result, SpikeBatch, Tensor, TensorError, ThreadPool};
 
 use crate::coding::Coding;
 use crate::engine::{OpExecutor, SimEngine};
@@ -378,7 +378,7 @@ fn simulate_chunk(
         // the drive with the bias current already folded in, so the
         // per-step work collapses to one integrate.
         let mut fresh_drive: Option<Tensor> = None;
-        let input_span = profile::span("sim/input_drive");
+        let input_span = trace::span("sim/input_drive");
         if let Some(k) = cache_key {
             if input_cache[k].is_none() {
                 let (raw, in_spikes) = coding.encode(images, t);
@@ -428,7 +428,7 @@ fn simulate_chunk(
             fresh_drive = Some(z);
         }
         drop(input_span);
-        let step_span = profile::span("sim/step_ops");
+        let step_span = trace::span("sim/step_ops");
         let drive: &Tensor = match cache_key {
             Some(k) => &input_cache[k].as_ref().expect("filled above").fused,
             None => fresh_drive.as_ref().expect("computed above"),
@@ -485,7 +485,7 @@ fn simulate_chunk(
                     signal_zero = true;
                     events_active = false;
                 } else if use_event_fire {
-                    let _s = profile::span("sim/fire");
+                    let _s = trace::span("sim/fire");
                     let count = coding.fire_events(
                         state.potential_mut(),
                         t,
@@ -497,7 +497,7 @@ fn simulate_chunk(
                     events_active = count > 0;
                     hidden_index += 1;
                 } else {
-                    let _s = profile::span("sim/fire");
+                    let _s = trace::span("sim/fire");
                     let (spikes, count) = coding.fire(state.potential_mut(), t, hidden_index);
                     spikes_hidden[i] += count;
                     signal = spikes;
@@ -548,7 +548,7 @@ fn simulate_chunk(
         }
         drop(step_span);
         if (t + 1) % config.record_every == 0 || t + 1 == config.max_steps {
-            let _s = profile::span("sim/record");
+            let _s = trace::span("sim/record");
             let output = states[last_weighted].as_ref().expect("output state");
             let correct = batch_correct(output.potential(), labels)?;
             curve.push((t + 1, correct));

@@ -38,6 +38,7 @@
 mod error;
 mod events;
 pub mod init;
+pub mod log;
 pub mod ops;
 mod parallel;
 pub mod perturb;
@@ -45,6 +46,7 @@ pub mod profile;
 mod shape;
 pub mod simd;
 mod tensor;
+pub mod trace;
 
 pub use error::{Result, TensorError};
 pub use events::SpikeBatch;

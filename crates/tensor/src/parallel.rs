@@ -115,10 +115,20 @@ impl ThreadPool {
         let mut iter = ranges.into_iter();
         let first = iter.next().expect("≥ 2 chunks");
         let rest: Vec<Range<usize>> = iter.collect();
+        // Fork-join regions keep the caller's trace identity: workers
+        // inherit the open span as parent, so their spans land in the
+        // same request tree (chunk 0 runs inline and needs nothing).
+        let tctx = crate::trace::capture_context();
+        let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = rest
                 .into_iter()
-                .map(|range| scope.spawn(|| f(range)))
+                .map(|range| {
+                    scope.spawn(move || {
+                        let _trace = crate::trace::install_context(tctx);
+                        f(range)
+                    })
+                })
                 .collect();
             let mut results = vec![f(first)];
             for handle in handles {
@@ -142,10 +152,18 @@ impl ThreadPool {
             return tasks.into_iter().map(f).collect();
         }
         let f = &f;
+        let tctx = crate::trace::capture_context();
         std::thread::scope(|scope| {
             let mut iter = tasks.into_iter();
             let first = iter.next().expect("≥ 2 tasks");
-            let handles: Vec<_> = iter.map(|task| scope.spawn(move || f(task))).collect();
+            let handles: Vec<_> = iter
+                .map(|task| {
+                    scope.spawn(move || {
+                        let _trace = crate::trace::install_context(tctx);
+                        f(task)
+                    })
+                })
+                .collect();
             let mut results = vec![f(first)];
             for handle in handles {
                 match handle.join() {
@@ -195,12 +213,14 @@ impl ThreadPool {
             remainder = tail;
         }
         let f = &f;
+        let tctx = crate::trace::capture_context();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(parts.len().saturating_sub(1));
             let mut iter = parts.into_iter();
             let (first_range, first_slice) = iter.next().expect("≥ 2 chunks");
             for (range, slice) in iter {
                 handles.push(scope.spawn(move || {
+                    let _trace = crate::trace::install_context(tctx);
                     for (i, slot) in range.clone().zip(slice.chunks_exact_mut(item_len)) {
                         f(i, slot);
                     }

@@ -1,34 +1,33 @@
-//! Lightweight opt-in per-phase/per-op wall-clock profiler.
+//! Lightweight opt-in per-phase/per-op wall-clock profiler — the
+//! *aggregate* sink of [`crate::trace`]'s span sites.
 //!
-//! Enabled by setting `T2FSNN_PROFILE=1` (anything other than unset,
-//! empty, or `0`): monotonic-clock spans are aggregated per key into a
-//! process-global table, which `repro_fig6` and `bench_smoke` report at
-//! exit. When disabled (the default), [`span`] is one relaxed atomic
-//! load and records nothing — cheap enough to leave in per-step hot
-//! paths.
+//! Enabled by `T2FSNN_PROFILE=1`: every [`crate::trace::span`] close is
+//! aggregated per key into a process-global view that `repro_fig6` and
+//! `bench_smoke` report at exit and `t2fsnn-serve` exposes on
+//! `/metrics`. When disabled (the default), a span site is one relaxed
+//! atomic load — the enablement word lives in [`crate::trace`] and is
+//! shared with the flight recorder, so one check serves both sinks.
 //!
-//! Keys are free-form `&'static str` labels, by convention
-//! `area/what` (`sim/encode`, `op/conv_scatter_events`,
-//! `train/backward`, …). Spans may **nest** — an `op/…` span usually
-//! runs inside a `sim/…` or `ttfs/…` span — so the report shows
-//! *inclusive* times per key, not a disjoint partition of wall clock.
+//! Keys are free-form `&'static str` labels, by convention `area/what`
+//! (`sim/encode`, `op/conv_scatter_events`, `train/backward`, …).
+//! Spans may **nest** — an `op/…` span usually runs inside a `sim/…`
+//! or `ttfs/…` span — so the report shows *inclusive* times per key,
+//! not a disjoint partition of wall clock.
 //!
-//! Aggregation is **per-thread with merge**: each span closes into a
-//! thread-local table (no lock), which is merged into the process-global
-//! table every [`FLUSH_EVERY`] closes, at thread exit, and whenever the
-//! thread itself calls [`entries`]/[`flush`]/[`reset`]. Long-lived
-//! threads that want their spans visible to *other* threads (e.g. a
-//! server's batch executor feeding a `/metrics` endpoint) should call
-//! [`flush`] at a natural boundary such as the end of a batch. Concurrent
-//! recorders therefore never contend on a per-span lock, and a reader
-//! sees every span flushed before its read — the hot path is one relaxed
-//! atomic load when profiling is off, and lock-free when it is on.
+//! Aggregation is **sharded per thread with global drain**: each
+//! thread owns a registered shard (its own mutex, uncontended on the
+//! hot path), and [`entries`] drains *every live thread's* shard plus
+//! the residue of exited threads — a reader always sees every closed
+//! span, no matter which thread recorded it and whether it flushed.
+//! (The old design only merged the calling thread's table on read,
+//! so a `/metrics` scrape missed whatever the batcher thread had
+//! accumulated since its last explicit flush — that blind spot is
+//! gone.)
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use crate::trace;
 
 /// Aggregated numbers of one span key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,132 +40,142 @@ pub struct Entry {
     pub nanos: u128,
 }
 
-fn table() -> &'static Mutex<HashMap<&'static str, (u64, u128)>> {
-    static TABLE: OnceLock<Mutex<HashMap<&'static str, (u64, u128)>>> = OnceLock::new();
-    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
-}
+/// Re-export: [`span`] returns the shared span guard from
+/// [`crate::trace`] — one guard feeds both the aggregate table and the
+/// flight recorder.
+pub use crate::trace::Span;
 
-/// Closed spans a thread accumulates locally before merging into the
-/// global table: bounds both the lock rate (one global lock per this
-/// many spans instead of per span) and how stale another thread's view
-/// can get between explicit [`flush`]es.
-const FLUSH_EVERY: u64 = 256;
+type KeyMap = HashMap<&'static str, (u64, u128)>;
 
-/// Per-thread span aggregate; merged into the global table on drop
-/// (thread exit) and by [`flush_local`].
+/// One thread's aggregate. The mutex is uncontended except while
+/// [`entries`]/[`reset`] drain it.
 #[derive(Default)]
-struct LocalTable {
-    map: HashMap<&'static str, (u64, u128)>,
-    pending: u64,
+struct Shard {
+    map: Mutex<KeyMap>,
 }
 
-impl LocalTable {
-    fn merge_into_global(&mut self) {
-        if self.map.is_empty() {
-            return;
-        }
-        let mut table = table().lock().unwrap_or_else(|e| e.into_inner());
-        for (key, (calls, nanos)) in self.map.drain() {
-            let slot = table.entry(key).or_insert((0, 0));
-            slot.0 += calls;
-            slot.1 += nanos;
-        }
-        self.pending = 0;
+/// Residue of exited threads plus everything drained so far.
+fn global() -> &'static Mutex<KeyMap> {
+    static GLOBAL: OnceLock<Mutex<KeyMap>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Registry of live thread shards ([`Weak`] so exited threads don't
+/// accumulate; pruned on every drain).
+fn shards() -> &'static Mutex<Vec<Weak<Shard>>> {
+    static SHARDS: OnceLock<Mutex<Vec<Weak<Shard>>>> = OnceLock::new();
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn merge(into: &mut KeyMap, from: KeyMap) {
+    for (key, (calls, nanos)) in from {
+        let slot = into.entry(key).or_insert((0, 0));
+        slot.0 += calls;
+        slot.1 += nanos;
     }
 }
 
-impl Drop for LocalTable {
+/// Thread-local handle keeping the shard alive; on thread exit the
+/// drop folds the shard's remainder into the global residue.
+struct ShardHandle(Arc<Shard>);
+
+impl Drop for ShardHandle {
     fn drop(&mut self) {
-        self.merge_into_global();
+        let residue = std::mem::take(&mut *lock(&self.0.map));
+        if !residue.is_empty() {
+            merge(&mut lock(global()), residue);
+        }
     }
 }
 
 thread_local! {
-    static LOCAL: RefCell<LocalTable> = RefCell::new(LocalTable::default());
+    static LOCAL: ShardHandle = {
+        let shard = Arc::new(Shard::default());
+        lock(shards()).push(Arc::downgrade(&shard));
+        ShardHandle(shard)
+    };
 }
 
-/// Records one closed span: into the thread-local table when available,
-/// straight into the global table during thread teardown (when the
-/// thread-local has already been destroyed).
-fn record(key: &'static str, nanos: u128) {
+/// Records one closed span: into the calling thread's shard when
+/// available, straight into the global residue during thread teardown
+/// (when the thread-local has already been destroyed).
+pub(crate) fn record(key: &'static str, nanos: u128) {
     let direct = LOCAL
         .try_with(|local| {
-            let mut local = local.borrow_mut();
-            let slot = local.map.entry(key).or_insert((0, 0));
+            let mut map = lock(&local.0.map);
+            let slot = map.entry(key).or_insert((0, 0));
             slot.0 += 1;
             slot.1 += nanos;
-            local.pending += 1;
-            if local.pending >= FLUSH_EVERY {
-                local.merge_into_global();
-            }
         })
         .is_err();
     if direct {
-        let mut table = table().lock().unwrap_or_else(|e| e.into_inner());
+        let mut table = lock(global());
         let slot = table.entry(key).or_insert((0, 0));
         slot.0 += 1;
         slot.1 += nanos;
     }
 }
 
-/// Merges the calling thread's local aggregate into the global table so
-/// other threads (e.g. a metrics endpoint) can see it. Recording threads
-/// flush implicitly every [`FLUSH_EVERY`] spans and at thread exit;
-/// long-lived threads should call this at a natural boundary (end of a
-/// batch, end of a run).
-pub fn flush() {
-    let _ = LOCAL.try_with(|local| local.borrow_mut().merge_into_global());
+/// Drains every live shard into the global residue and prunes dead
+/// shard registrations. Shard locks are held one at a time and never
+/// together with the global lock.
+fn drain_all() {
+    let live: Vec<Arc<Shard>> = {
+        let mut registry = lock(shards());
+        registry.retain(|w| w.strong_count() > 0);
+        registry.iter().filter_map(Weak::upgrade).collect()
+    };
+    let mut drained: KeyMap = HashMap::new();
+    for shard in live {
+        merge(&mut drained, std::mem::take(&mut *lock(&shard.map)));
+    }
+    if !drained.is_empty() {
+        merge(&mut lock(global()), drained);
+    }
 }
 
-/// 0 = undecided, 1 = off, 2 = on.
-static STATE: AtomicU8 = AtomicU8::new(0);
+/// Kept for call sites that want to bound staleness explicitly (the
+/// serve batcher calls it per batch); readers no longer depend on it —
+/// [`entries`] drains every live thread itself.
+pub fn flush() {
+    let _ = LOCAL.try_with(|local| {
+        let residue = std::mem::take(&mut *lock(&local.0.map));
+        if !residue.is_empty() {
+            merge(&mut lock(global()), residue);
+        }
+    });
+}
 
-/// Whether profiling is active (`T2FSNN_PROFILE` set to something other
-/// than `0`/empty; decided once on first use).
+/// Whether profile aggregation is active (`T2FSNN_PROFILE=1`, decided
+/// once on first use; overridable via [`set_enabled`]).
 #[inline]
 pub fn enabled() -> bool {
-    match STATE.load(Ordering::Relaxed) {
-        0 => {
-            let on = matches!(std::env::var("T2FSNN_PROFILE"),
-                Ok(v) if !v.trim().is_empty() && v.trim() != "0");
-            STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
-            on
-        }
-        s => s == 2,
-    }
+    trace::state() & trace::PROFILE_ON != 0
 }
 
-/// An open span; the elapsed time is recorded under `key` on drop.
-/// Inert (no clock read, nothing recorded) when profiling is disabled.
-#[must_use = "a span records its time when dropped — bind it to a variable"]
-pub struct Span {
-    open: Option<(&'static str, Instant)>,
-}
-
-impl Drop for Span {
-    fn drop(&mut self) {
-        if let Some((key, start)) = self.open.take() {
-            record(key, start.elapsed().as_nanos());
-        }
-    }
+/// Turns profile aggregation on or off at runtime.
+pub fn set_enabled(on: bool) {
+    trace::set_profiling(on);
 }
 
 /// Opens a span under `key`; time accrues until the returned guard
-/// drops. A no-op unless [`enabled`].
+/// drops. A no-op unless [`enabled`] (or the flight recorder is on —
+/// the guard serves both sinks).
 #[inline]
 pub fn span(key: &'static str) -> Span {
-    Span {
-        open: enabled().then(|| (key, Instant::now())),
-    }
+    trace::span(key)
 }
 
-/// All recorded entries, sorted by total time descending. Flushes the
-/// calling thread's local aggregate first; spans other live threads have
-/// recorded but not yet flushed (fewer than [`FLUSH_EVERY`] since their
-/// last merge) are not included until they flush.
+/// All recorded entries, sorted by total time descending. Drains every
+/// live thread's shard first, so spans closed by *any* thread are
+/// visible — including long-lived threads that never flushed.
 pub fn entries() -> Vec<Entry> {
-    flush();
-    let table = table().lock().unwrap_or_else(|e| e.into_inner());
+    drain_all();
+    let table = lock(global());
     let mut out: Vec<Entry> = table
         .iter()
         .map(|(&key, &(calls, nanos))| Entry { key, calls, nanos })
@@ -175,17 +184,12 @@ pub fn entries() -> Vec<Entry> {
     out
 }
 
-/// Clears the table — both the calling thread's local aggregate and the
-/// global table (spans still open keep their start time and record into
-/// the fresh table when they close; other threads' unflushed locals
-/// survive the reset and land on their next merge).
+/// Clears the aggregate — every live shard and the global residue
+/// (spans still open keep their start time and record into the fresh
+/// table when they close).
 pub fn reset() {
-    let _ = LOCAL.try_with(|local| {
-        let mut local = local.borrow_mut();
-        local.map.clear();
-        local.pending = 0;
-    });
-    table().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    drain_all();
+    lock(global()).clear();
 }
 
 /// Prints the aggregated spans to stderr under a header — a no-op when
@@ -214,20 +218,29 @@ pub fn eprint_report(header: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Barrier;
 
-    /// One test owns the global state: recording off → spans inert;
-    /// recording on → spans aggregate per key (split tests would race on
-    /// the process-global table under the parallel test harness).
+    fn lock_state() -> std::sync::MutexGuard<'static, ()> {
+        match trace::test_lock().lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Recording off → spans inert; recording on → spans aggregate per
+    /// key, merged across threads at exit (the trace test lock
+    /// serializes every test that toggles the process-global state).
     #[test]
     fn spans_are_inert_when_off_and_aggregate_when_on() {
+        let _g = lock_state();
         let was_on = enabled();
-        STATE.store(1, Ordering::Relaxed);
+        set_enabled(false);
         {
             let _s = span("test/disabled");
         }
         assert!(entries().iter().all(|e| e.key != "test/disabled"));
 
-        STATE.store(2, Ordering::Relaxed);
+        set_enabled(true);
         reset();
         {
             let _a = span("test/a");
@@ -242,16 +255,9 @@ mod tests {
         let b = recorded.iter().find(|e| e.key == "test/b").unwrap();
         assert_eq!(b.calls, 1);
 
-        // Concurrent recorders: spans land in per-thread tables that
-        // merge into the global one — at thread exit for workers, via
-        // the implicit flush in `entries()` for the calling thread — so
-        // a post-join read sees every span exactly once.
+        // Concurrent recorders: per-thread shards, drained on read.
         reset();
         std::thread::scope(|scope| {
-            // Join explicitly: the exit-flush runs in the TLS destructor,
-            // which `join()` waits for but scope's implicit wait (a
-            // counter decremented before thread teardown) does not. The
-            // ThreadPool joins all its workers explicitly too.
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     scope.spawn(|| {
@@ -273,6 +279,59 @@ mod tests {
         assert_eq!(w.calls, 4 * 300 + 10);
 
         reset();
-        STATE.store(if was_on { 2 } else { 1 }, Ordering::Relaxed);
+        set_enabled(was_on);
+    }
+
+    /// Satellite regression test for the flush blind spot: spans closed
+    /// on threads that are still alive (and have *not* flushed) must be
+    /// visible to another thread's [`entries`] call, with nesting
+    /// aggregated per key.
+    #[test]
+    fn entries_drains_live_unflushed_threads() {
+        let _g = lock_state();
+        let was_on = enabled();
+        set_enabled(true);
+        reset();
+
+        // Two phases: (A) workers record nested spans, then park;
+        // main reads while they are alive. (B) release and join.
+        let recorded = Barrier::new(3);
+        let release = Barrier::new(3);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    {
+                        let _outer = span("test/drain_outer");
+                        let _inner = span("test/drain_inner");
+                    }
+                    recorded.wait();
+                    release.wait(); // stay alive across the read
+                });
+            }
+            recorded.wait();
+            let live = entries();
+            let outer = live
+                .iter()
+                .find(|e| e.key == "test/drain_outer")
+                .expect("live thread's spans visible without flush");
+            let inner = live.iter().find(|e| e.key == "test/drain_inner").unwrap();
+            assert_eq!(outer.calls, 2, "both live threads drained");
+            assert_eq!(inner.calls, 2);
+            assert!(
+                inner.nanos <= outer.nanos,
+                "nested span cannot exceed its enclosing span's inclusive time"
+            );
+            release.wait();
+        });
+
+        // After the threads exit, a second read must not double-count:
+        // the drain moved their counts into the global residue and the
+        // exit-merge found empty shards.
+        let after = entries();
+        let outer = after.iter().find(|e| e.key == "test/drain_outer").unwrap();
+        assert_eq!(outer.calls, 2, "drain + exit-merge must not double-count");
+
+        reset();
+        set_enabled(was_on);
     }
 }

@@ -10,7 +10,7 @@ verify:
 # (leading `-`), mirroring the CI workflow's continue-on-error: its
 # regression exit code is a signal for the baseline machine, not a
 # gate for whatever machine runs `just ci`.
-ci: fmt-check lint verify test-scalar pool-test bench-check serve-smoke-ci serve-chaos robustness-smoke serve-lifecycle
+ci: fmt-check lint verify test-scalar pool-test bench-check serve-smoke-ci serve-chaos robustness-smoke serve-lifecycle obs-smoke
     -timeout 900 cargo run --release -p t2fsnn-bench --bin bench_smoke
 
 # The CI flavor of serve-smoke: same blocking correctness gates, no
@@ -53,6 +53,20 @@ robustness-smoke:
 serve-lifecycle:
     cargo build --release -p t2fsnn-serve -p t2fsnn-bench
     timeout 900 env T2FSNN_QUICK=1 cargo run --release -p t2fsnn-bench --bin serve_load -- --churn
+
+# Observability smoke (blocking): the read-only contract of the tracing
+# subsystem, end to end. Part A runs repro_fig6 (quick) with
+# T2FSNN_TRACE pointed at a scratch file and validates the exported
+# flight-recorder JSON (well-formed Chrome trace events, ttfs/* engine
+# phase spans, parent/child links). Part B drives two servers — tracing
+# + structured logging off and on — with interleaved identical request
+# streams, asserting per-image responses bit-identical across the
+# halves, a `timing: true` request's trace id queryable via
+# /debug/trace, /debug/slow live, and best-of-3 throughput overhead
+# under 3%.
+obs-smoke:
+    cargo build --release -p t2fsnn-serve -p t2fsnn-bench
+    timeout 900 cargo run --release -p t2fsnn-bench --bin serve_load -- --obs
 
 # Overload demo: drive ≥2x the measured full-window capacity with a
 # per-request deadline and record how the degradation ladder holds p99
